@@ -1,0 +1,96 @@
+// Command mobibench regenerates the tables and figures of the MobiCore
+// thesis. Each experiment id matches the paper's numbering:
+//
+//	mobibench list
+//	mobibench table1 fig1 fig9a
+//	mobibench -scale 0.2 all
+//
+// At -scale 1 (the default) sessions run for the paper's durations
+// (1-minute sweeps, 2-minute gaming sessions of simulated time); smaller
+// scales shorten every session proportionally for quick looks.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"mobicore"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	scale := flag.Float64("scale", 1.0, "session duration multiplier (1.0 = paper timings)")
+	seed := flag.Int64("seed", 42, "workload randomness seed")
+	asJSON := flag.Bool("json", false, "emit results as JSON documents instead of text")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		return 2
+	}
+	if args[0] == "list" {
+		for _, id := range mobicore.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return 0
+	}
+	ids := args
+	if args[0] == "all" {
+		ids = mobicore.ExperimentIDs()
+	}
+	opt := mobicore.ExperimentOptions{Scale: *scale, Seed: *seed}
+	for _, id := range ids {
+		res, err := mobicore.RunExperiment(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mobibench: %s: %v\n", id, err)
+			return 1
+		}
+		if *asJSON {
+			if err := writeJSON(res); err != nil {
+				fmt.Fprintf(os.Stderr, "mobibench: encoding %s: %v\n", id, err)
+				return 1
+			}
+			continue
+		}
+		fmt.Printf("== %s: %s\n", res.ID(), res.Title())
+		if err := res.WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mobibench: rendering %s: %v\n", id, err)
+			return 1
+		}
+		fmt.Println()
+	}
+	return 0
+}
+
+// writeJSON emits one experiment as a JSON document; the result structs
+// are exported, so their fields marshal directly for plotting pipelines.
+func writeJSON(res mobicore.ExperimentResult) error {
+	doc := struct {
+		ID    string      `json:"id"`
+		Title string      `json:"title"`
+		Data  interface{} `json:"data"`
+	}{ID: res.ID(), Title: res.Title(), Data: res}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: mobibench [flags] <experiment>...
+
+Experiments (paper numbering):
+  %v
+  all   — run everything
+  list  — print the ids
+
+Flags:
+`, mobicore.ExperimentIDs())
+	flag.PrintDefaults()
+}

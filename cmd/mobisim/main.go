@@ -1,0 +1,149 @@
+// Command mobisim runs one simulation session and prints its report:
+//
+//	mobisim -platform nexus5 -policy mobicore -workload busyloop -util 0.3 -dur 30s
+//	mobisim -policy android-default -workload game -game "Subway Surf" -dur 2m
+//	mobisim -policy mobicore -workload geekbench -trace power.csv
+//
+// The -policy flag accepts mobicore, mobicore-threshold, android-default,
+// oracle, or any "<governor>+<hotplug>" pair such as "interactive+load" or
+// "userspace+fixed-2".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mobicore"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		platformName = flag.String("platform", "nexus5", "device profile (see -list)")
+		policyName   = flag.String("policy", "android-default", "CPU management policy")
+		workloadName = flag.String("workload", "busyloop", "workload: busyloop, game, geekbench, trace")
+		util         = flag.Float64("util", 0.5, "busyloop target utilization [0,1]")
+		threads      = flag.Int("threads", 4, "busyloop/trace thread count")
+		traceIn      = flag.String("trace-in", "", "demand trace CSV to replay for -workload trace")
+		gameName     = flag.String("game", "Subway Surf", "game title for -workload game")
+		iterations   = flag.Int("iterations", 3, "geekbench iterations per thread")
+		dur          = flag.Duration("dur", 30*time.Second, "session duration (simulated)")
+		seed         = flag.Int64("seed", 1, "workload randomness seed")
+		noThrottle   = flag.Bool("no-throttle", false, "disable the thermal frequency cap")
+		tracePath    = flag.String("trace", "", "write the power trace CSV to this file")
+		list         = flag.Bool("list", false, "list platforms, policies, governors, and games")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("platforms: ", mobicore.Platforms())
+		fmt.Println("policies:  ", mobicore.Policies(), `plus "<governor>+<hotplug>"`)
+		fmt.Println("governors: ", mobicore.Governors())
+		fmt.Println("games:     ", mobicore.GameNames())
+		return 0
+	}
+
+	var (
+		wl   mobicore.Workload
+		game *mobicore.Game
+		gb   *mobicore.GeekBenchRun
+		err  error
+	)
+	switch *workloadName {
+	case "busyloop":
+		wl, err = mobicore.NewBusyLoop(*util, *threads)
+	case "game":
+		game, err = mobicore.NewGame(*gameName)
+		wl = game
+	case "geekbench":
+		gb, err = mobicore.NewGeekBenchRun(*threads, *iterations)
+		wl = gb
+	case "trace":
+		wl, err = loadTrace(*traceIn, *threads)
+	default:
+		err = fmt.Errorf("unknown workload %q (want busyloop, game, geekbench, trace)", *workloadName)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mobisim:", err)
+		return 1
+	}
+
+	dev, err := mobicore.NewDevice(mobicore.Config{
+		Platform:               *platformName,
+		Policy:                 *policyName,
+		Seed:                   *seed,
+		DisableThermalThrottle: *noThrottle,
+	}, wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mobisim:", err)
+		return 1
+	}
+
+	var rep *mobicore.Report
+	if gb != nil {
+		var done bool
+		rep, done, err = dev.RunUntilDone(*dur)
+		if err == nil && !done {
+			fmt.Fprintln(os.Stderr, "mobisim: warning: benchmark did not finish within -dur")
+		}
+	} else {
+		rep, err = dev.Run(*dur)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mobisim:", err)
+		return 1
+	}
+
+	if err := rep.WriteSummary(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mobisim:", err)
+		return 1
+	}
+	if game != nil {
+		fmt.Printf("avg fps:         %.1f (dropped %d of %d frames)\n",
+			game.AvgFPS(), game.DroppedFrames(), game.EmittedFrames())
+	}
+	if gb != nil {
+		score, err := gb.ScoreAfter(rep.Duration)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mobisim:", err)
+			return 1
+		}
+		fmt.Printf("benchmark score: %.0f\n", score)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mobisim:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := dev.WritePowerTraceCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mobisim:", err)
+			return 1
+		}
+		fmt.Printf("power trace:     %s\n", *tracePath)
+	}
+	return 0
+}
+
+// loadTrace builds a replay workload from a recorded demand CSV.
+func loadTrace(path string, threads int) (mobicore.Workload, error) {
+	if path == "" {
+		return nil, fmt.Errorf("-workload trace requires -trace-in")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	steps, err := mobicore.ParseTraceCSV(f)
+	if err != nil {
+		return nil, err
+	}
+	return mobicore.NewScripted("trace:"+path, threads, steps)
+}

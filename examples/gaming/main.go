@@ -1,0 +1,44 @@
+// Gaming: play each of the thesis' five evaluation titles for a gaming
+// session under both policies and print the Figure 10–12 view — power,
+// FPS, average frequency, and core usage per game.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mobicore"
+)
+
+const sessionLen = 60 * time.Second
+
+func main() {
+	fmt.Printf("%-16s %-16s %9s %6s %-10s %6s\n",
+		"game", "policy", "avg mW", "fps", "avg freq", "cores")
+	for _, game := range mobicore.GameNames() {
+		var watts [2]float64
+		for i, policy := range []string{mobicore.PolicyAndroidDefault, mobicore.PolicyMobiCore} {
+			g, err := mobicore.NewGame(game)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dev, err := mobicore.NewDevice(mobicore.Config{
+				Policy: policy,
+				Seed:   42,
+			}, g)
+			if err != nil {
+				log.Fatal(err)
+			}
+			report, err := dev.Run(sessionLen)
+			if err != nil {
+				log.Fatal(err)
+			}
+			watts[i] = report.AvgPowerW
+			fmt.Printf("%-16s %-16s %9.1f %6.1f %-10v %6.2f\n",
+				game, policy, report.AvgPowerW*1000, g.AvgFPS(),
+				mobicore.Hz(report.AvgFreqHz), report.AvgOnlineCores)
+		}
+		fmt.Printf("%-16s saving: %.1f%%\n\n", "", (1-watts[1]/watts[0])*100)
+	}
+}

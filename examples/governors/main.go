@@ -1,0 +1,48 @@
+// Governors: sweep every stock cpufreq governor (plus MobiCore and the
+// §4.2 oracle) over the same oscillating workload and print the
+// power/throughput frontier each policy lands on — a compact version of
+// the trade-off study in §3 of the thesis.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mobicore"
+)
+
+func main() {
+	policies := []string{
+		"powersave+load",
+		"conservative+load",
+		"ondemand+load", // == android-default
+		"interactive+load",
+		"schedutil+load",
+		"performance+mpdecision",
+		mobicore.PolicyOracle,
+		mobicore.PolicyMobiCore,
+	}
+	fmt.Printf("%-24s %9s %12s %10s %7s\n", "policy", "avg mW", "Gcycles", "Mcyc/J", "cores")
+	for _, policy := range policies {
+		wl, err := mobicore.NewSinusoid("wave", 4, 2.5e9, 0.6, 6*time.Second, 0.05)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dev, err := mobicore.NewDevice(mobicore.Config{
+			Policy: policy,
+			Seed:   7,
+		}, wl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := dev.Run(30 * time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		efficiency := report.ExecutedCycles / report.EnergyJ / 1e6
+		fmt.Printf("%-24s %9.1f %12.2f %10.1f %7.2f\n",
+			policy, report.AvgPowerW*1000, report.ExecutedCycles/1e9,
+			efficiency, report.AvgOnlineCores)
+	}
+}

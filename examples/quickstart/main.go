@@ -1,0 +1,38 @@
+// Quickstart: simulate a Nexus 5 running a steady workload under the stock
+// Android policy and under MobiCore, and compare average power — the
+// essence of the thesis' Figure 9a in a dozen lines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mobicore"
+)
+
+func main() {
+	var watts [2]float64
+	for i, policy := range []string{mobicore.PolicyAndroidDefault, mobicore.PolicyMobiCore} {
+		wl, err := mobicore.NewBusyLoop(0.30, 4) // 30% duty across 4 threads
+		if err != nil {
+			log.Fatal(err)
+		}
+		dev, err := mobicore.NewDevice(mobicore.Config{
+			Platform: "nexus5",
+			Policy:   policy,
+			Seed:     1,
+		}, wl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := dev.Run(30 * time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		watts[i] = report.AvgPowerW
+		fmt.Printf("%-16s %7.1f mW  avg freq %-10v avg cores %.2f\n",
+			policy, report.AvgPowerW*1000, mobicore.Hz(report.AvgFreqHz), report.AvgOnlineCores)
+	}
+	fmt.Printf("\nMobiCore power saving: %.1f%%\n", (1-watts[1]/watts[0])*100)
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mobicore/internal/policy"
+	"mobicore/internal/power"
+	"mobicore/internal/soc"
+)
+
+// OperatingPoint is one (cores, frequency) combination with its predicted
+// power — a point on the §3.4 trade-off curve.
+type OperatingPoint struct {
+	Cores          int
+	OPP            soc.OPP
+	PredictedWatts float64
+}
+
+// ChooseOperatingPoint exhaustively minimizes the energy model over every
+// (n, f) combination that can serve the demanded throughput — the §4.2
+// model validation ("the best one is chosen by our model"). It returns the
+// minimum-power point; ties break towards fewer cores, then lower frequency.
+func ChooseOperatingPoint(m *power.Model, table *soc.OPPTable, demandCyclesPerSec float64, maxCores int) (OperatingPoint, error) {
+	if m == nil || table == nil || table.Len() == 0 {
+		return OperatingPoint{}, errors.New("core: oracle needs a model and table")
+	}
+	if maxCores < 1 {
+		return OperatingPoint{}, errors.New("core: oracle needs at least one core")
+	}
+	if demandCyclesPerSec < 0 {
+		return OperatingPoint{}, errors.New("core: negative demand")
+	}
+	best := OperatingPoint{PredictedWatts: math.Inf(1)}
+	feasible := false
+	for n := 1; n <= maxCores; n++ {
+		for _, opp := range table.Points() {
+			if !power.CapacityMet(n, opp, demandCyclesPerSec) {
+				continue
+			}
+			watts, err := m.PredictWatts(n, opp, demandCyclesPerSec, maxCores)
+			if err != nil {
+				return OperatingPoint{}, fmt.Errorf("core: predicting (%d,%v): %w", n, opp.Freq, err)
+			}
+			if watts < best.PredictedWatts {
+				best = OperatingPoint{Cores: n, OPP: opp, PredictedWatts: watts}
+				feasible = true
+			}
+		}
+	}
+	if !feasible {
+		// Demand exceeds the whole SoC: run everything flat out.
+		opp := table.Max()
+		watts, err := m.PredictWatts(maxCores, opp, demandCyclesPerSec, maxCores)
+		if err != nil {
+			return OperatingPoint{}, err
+		}
+		return OperatingPoint{Cores: maxCores, OPP: opp, PredictedWatts: watts}, nil
+	}
+	return best, nil
+}
+
+// SweepOperatingPoints evaluates the predicted power of every feasible
+// (cores, frequency) combination for a demand — the data behind Figure 5's
+// four panels. Points that cannot serve the demand are omitted.
+func SweepOperatingPoints(m *power.Model, table *soc.OPPTable, demandCyclesPerSec float64, maxCores int) ([]OperatingPoint, error) {
+	if m == nil || table == nil || table.Len() == 0 {
+		return nil, errors.New("core: sweep needs a model and table")
+	}
+	out := make([]OperatingPoint, 0, maxCores*table.Len())
+	for n := 1; n <= maxCores; n++ {
+		for _, opp := range table.Points() {
+			if !power.CapacityMet(n, opp, demandCyclesPerSec) {
+				continue
+			}
+			watts, err := m.PredictWatts(n, opp, demandCyclesPerSec, maxCores)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, OperatingPoint{Cores: n, OPP: opp, PredictedWatts: watts})
+		}
+	}
+	return out, nil
+}
+
+// Oracle is the model-driven manager: each period it measures the served
+// demand, adds headroom, and programs the energy-model optimum. It is the
+// reference MobiCore's closed-form law is validated against (ablation 3 in
+// DESIGN.md). Bandwidth is left alone so the comparison isolates operating
+// point selection.
+type Oracle struct {
+	table    *soc.OPPTable
+	model    *power.Model
+	headroom float64
+}
+
+var _ policy.Manager = (*Oracle)(nil)
+
+// NewOracle builds the model-driven manager. headroom inflates measured
+// demand to leave room for growth between samples (e.g. 0.15 for 15%).
+func NewOracle(table *soc.OPPTable, model *power.Model, headroom float64) (*Oracle, error) {
+	if table == nil || table.Len() == 0 {
+		return nil, soc.ErrEmptyTable
+	}
+	if model == nil {
+		return nil, errors.New("core: oracle needs a power model")
+	}
+	if headroom < 0 || headroom > 1 {
+		return nil, errors.New("core: oracle headroom must be in [0,1]")
+	}
+	return &Oracle{table: table, model: model, headroom: headroom}, nil
+}
+
+// Name implements policy.Manager.
+func (o *Oracle) Name() string { return "oracle" }
+
+// Decide implements policy.Manager.
+func (o *Oracle) Decide(in policy.Input) (policy.Decision, error) {
+	if err := in.Validate(); err != nil {
+		return policy.Decision{}, err
+	}
+	// Served demand: cycles/sec actually consumed this period.
+	var demand float64
+	for i := range in.Util {
+		if in.Online[i] {
+			demand += in.Util[i] * float64(in.CurFreq[i])
+		}
+	}
+	demand *= 1 + o.headroom
+	best, err := ChooseOperatingPoint(o.model, o.table, demand, len(in.Util))
+	if err != nil {
+		return policy.Decision{}, err
+	}
+	return policy.Decision{
+		TargetFreq:  uniform(len(in.Util), best.OPP.Freq),
+		OnlineCores: best.Cores,
+		Quota:       1,
+	}, nil
+}
+
+// Reset implements policy.Manager.
+func (o *Oracle) Reset() {}

@@ -1,0 +1,84 @@
+package cpufreq
+
+import (
+	"errors"
+
+	"mobicore/internal/soc"
+)
+
+// ConservativeTunables mirror the conservative governor's knobs.
+type ConservativeTunables struct {
+	// UpThreshold: step the frequency up when load exceeds this.
+	UpThreshold float64
+	// DownThreshold: step down when load falls below this.
+	DownThreshold float64
+	// FreqStep is how many OPP levels one step moves. The kernel uses a
+	// percentage of f_max; on a 14-point table one level ≈ 7%, so the
+	// default of 1 matches the kernel's 5% spirit.
+	FreqStep int
+}
+
+// DefaultConservativeTunables are the kernel defaults (80/20, one step).
+func DefaultConservativeTunables() ConservativeTunables {
+	return ConservativeTunables{UpThreshold: 0.80, DownThreshold: 0.20, FreqStep: 1}
+}
+
+// Validate rejects nonsensical tunables.
+func (t ConservativeTunables) Validate() error {
+	if t.UpThreshold <= 0 || t.UpThreshold > 1 {
+		return errors.New("cpufreq: conservative UpThreshold must be in (0,1]")
+	}
+	if t.DownThreshold < 0 || t.DownThreshold >= t.UpThreshold {
+		return errors.New("cpufreq: conservative DownThreshold must be in [0,UpThreshold)")
+	}
+	if t.FreqStep < 1 {
+		return errors.New("cpufreq: conservative FreqStep must be >= 1")
+	}
+	return nil
+}
+
+// Conservative increases and decreases the CPU speed smoothly, one step at
+// a time, "instead of suddenly jumping to the highest frequency" (§2.2.1).
+type Conservative struct {
+	table *soc.OPPTable
+	tun   ConservativeTunables
+}
+
+var _ Governor = (*Conservative)(nil)
+
+// NewConservative builds a conservative governor.
+func NewConservative(table *soc.OPPTable, tun ConservativeTunables) (*Conservative, error) {
+	if table == nil || table.Len() == 0 {
+		return nil, soc.ErrEmptyTable
+	}
+	if err := tun.Validate(); err != nil {
+		return nil, err
+	}
+	return &Conservative{table: table, tun: tun}, nil
+}
+
+// Name implements Governor.
+func (g *Conservative) Name() string { return "conservative" }
+
+// Target implements Governor.
+func (g *Conservative) Target(in Input) ([]soc.Hz, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]soc.Hz, len(in.Util))
+	for i := range in.Util {
+		cur := in.CurFreq[i]
+		switch {
+		case in.Util[i] > g.tun.UpThreshold:
+			out[i] = g.table.StepUp(cur, g.tun.FreqStep).Freq
+		case in.Util[i] < g.tun.DownThreshold:
+			out[i] = g.table.StepDown(cur, g.tun.FreqStep).Freq
+		default:
+			out[i] = g.table.CeilFreq(cur).Freq
+		}
+	}
+	return out, nil
+}
+
+// Reset implements Governor.
+func (g *Conservative) Reset() {}

@@ -1,0 +1,372 @@
+package cpufreq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mobicore/internal/soc"
+)
+
+func table(t *testing.T) *soc.OPPTable {
+	t.Helper()
+	return soc.MSM8974Table()
+}
+
+func input(t *testing.T, utils []float64, freqs []soc.Hz) Input {
+	t.Helper()
+	online := make([]bool, len(utils))
+	for i := range online {
+		online[i] = true
+	}
+	return Input{
+		Now:     time.Second,
+		Period:  50 * time.Millisecond,
+		Util:    utils,
+		Online:  online,
+		CurFreq: freqs,
+		Table:   table(t),
+	}
+}
+
+func TestInputValidate(t *testing.T) {
+	good := input(t, []float64{0.5}, []soc.Hz{300 * soc.MHz})
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good input rejected: %v", err)
+	}
+	bad := good
+	bad.Table = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("nil table accepted")
+	}
+	bad = good
+	bad.Util = []float64{1.5}
+	if err := bad.Validate(); err == nil {
+		t.Error("util > 1 accepted")
+	}
+	bad = good
+	bad.Online = []bool{true, false}
+	if err := bad.Validate(); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestInputOverallUtil(t *testing.T) {
+	in := input(t, []float64{0.8, 0.4, 0.0, 0.0}, []soc.Hz{300 * soc.MHz, 300 * soc.MHz, 300 * soc.MHz, 300 * soc.MHz})
+	in.Online = []bool{true, true, false, false}
+	if got, want := in.OverallUtil(), 0.6; math.Abs(got-want) > 1e-12 {
+		t.Errorf("overall util = %v, want %v (offline cores excluded)", got, want)
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range StockNames() {
+		g, err := New(name, table(t))
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if g.Name() != name {
+			t.Errorf("governor %q reports name %q", name, g.Name())
+		}
+	}
+	if _, err := New("bogus", table(t)); err == nil {
+		t.Error("unknown governor accepted")
+	}
+}
+
+func TestRegister(t *testing.T) {
+	if err := Register("", nil); err == nil {
+		t.Error("empty registration accepted")
+	}
+	called := false
+	factory := func(tbl *soc.OPPTable) (Governor, error) {
+		called = true
+		return NewPerformance(tbl)
+	}
+	if err := Register("custom-test-gov", factory); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register("custom-test-gov", factory); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if _, err := New("custom-test-gov", table(t)); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Error("registered factory not invoked")
+	}
+}
+
+func TestPerformanceAndPowersave(t *testing.T) {
+	tbl := table(t)
+	perf, err := NewPerformance(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	save, err := NewPowersave(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := input(t, []float64{0.1, 0.9}, []soc.Hz{300 * soc.MHz, 960_000 * soc.KHz})
+	pf, err := perf.Target(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := save.Target(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pf {
+		if pf[i] != tbl.Max().Freq {
+			t.Errorf("performance core %d = %v, want f_max", i, pf[i])
+		}
+		if ps[i] != tbl.Min().Freq {
+			t.Errorf("powersave core %d = %v, want f_min", i, ps[i])
+		}
+	}
+}
+
+func TestUserspace(t *testing.T) {
+	tbl := table(t)
+	us, err := NewUserspace(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := us.Speed(); got != tbl.Min().Freq {
+		t.Errorf("initial speed = %v, want f_min", got)
+	}
+	if err := us.SetSpeed(961 * soc.MHz); err == nil {
+		t.Error("non-OPP speed accepted")
+	}
+	if err := us.SetSpeed(960_000 * soc.KHz); err != nil {
+		t.Fatal(err)
+	}
+	out, err := us.Target(input(t, []float64{1.0}, []soc.Hz{300 * soc.MHz}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 960_000*soc.KHz {
+		t.Errorf("userspace ignores load: got %v, want held 960MHz", out[0])
+	}
+	us.Reset()
+	if got := us.Speed(); got != 960_000*soc.KHz {
+		t.Errorf("reset cleared held speed: %v", got)
+	}
+}
+
+func TestOndemandBurstToMax(t *testing.T) {
+	tbl := table(t)
+	od, err := NewOndemand(tbl, DefaultOndemandTunables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := od.Target(input(t, []float64{0.85}, []soc.Hz{300 * soc.MHz}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != tbl.Max().Freq {
+		t.Errorf("load above threshold → %v, want f_max", out[0])
+	}
+}
+
+func TestOndemandScalesDown(t *testing.T) {
+	tbl := table(t)
+	tun := DefaultOndemandTunables()
+	tun.SamplingDownFactor = 0
+	od, err := NewOndemand(tbl, tun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20% load at f_max: want ≈ f_max·0.2/0.8 = 566 MHz → ceil 652.8 MHz.
+	out, err := od.Target(input(t, []float64{0.2}, []soc.Hz{tbl.Max().Freq}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 652_800 * soc.KHz; out[0] != want {
+		t.Errorf("scale down = %v, want %v", out[0], want)
+	}
+}
+
+func TestOndemandHysteresisBand(t *testing.T) {
+	tbl := table(t)
+	tun := DefaultOndemandTunables()
+	tun.SamplingDownFactor = 0
+	od, err := NewOndemand(tbl, tun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := 960_000 * soc.KHz
+	// 0.75 is inside [up-down, up) = [0.70, 0.80): hold.
+	out, err := od.Target(input(t, []float64{0.75}, []soc.Hz{cur}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != cur {
+		t.Errorf("hysteresis band should hold %v, got %v", cur, out[0])
+	}
+}
+
+func TestOndemandSamplingDownFactorHold(t *testing.T) {
+	tbl := table(t)
+	tun := DefaultOndemandTunables()
+	tun.SamplingDownFactor = 2
+	od, err := NewOndemand(tbl, tun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst := input(t, []float64{0.9}, []soc.Hz{300 * soc.MHz})
+	out, err := od.Target(burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != tbl.Max().Freq {
+		t.Fatal("burst did not jump to max")
+	}
+	// Two quiet samples must hold f_max; the third may scale down.
+	quiet := input(t, []float64{0.1}, []soc.Hz{tbl.Max().Freq})
+	for i := 0; i < 2; i++ {
+		out, err = od.Target(quiet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != tbl.Max().Freq {
+			t.Fatalf("hold sample %d dropped to %v", i, out[0])
+		}
+	}
+	out, err = od.Target(quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] == tbl.Max().Freq {
+		t.Error("hold never expired")
+	}
+}
+
+func TestConservativeSteps(t *testing.T) {
+	tbl := table(t)
+	c, err := NewConservative(tbl, DefaultConservativeTunables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := 960_000 * soc.KHz
+	up, err := c.Target(input(t, []float64{0.9}, []soc.Hz{cur}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := tbl.StepUp(cur, 1).Freq; up[0] != want {
+		t.Errorf("step up = %v, want %v (one step, not a jump)", up[0], want)
+	}
+	down, err := c.Target(input(t, []float64{0.1}, []soc.Hz{cur}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := tbl.StepDown(cur, 1).Freq; down[0] != want {
+		t.Errorf("step down = %v, want %v", down[0], want)
+	}
+	hold, err := c.Target(input(t, []float64{0.5}, []soc.Hz{cur}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hold[0] != cur {
+		t.Errorf("mid load should hold, got %v", hold[0])
+	}
+}
+
+func TestInteractiveHispeedJumpAndHold(t *testing.T) {
+	tbl := table(t)
+	g, err := NewInteractive(tbl, DefaultInteractiveTunables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := input(t, []float64{0.9}, []soc.Hz{300 * soc.MHz})
+	in.Now = 0
+	out, err := g.Target(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != tbl.Max().Freq {
+		t.Fatalf("hispeed jump = %v, want f_max", out[0])
+	}
+	// Within MinSampleTime the floor holds even at zero load.
+	quiet := input(t, []float64{0.0}, []soc.Hz{tbl.Max().Freq})
+	quiet.Now = 40 * time.Millisecond
+	out, err = g.Target(quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != tbl.Max().Freq {
+		t.Errorf("hold within MinSampleTime broke: %v", out[0])
+	}
+	// After the hold expires the target follows load.
+	quiet.Now = 200 * time.Millisecond
+	out, err = g.Target(quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != tbl.Min().Freq {
+		t.Errorf("post-hold idle target = %v, want f_min", out[0])
+	}
+}
+
+// TestGovernorsReturnLegalOPPs: every stock governor maps arbitrary legal
+// inputs to frequencies that exist in the table.
+func TestGovernorsReturnLegalOPPs(t *testing.T) {
+	tbl := table(t)
+	for _, name := range StockNames() {
+		g, err := New(name, tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prop := func(rawUtil [4]uint16, rawFreq [4]uint8, now uint16) bool {
+			utils := make([]float64, 4)
+			freqs := make([]soc.Hz, 4)
+			online := make([]bool, 4)
+			for i := 0; i < 4; i++ {
+				utils[i] = float64(rawUtil[i]) / 65535
+				freqs[i] = tbl.At(int(rawFreq[i]) % tbl.Len()).Freq
+				online[i] = true
+			}
+			out, err := g.Target(Input{
+				Now:     time.Duration(now) * time.Millisecond,
+				Period:  50 * time.Millisecond,
+				Util:    utils,
+				Online:  online,
+				CurFreq: freqs,
+				Table:   tbl,
+			})
+			if err != nil {
+				return false
+			}
+			for _, f := range out {
+				if !tbl.Contains(f) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(8))}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestTunableValidation(t *testing.T) {
+	tbl := table(t)
+	if _, err := NewOndemand(tbl, OndemandTunables{UpThreshold: 0, DownDifferential: 0}); err == nil {
+		t.Error("zero up threshold accepted")
+	}
+	if _, err := NewOndemand(tbl, OndemandTunables{UpThreshold: 0.5, DownDifferential: 0.6}); err == nil {
+		t.Error("down differential above threshold accepted")
+	}
+	if _, err := NewConservative(tbl, ConservativeTunables{UpThreshold: 0.8, DownThreshold: 0.9, FreqStep: 1}); err == nil {
+		t.Error("down above up accepted")
+	}
+	if _, err := NewConservative(tbl, ConservativeTunables{UpThreshold: 0.8, DownThreshold: 0.2, FreqStep: 0}); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, err := NewInteractive(tbl, InteractiveTunables{GoHispeedLoad: 2, TargetLoad: 0.9}); err == nil {
+		t.Error("hispeed load > 1 accepted")
+	}
+}

@@ -1,0 +1,169 @@
+// Package cpufreq reimplements the Linux cpufreq governor framework the
+// thesis builds on (§2.2.1): the sampling-driven governor interface and the
+// six stock governors it names — ondemand, interactive, conservative,
+// powersave, performance, and userspace. MobiCore is implemented elsewhere
+// (internal/core) as a composite policy that embeds the ondemand decision,
+// exactly as the thesis describes ("based on the existing ondemand
+// governor", §5.3).
+package cpufreq
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mobicore/internal/soc"
+)
+
+// Input is everything a governor observes at one sampling point. Slices are
+// indexed by core id and must not be mutated by the governor.
+type Input struct {
+	// Now is the simulation time of this sample.
+	Now time.Duration
+	// Period is the time since the previous sample.
+	Period time.Duration
+	// Util is each core's busy fraction over the period, in [0,1].
+	// Offline cores carry 0.
+	Util []float64
+	// Online flags each core's hotplug state.
+	Online []bool
+	// CurFreq is each core's programmed frequency.
+	CurFreq []soc.Hz
+	// Table is the platform's OPP table.
+	Table *soc.OPPTable
+}
+
+// Validate rejects malformed inputs early so individual governors can
+// assume a consistent view.
+func (in Input) Validate() error {
+	if in.Table == nil || in.Table.Len() == 0 {
+		return errors.New("cpufreq: input missing OPP table")
+	}
+	n := len(in.Util)
+	if n == 0 || len(in.Online) != n || len(in.CurFreq) != n {
+		return fmt.Errorf("cpufreq: inconsistent input lengths util=%d online=%d freq=%d",
+			len(in.Util), len(in.Online), len(in.CurFreq))
+	}
+	for i, u := range in.Util {
+		if u < 0 || u > 1 {
+			return fmt.Errorf("cpufreq: core %d utilization %v outside [0,1]", i, u)
+		}
+	}
+	return nil
+}
+
+// OverallUtil is the thesis' definition of overall CPU utilization (§2.2):
+// the average of the utilizations over all online cores.
+func (in Input) OverallUtil() float64 {
+	var sum float64
+	n := 0
+	for i, u := range in.Util {
+		if in.Online[i] {
+			sum += u
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Governor is a frequency policy: each sampling period it maps observed
+// utilization to per-core target frequencies. Implementations must be
+// deterministic. Governors are not required to be safe for concurrent use.
+type Governor interface {
+	// Name returns the sysfs-style governor name, e.g. "ondemand".
+	Name() string
+	// Target returns the desired frequency for every core (indexed by
+	// core id). Entries for offline cores are ignored by the caller.
+	// Returned frequencies must be valid operating points of in.Table.
+	Target(in Input) ([]soc.Hz, error)
+	// Reset clears internal state (sampling history, hold timers).
+	Reset()
+}
+
+// Factory builds a governor instance for a platform table.
+type Factory func(table *soc.OPPTable) (Governor, error)
+
+// registry maps governor names to factories. Guarded by regMu; the registry
+// is written only from package init paths and read afterwards.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register installs a governor factory under name. Registering a duplicate
+// name returns an error rather than silently replacing a policy.
+func Register(name string, f Factory) error {
+	if name == "" || f == nil {
+		return errors.New("cpufreq: empty governor registration")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("cpufreq: governor %q already registered", name)
+	}
+	registry[name] = f
+	return nil
+}
+
+// New instantiates a governor by name: first the six stock governors, then
+// anything installed with Register.
+func New(name string, table *soc.OPPTable) (Governor, error) {
+	switch name {
+	case "ondemand":
+		return NewOndemand(table, DefaultOndemandTunables())
+	case "interactive":
+		return NewInteractive(table, DefaultInteractiveTunables())
+	case "conservative":
+		return NewConservative(table, DefaultConservativeTunables())
+	case "powersave":
+		return NewPowersave(table)
+	case "performance":
+		return NewPerformance(table)
+	case "userspace":
+		return NewUserspace(table)
+	case "schedutil":
+		return NewSchedutil(table, DefaultSchedutilTunables())
+	}
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("cpufreq: unknown governor %q (have %v)", name, Names())
+	}
+	return f(table)
+}
+
+// StockNames lists the six governors shipped with the package, mirroring
+// the set §2.2.1 enumerates. The schedutil extension (post-thesis mainline
+// governor) is available through New but is not part of the stock set.
+func StockNames() []string {
+	return []string{"conservative", "interactive", "ondemand", "performance", "powersave", "userspace"}
+}
+
+// Names lists every available governor — stock plus registered — sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry)+7)
+	names = append(names, StockNames()...)
+	names = append(names, "schedutil")
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// uniformTargets fills a target slice with one frequency for all cores.
+func uniformTargets(n int, f soc.Hz) []soc.Hz {
+	out := make([]soc.Hz, n)
+	for i := range out {
+		out[i] = f
+	}
+	return out
+}

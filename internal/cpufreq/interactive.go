@@ -1,0 +1,119 @@
+package cpufreq
+
+import (
+	"errors"
+	"time"
+
+	"mobicore/internal/soc"
+)
+
+// InteractiveTunables mirror the interactive governor's main knobs.
+type InteractiveTunables struct {
+	// GoHispeedLoad: load above this jumps to HispeedFreq immediately.
+	GoHispeedLoad float64
+	// HispeedFreq is the intermediate jump frequency; zero means "pick
+	// f_max", the common device default.
+	HispeedFreq soc.Hz
+	// TargetLoad is the per-core load the governor steers towards when
+	// scaling above HispeedFreq.
+	TargetLoad float64
+	// MinSampleTime is how long the governor holds an elevated frequency
+	// before allowing a drop — the source of its "much more aggressive"
+	// feel (§2.2.1).
+	MinSampleTime time.Duration
+}
+
+// DefaultInteractiveTunables match the AOSP defaults (85%, f_max jump, 90%
+// target load, 80 ms hold).
+func DefaultInteractiveTunables() InteractiveTunables {
+	return InteractiveTunables{
+		GoHispeedLoad: 0.85,
+		TargetLoad:    0.90,
+		MinSampleTime: 80 * time.Millisecond,
+	}
+}
+
+// Validate rejects nonsensical tunables.
+func (t InteractiveTunables) Validate() error {
+	if t.GoHispeedLoad <= 0 || t.GoHispeedLoad > 1 {
+		return errors.New("cpufreq: interactive GoHispeedLoad must be in (0,1]")
+	}
+	if t.TargetLoad <= 0 || t.TargetLoad > 1 {
+		return errors.New("cpufreq: interactive TargetLoad must be in (0,1]")
+	}
+	if t.MinSampleTime < 0 {
+		return errors.New("cpufreq: interactive MinSampleTime must be non-negative")
+	}
+	return nil
+}
+
+// Interactive is the latency-sensitive governor: it ramps aggressively on
+// activity and holds speed for MinSampleTime before dropping.
+type Interactive struct {
+	table *soc.OPPTable
+	tun   InteractiveTunables
+
+	// floorUntil holds, per core, the time before which the frequency
+	// may not drop below floorFreq.
+	floorFreq  []soc.Hz
+	floorUntil []time.Duration
+}
+
+var _ Governor = (*Interactive)(nil)
+
+// NewInteractive builds an interactive governor.
+func NewInteractive(table *soc.OPPTable, tun InteractiveTunables) (*Interactive, error) {
+	if table == nil || table.Len() == 0 {
+		return nil, soc.ErrEmptyTable
+	}
+	if err := tun.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Interactive{table: table, tun: tun}
+	if g.tun.HispeedFreq == 0 {
+		g.tun.HispeedFreq = table.Max().Freq
+	} else {
+		g.tun.HispeedFreq = table.CeilFreq(g.tun.HispeedFreq).Freq
+	}
+	return g, nil
+}
+
+// Name implements Governor.
+func (g *Interactive) Name() string { return "interactive" }
+
+// Target implements Governor.
+func (g *Interactive) Target(in Input) ([]soc.Hz, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(in.Util)
+	if len(g.floorFreq) != n {
+		g.floorFreq = make([]soc.Hz, n)
+		g.floorUntil = make([]time.Duration, n)
+	}
+	out := make([]soc.Hz, n)
+	for i := 0; i < n; i++ {
+		var want soc.Hz
+		if in.Util[i] >= g.tun.GoHispeedLoad {
+			want = g.tun.HispeedFreq
+			// Burst: arm the hold timer.
+			g.floorFreq[i] = want
+			g.floorUntil[i] = in.Now + g.tun.MinSampleTime
+		} else {
+			// Steer towards TargetLoad: f = util·cur/target.
+			want = g.table.CeilFreq(soc.Hz(float64(in.CurFreq[i]) * in.Util[i] / g.tun.TargetLoad)).Freq
+		}
+		// Respect the hold floor while it is armed.
+		if in.Now < g.floorUntil[i] && want < g.floorFreq[i] {
+			want = g.floorFreq[i]
+		}
+		out[i] = g.table.CeilFreq(want).Freq
+	}
+	return out, nil
+}
+
+// Reset implements Governor.
+func (g *Interactive) Reset() {
+	g.floorFreq = nil
+	g.floorUntil = nil
+}

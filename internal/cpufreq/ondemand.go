@@ -1,0 +1,129 @@
+package cpufreq
+
+import (
+	"errors"
+
+	"mobicore/internal/soc"
+)
+
+// OndemandTunables mirror the classic ondemand governor's sysfs knobs.
+type OndemandTunables struct {
+	// UpThreshold: a core busier than this fraction jumps straight to
+	// f_max — the burst behaviour §2.2.1 describes ("if the load reaches
+	// a set threshold, CPU frequency raises to the maximum frequency").
+	UpThreshold float64
+	// DownDifferential: below (UpThreshold - DownDifferential) the
+	// governor picks the lowest frequency that would keep the load just
+	// under UpThreshold.
+	DownDifferential float64
+	// SamplingDownFactor holds the maximum frequency for this many
+	// samples after a burst before the governor may scale down — the
+	// kernel knob that biases ondemand towards performance and makes it
+	// "not a battery-powered friendly governor for high-computing
+	// applications such as games" (§2.2.1).
+	SamplingDownFactor int
+}
+
+// DefaultOndemandTunables are the kernel defaults (80 / 10) with the
+// performance-biased hold (sampling_down_factor 3) common on devices of the
+// Nexus 5 era.
+func DefaultOndemandTunables() OndemandTunables {
+	return OndemandTunables{UpThreshold: 0.80, DownDifferential: 0.10, SamplingDownFactor: 3}
+}
+
+// Validate rejects nonsensical tunables.
+func (t OndemandTunables) Validate() error {
+	if t.UpThreshold <= 0 || t.UpThreshold > 1 {
+		return errors.New("cpufreq: ondemand UpThreshold must be in (0,1]")
+	}
+	if t.DownDifferential < 0 || t.DownDifferential >= t.UpThreshold {
+		return errors.New("cpufreq: ondemand DownDifferential must be in [0,UpThreshold)")
+	}
+	if t.SamplingDownFactor < 0 {
+		return errors.New("cpufreq: ondemand SamplingDownFactor must be non-negative")
+	}
+	return nil
+}
+
+// Ondemand is the default Android governor of the era (§2.2.1): jump to max
+// on load above the threshold, otherwise scale down proportionally.
+type Ondemand struct {
+	table *soc.OPPTable
+	tun   OndemandTunables
+
+	// holdLeft counts remaining samples of the post-burst f_max hold per
+	// core (sampling_down_factor state).
+	holdLeft []int
+}
+
+var _ Governor = (*Ondemand)(nil)
+
+// NewOndemand builds an ondemand governor for the table.
+func NewOndemand(table *soc.OPPTable, tun OndemandTunables) (*Ondemand, error) {
+	if table == nil || table.Len() == 0 {
+		return nil, soc.ErrEmptyTable
+	}
+	if err := tun.Validate(); err != nil {
+		return nil, err
+	}
+	return &Ondemand{table: table, tun: tun}, nil
+}
+
+// Name implements Governor.
+func (g *Ondemand) Name() string { return "ondemand" }
+
+// Tunables returns the governor's configuration.
+func (g *Ondemand) Tunables() OndemandTunables { return g.tun }
+
+// Target implements Governor. Per-core decision, as on per-core DVFS
+// hardware like the MSM8974:
+//
+//   - load >= UpThreshold            → f_max, arm the hold
+//   - hold armed                     → keep the current frequency
+//   - load <  UpThreshold - DownDiff → lowest f with projected load < UpThreshold
+//   - otherwise                      → hold
+func (g *Ondemand) Target(in Input) ([]soc.Hz, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if len(g.holdLeft) != len(in.Util) {
+		g.holdLeft = make([]int, len(in.Util))
+	}
+	out := make([]soc.Hz, len(in.Util))
+	for i := range in.Util {
+		if in.Util[i] >= g.tun.UpThreshold {
+			g.holdLeft[i] = g.tun.SamplingDownFactor
+			out[i] = g.table.Max().Freq
+			continue
+		}
+		if g.holdLeft[i] > 0 {
+			g.holdLeft[i]--
+			out[i] = g.table.CeilFreq(in.CurFreq[i]).Freq
+			continue
+		}
+		out[i] = g.TargetOne(in.Util[i], in.CurFreq[i])
+	}
+	return out, nil
+}
+
+// TargetOne computes the ondemand decision for a single core. It is
+// exported because MobiCore's Eq. 9 re-evaluates "the frequency which has
+// been chosen by the ondemand governor" and needs the same primitive.
+func (g *Ondemand) TargetOne(util float64, cur soc.Hz) soc.Hz {
+	if util >= g.tun.UpThreshold {
+		return g.table.Max().Freq
+	}
+	if util < g.tun.UpThreshold-g.tun.DownDifferential {
+		// Busy cycles/sec currently consumed: util×cur. Find the
+		// slowest OPP that keeps the projected load under the
+		// threshold: f >= util·cur/UpThreshold.
+		want := float64(cur) * util / g.tun.UpThreshold
+		return g.table.CeilFreq(soc.Hz(want)).Freq
+	}
+	// Hysteresis band: hold the current frequency (resolved to a legal
+	// operating point in case the caller handed us a clamped value).
+	return g.table.CeilFreq(cur).Freq
+}
+
+// Reset implements Governor.
+func (g *Ondemand) Reset() { g.holdLeft = nil }

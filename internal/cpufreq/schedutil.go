@@ -1,0 +1,73 @@
+package cpufreq
+
+import (
+	"errors"
+
+	"mobicore/internal/soc"
+)
+
+// SchedutilTunables configure the schedutil-style governor.
+type SchedutilTunables struct {
+	// Margin is the capacity headroom factor: the kernel's
+	// "1.25 × util" rule, i.e. target = Margin × util × f_cur resolved
+	// upward onto the OPP table.
+	Margin float64
+}
+
+// DefaultSchedutilTunables match the kernel's 25% headroom.
+func DefaultSchedutilTunables() SchedutilTunables {
+	return SchedutilTunables{Margin: 1.25}
+}
+
+// Validate rejects nonsensical tunables.
+func (t SchedutilTunables) Validate() error {
+	if t.Margin < 1 {
+		return errors.New("cpufreq: schedutil Margin must be >= 1")
+	}
+	return nil
+}
+
+// Schedutil is the utilization-invariant governor that replaced ondemand
+// and interactive in mainline Linux. It post-dates the thesis — the
+// reproduction includes it as the modern baseline MobiCore would be
+// compared against today: per-core target = margin × served-capacity,
+// mapped to the next operating point, with no burst-to-max jump at all.
+type Schedutil struct {
+	table *soc.OPPTable
+	tun   SchedutilTunables
+}
+
+var _ Governor = (*Schedutil)(nil)
+
+// NewSchedutil builds a schedutil-style governor.
+func NewSchedutil(table *soc.OPPTable, tun SchedutilTunables) (*Schedutil, error) {
+	if table == nil || table.Len() == 0 {
+		return nil, soc.ErrEmptyTable
+	}
+	if err := tun.Validate(); err != nil {
+		return nil, err
+	}
+	return &Schedutil{table: table, tun: tun}, nil
+}
+
+// Name implements Governor.
+func (g *Schedutil) Name() string { return "schedutil" }
+
+// Target implements Governor: next_f = margin · util · f_cur per core
+// (util·f_cur is the served capacity in cycles/s — the frequency-invariant
+// utilization signal schedutil keys on).
+func (g *Schedutil) Target(in Input) ([]soc.Hz, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]soc.Hz, len(in.Util))
+	for i := range in.Util {
+		want := g.tun.Margin * in.Util[i] * float64(in.CurFreq[i])
+		out[i] = g.table.CeilFreq(soc.Hz(want)).Freq
+	}
+	return out, nil
+}
+
+// Reset implements Governor; schedutil keeps no cross-sample state here
+// (the kernel's rate limits are below our sampling period).
+func (g *Schedutil) Reset() {}

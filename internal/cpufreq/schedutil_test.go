@@ -1,0 +1,95 @@
+package cpufreq
+
+import (
+	"testing"
+
+	"mobicore/internal/soc"
+)
+
+func TestSchedutilValidation(t *testing.T) {
+	tbl := table(t)
+	if _, err := NewSchedutil(nil, DefaultSchedutilTunables()); err == nil {
+		t.Error("nil table accepted")
+	}
+	if _, err := NewSchedutil(tbl, SchedutilTunables{Margin: 0.5}); err == nil {
+		t.Error("margin below 1 accepted")
+	}
+}
+
+func TestSchedutilByName(t *testing.T) {
+	g, err := New("schedutil", table(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "schedutil" {
+		t.Errorf("name = %q", g.Name())
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "schedutil" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("schedutil missing from Names(): %v", Names())
+	}
+}
+
+// TestSchedutilCapacityRule: target = 1.25 × util × f_cur, ceiled to the
+// table — no jump-to-max behaviour at any load.
+func TestSchedutilCapacityRule(t *testing.T) {
+	tbl := table(t)
+	g, err := NewSchedutil(tbl, DefaultSchedutilTunables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := 960_000 * soc.KHz
+	// 50% load at 960 MHz: want 1.25×0.5×960 = 600 MHz → ceil 652.8 MHz.
+	out, err := g.Target(input(t, []float64{0.5}, []soc.Hz{cur}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 652_800 * soc.KHz; out[0] != want {
+		t.Errorf("target = %v, want %v", out[0], want)
+	}
+	// Even at 100% load from a low frequency, schedutil steps rather
+	// than jumping to f_max: 1.25×1.0×300 = 375 → 422.4 MHz.
+	out, err = g.Target(input(t, []float64{1.0}, []soc.Hz{300 * soc.MHz}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] == tbl.Max().Freq {
+		t.Error("schedutil jumped to f_max; it should climb geometrically")
+	}
+	if want := 422_400 * soc.KHz; out[0] != want {
+		t.Errorf("saturated step = %v, want %v", out[0], want)
+	}
+}
+
+// TestSchedutilConverges: under a constant served demand, iterating the
+// rule settles at the lowest OPP with util < 1/margin.
+func TestSchedutilConverges(t *testing.T) {
+	tbl := table(t)
+	g, err := NewSchedutil(tbl, DefaultSchedutilTunables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const demand = 1.5e9 // cycles/s on one core
+	cur := tbl.Min().Freq
+	for i := 0; i < 50; i++ {
+		util := demand / float64(cur)
+		if util > 1 {
+			util = 1
+		}
+		out, err := g.Target(input(t, []float64{util}, []soc.Hz{cur}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = out[0]
+	}
+	// Fixed point: the smallest OPP f with 1.25×demand ≤ f — here
+	// 1.25×1.5e9 = 1.875e9 → 1.9584 GHz.
+	if want := 1_958_400 * soc.KHz; cur != want {
+		t.Errorf("converged to %v, want %v", cur, want)
+	}
+}

@@ -1,0 +1,123 @@
+package cpufreq
+
+import (
+	"fmt"
+	"sync"
+
+	"mobicore/internal/soc"
+)
+
+// Performance pins every core at the maximum frequency — §2.2.1's
+// "performance governor ... sets the highest frequency".
+type Performance struct {
+	table *soc.OPPTable
+}
+
+var _ Governor = (*Performance)(nil)
+
+// NewPerformance builds the performance governor.
+func NewPerformance(table *soc.OPPTable) (*Performance, error) {
+	if table == nil || table.Len() == 0 {
+		return nil, soc.ErrEmptyTable
+	}
+	return &Performance{table: table}, nil
+}
+
+// Name implements Governor.
+func (g *Performance) Name() string { return "performance" }
+
+// Target implements Governor.
+func (g *Performance) Target(in Input) ([]soc.Hz, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return uniformTargets(len(in.Util), g.table.Max().Freq), nil
+}
+
+// Reset implements Governor.
+func (g *Performance) Reset() {}
+
+// Powersave pins every core at the minimum frequency — "chooses the minimum
+// frequency" (§2.2.1).
+type Powersave struct {
+	table *soc.OPPTable
+}
+
+var _ Governor = (*Powersave)(nil)
+
+// NewPowersave builds the powersave governor.
+func NewPowersave(table *soc.OPPTable) (*Powersave, error) {
+	if table == nil || table.Len() == 0 {
+		return nil, soc.ErrEmptyTable
+	}
+	return &Powersave{table: table}, nil
+}
+
+// Name implements Governor.
+func (g *Powersave) Name() string { return "powersave" }
+
+// Target implements Governor.
+func (g *Powersave) Target(in Input) ([]soc.Hz, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return uniformTargets(len(in.Util), g.table.Min().Freq), nil
+}
+
+// Reset implements Governor.
+func (g *Powersave) Reset() {}
+
+// Userspace holds whatever frequency the user programs — the hook "for
+// users who want to try their own hand-written governor" (§2.2.1), and the
+// slot where the thesis installs MobiCore on the real phone. The simulator's
+// fixed-frequency experiments (Figures 3–7) drive cores through it.
+type Userspace struct {
+	mu    sync.Mutex
+	table *soc.OPPTable
+	speed soc.Hz
+}
+
+var _ Governor = (*Userspace)(nil)
+
+// NewUserspace builds a userspace governor initialized to the minimum
+// frequency.
+func NewUserspace(table *soc.OPPTable) (*Userspace, error) {
+	if table == nil || table.Len() == 0 {
+		return nil, soc.ErrEmptyTable
+	}
+	return &Userspace{table: table, speed: table.Min().Freq}, nil
+}
+
+// Name implements Governor.
+func (g *Userspace) Name() string { return "userspace" }
+
+// SetSpeed programs the held frequency (the scaling_setspeed knob). The
+// frequency must be an exact operating point.
+func (g *Userspace) SetSpeed(f soc.Hz) error {
+	if !g.table.Contains(f) {
+		return fmt.Errorf("%w: %v", soc.ErrBadFrequency, f)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.speed = f
+	return nil
+}
+
+// Speed returns the held frequency.
+func (g *Userspace) Speed() soc.Hz {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.speed
+}
+
+// Target implements Governor.
+func (g *Userspace) Target(in Input) ([]soc.Hz, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return uniformTargets(len(in.Util), g.Speed()), nil
+}
+
+// Reset implements Governor; the held speed survives reset, matching the
+// kernel (scaling_setspeed persists until rewritten).
+func (g *Userspace) Reset() {}

@@ -1,0 +1,193 @@
+// Package experiment regenerates every table and figure of the thesis'
+// evaluation. Each experiment is a pure function from Options to a result
+// struct that renders itself as text (the rows/series the paper plots);
+// the registry maps the paper's numbering (table1, fig1 … fig13) to
+// runners for cmd/mobibench and the root benchmark harness.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"mobicore/internal/core"
+	"mobicore/internal/platform"
+	"mobicore/internal/policy"
+	"mobicore/internal/power"
+	"mobicore/internal/sim"
+	"mobicore/internal/soc"
+	"mobicore/internal/workload"
+)
+
+// Options scale every experiment.
+type Options struct {
+	// Scale multiplies all session durations. 1.0 reproduces the paper's
+	// timings (1-minute sweeps, 2-minute gaming sessions); tests and
+	// benches use smaller values. Zero means 1.0.
+	Scale float64
+	// Seed drives workload randomness.
+	Seed int64
+}
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 {
+		return 1.0
+	}
+	return o.Scale
+}
+
+// dur scales a paper-duration by the option scale, clamping to at least ten
+// governor sampling periods so every run exercises the control loop.
+func (o Options) dur(paper time.Duration) time.Duration {
+	d := time.Duration(float64(paper) * o.scale())
+	if min := 500 * time.Millisecond; d < min {
+		d = min
+	}
+	return d
+}
+
+// Result is anything an experiment produces: a renderable set of rows.
+type Result interface {
+	// ID returns the paper item this reproduces (e.g. "fig9a").
+	ID() string
+	// Title returns the paper caption.
+	Title() string
+	// WriteText renders the rows as human-readable text.
+	WriteText(w io.Writer) error
+}
+
+// Runner regenerates one paper item.
+type Runner func(Options) (Result, error)
+
+// registry maps experiment ids to runners. Populated by Register calls from
+// Runners(); ids follow the paper's numbering.
+func runners() map[string]Runner {
+	return map[string]Runner{
+		"table1": RunTable1,
+		"table2": RunTable2,
+		"static": RunStaticAnchor,
+		"fig1":   RunFig1,
+		"fig2":   RunFig2,
+		"fig3":   RunFig3,
+		"fig4":   RunFig4,
+		"fig5":   RunFig5,
+		"fig6":   RunFig6,
+		"fig7":   RunFig7,
+		"fig9a":  RunFig9a,
+		"fig9b":  RunFig9b,
+		"fig10":  RunFig10,
+		"fig11":  RunFig11,
+		"fig12":  RunFig12,
+		"fig13":  RunFig13,
+	}
+}
+
+// IDs lists every experiment id in stable order.
+func IDs() []string {
+	m := runners()
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Lookup resolves an experiment id.
+func Lookup(id string) (Runner, error) {
+	r, ok := runners()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown id %q (have %v)", id, IDs())
+	}
+	return r, nil
+}
+
+// Run executes one experiment by id.
+func Run(id string, opt Options) (Result, error) {
+	r, err := Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return r(opt)
+}
+
+// --- shared helpers -------------------------------------------------------
+
+// session runs one simulation to completion and returns its report.
+func session(plat platform.Platform, mgr policy.Manager, wls []workload.Workload, d time.Duration, seed int64) (*sim.Report, error) {
+	s, err := sim.New(sim.Config{
+		Platform:  plat,
+		Manager:   mgr,
+		Workloads: wls,
+		Seed:      seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(d)
+}
+
+// newSim builds a simulation without running it, for experiments that need
+// mid-run access (FPS series, thermal zone).
+func newSim(plat platform.Platform, mgr policy.Manager, wls []workload.Workload, seed int64) (*sim.Sim, error) {
+	return sim.New(sim.Config{
+		Platform:  plat,
+		Manager:   mgr,
+		Workloads: wls,
+		Seed:      seed,
+	})
+}
+
+// defaultManager builds the Android-default baseline (ondemand + load
+// hotplug, mpdecision disabled).
+func defaultManager(table *soc.OPPTable) (policy.Manager, error) {
+	return policy.AndroidDefault(table)
+}
+
+// mobicoreManager builds the full MobiCore (energy-model guided).
+func mobicoreManager(plat platform.Platform) (policy.Manager, error) {
+	model, err := power.NewModel(plat.Power, plat.Table)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewWithModel(plat.Table, core.DefaultTunables(), model)
+}
+
+// stressLoop builds a continuous full-utilization busy loop across n
+// threads, the "highest computing state" stressor of §1.2.
+func stressLoop(n int, ref soc.Hz) (workload.Workload, error) {
+	return workload.NewBusyLoop(workload.BusyLoopConfig{
+		TargetUtil: 1.0,
+		Threads:    n,
+		RefFreq:    ref,
+	})
+}
+
+// utilLoop builds the §3.1 kernel app at a utilization target.
+func utilLoop(util float64, threads int, ref soc.Hz) (workload.Workload, error) {
+	return workload.NewBusyLoop(workload.BusyLoopConfig{
+		TargetUtil: util,
+		Threads:    threads,
+		RefFreq:    ref,
+	})
+}
+
+// fiveBenchFreqs picks the "two low, two high, and one middle" frequencies
+// of §3.1 from a table.
+func fiveBenchFreqs(table *soc.OPPTable) []soc.Hz {
+	n := table.Len()
+	if n < 5 {
+		return table.Frequencies()
+	}
+	idx := []int{0, 1, n / 2, n - 2, n - 1}
+	out := make([]soc.Hz, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, table.At(i).Freq)
+	}
+	return out
+}
+
+// errNoData guards renderers against empty results.
+var errNoData = errors.New("experiment: no data")

@@ -1,0 +1,312 @@
+package experiment
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"mobicore/internal/soc"
+)
+
+// quick shrinks sessions for test speed while keeping every experiment's
+// control loop exercised.
+var quick = Options{Scale: 0.05, Seed: 42}
+
+// mid gives game/benchmark comparisons enough time to separate policies.
+var mid = Options{Scale: 0.25, Seed: 42}
+
+func TestIDsStableAndComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{"fig1", "fig10", "fig11", "fig12", "fig13", "fig2", "fig3",
+		"fig4", "fig5", "fig6", "fig7", "fig9a", "fig9b", "static", "table1", "table2"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v, want %v", ids, want)
+	}
+	if !sort.StringsAreSorted(ids) {
+		t.Errorf("ids not sorted: %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("ids[%d] = %q, want %q", i, ids[i], want[i])
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("fig99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestEveryResultRenders(t *testing.T) {
+	// Fast experiments only; the game/benchmark ones render via their
+	// dedicated tests below.
+	for _, id := range []string{"table1", "table2", "static", "fig6", "fig7"} {
+		res, err := Run(id, quick)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if res.ID() != id {
+			t.Errorf("result id = %q, want %q", res.ID(), id)
+		}
+		if res.Title() == "" {
+			t.Errorf("%s: empty title", id)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteText(&buf); err != nil {
+			t.Errorf("%s render: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s rendered nothing", id)
+		}
+	}
+}
+
+func TestStaticAnchor(t *testing.T) {
+	res, err := RunStaticAnchor(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*StaticAnchorResult)
+	if math.Abs(r.FmaxLeakW-0.120) > 1e-6 || math.Abs(r.FminLeakW-0.047) > 1e-6 {
+		t.Errorf("anchors = %.4f/%.4f, want 0.120/0.047", r.FmaxLeakW, r.FminLeakW)
+	}
+}
+
+func TestTable2CoversBranches(t *testing.T) {
+	res, err := RunTable2(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*Table2Result)
+	seen := map[string]bool{}
+	for _, s := range r.Steps {
+		seen[s.Mode] = true
+		if s.Quota <= 0 || s.Quota > 1 {
+			t.Errorf("quota %v outside (0,1] at %v", s.Quota, s.At)
+		}
+		if s.Mode == "high" && s.Quota != 1 {
+			t.Errorf("high mode quota = %v, want 1", s.Quota)
+		}
+		if s.Mode == "slow" && s.Quota >= 1 {
+			t.Errorf("slow mode quota = %v, want < 1", s.Quota)
+		}
+	}
+	for _, mode := range []string{"high", "slow", "fit", "burst"} {
+		if !seen[mode] {
+			t.Errorf("trace never exercised %s mode", mode)
+		}
+	}
+}
+
+// TestFig1Shape: power grows with core count across phone generations
+// (§1.2: "total power consumption increases almost linearly with the
+// number of CPU cores").
+func TestFig1Shape(t *testing.T) {
+	res, err := RunFig1(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*Fig1Result)
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(r.Rows))
+	}
+	byCores := map[int][]float64{}
+	for _, row := range r.Rows {
+		byCores[row.Cores] = append(byCores[row.Cores], row.AvgPowerW)
+	}
+	max1 := maxOf(byCores[1])
+	min4 := minOf(byCores[4])
+	if min4 <= max1 {
+		t.Errorf("quad-cores (min %.2f W) should exceed single-cores (max %.2f W)", min4, max1)
+	}
+}
+
+// TestFig3Shape: power monotone in utilization at every frequency, and in
+// frequency at full utilization; the f_max→f_min saving at 100% util is
+// substantial (paper: up to 71.9%).
+func TestFig3Shape(t *testing.T) {
+	res, err := RunFig3(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*Fig3Result)
+	byFreq := map[soc.Hz][]Fig3Cell{}
+	for _, c := range r.Cells {
+		byFreq[c.Freq] = append(byFreq[c.Freq], c)
+	}
+	if len(byFreq) != 5 {
+		t.Fatalf("frequencies = %d, want the 5 benchmark points", len(byFreq))
+	}
+	for f, cells := range byFreq {
+		for i := 1; i < len(cells); i++ {
+			// Allow tiny non-monotonicity from sampling noise.
+			if cells[i].AvgPowerW < cells[i-1].AvgPowerW*0.97 {
+				t.Errorf("%v: power fell from %.3f to %.3f between util %.0f%%→%.0f%%",
+					f, cells[i-1].AvgPowerW, cells[i].AvgPowerW,
+					cells[i-1].Util*100, cells[i].Util*100)
+			}
+		}
+	}
+	// Frequency scaling saving at 100% utilization.
+	var fullMin, fullMax float64
+	for _, c := range r.Cells {
+		if c.Util > 0.99 {
+			if c.Freq == 300*soc.MHz {
+				fullMin = c.AvgPowerW
+			}
+			if c.Freq == 2_265_600*soc.KHz {
+				fullMax = c.AvgPowerW
+			}
+		}
+	}
+	saving := 1 - fullMin/fullMax
+	if saving < 0.5 {
+		t.Errorf("f_max→f_min saving at 100%% = %.0f%%, want substantial (paper 71.9%%)", saving*100)
+	}
+}
+
+// TestFig4Shape: at the highest frequency, the marginal power of cores 3–4
+// collapses relative to core 2 (thermal capping; paper: +28.3% then +7.7%).
+func TestFig4Shape(t *testing.T) {
+	res, err := RunFig4(Options{Scale: 1.0, Seed: 42}) // needs thermal steady state
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*Fig4Result)
+	at := map[int]float64{}
+	throttled := false
+	for _, c := range r.Cells {
+		if c.Freq == 2_265_600*soc.KHz {
+			at[c.Cores] = c.AvgPowerW
+			throttled = throttled || c.Throttled
+		}
+	}
+	if !throttled {
+		t.Error("no thermal capping at f_max — the Fig. 4 mechanism is missing")
+	}
+	marginal2 := at[2] - at[1]
+	marginal4 := at[4] - at[3]
+	if marginal4 >= marginal2/2 {
+		t.Errorf("marginal power: core2 %.3f W vs core4 %.3f W — want collapse at high cores",
+			marginal2, marginal4)
+	}
+}
+
+// TestFig5Shape: one core wins at 10% load; the model's optimum always
+// serves the demand; predicted and measured power agree within 10%.
+func TestFig5Shape(t *testing.T) {
+	res, err := RunFig5(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*Fig5Result)
+	for _, p := range r.Points {
+		if p.MeasuredWatts <= 0 {
+			t.Errorf("unmeasured point (%d,%v)", p.Cores, p.Freq)
+			continue
+		}
+		rel := math.Abs(p.PredictedWatts-p.MeasuredWatts) / p.MeasuredWatts
+		if rel > 0.10 {
+			t.Errorf("model vs measurement at load %.0f%% (%d,%v): %.3f vs %.3f (%.0f%% off)",
+				p.GlobalLoad*100, p.Cores, p.Freq, p.PredictedWatts, p.MeasuredWatts, rel*100)
+		}
+	}
+	for _, p := range r.Points {
+		if p.GlobalLoad == 0.10 && p.Optimal && p.Cores != 1 {
+			t.Errorf("10%% load optimum uses %d cores, want 1 (Fig. 5a)", p.Cores)
+		}
+	}
+}
+
+// TestFig7Shape: the 4-core performance/power ratio peaks at a mid
+// frequency and then falls (paper: peak near 960 MHz), while the 1-core
+// curve keeps rising much longer.
+func TestFig7Shape(t *testing.T) {
+	res, err := RunFig7(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*Fig7Result)
+	peak := r.PeakFreq4Core()
+	if peak < 652_800*soc.KHz || peak > 1_497_600*soc.KHz {
+		t.Errorf("4-core ratio peak at %v, want mid-range (paper ≈960 MHz)", peak)
+	}
+	last := r.Rows[len(r.Rows)-1]
+	if last.Ratio4Core >= peakRatio(r) {
+		t.Error("4-core ratio does not fall after its peak")
+	}
+}
+
+func peakRatio(r *Fig7Result) float64 {
+	best := 0.0
+	for _, row := range r.Rows {
+		if row.Ratio4Core > best {
+			best = row.Ratio4Core
+		}
+	}
+	return best
+}
+
+// TestFig9aShape is the headline: MobiCore saves power at every
+// utilization point of the hand-written benchmark and never loses.
+func TestFig9aShape(t *testing.T) {
+	res, err := RunFig9a(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*Fig9aResult)
+	if len(r.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10 utilization points", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.SavingsFrac < -0.02 {
+			t.Errorf("MobiCore loses at %.0f%%: %.1f%%", row.Util*100, row.SavingsFrac*100)
+		}
+	}
+	if avg := r.AverageSavings(); avg < 0.05 {
+		t.Errorf("average saving = %.1f%%, want clearly positive (paper 13.9%%)", avg*100)
+	}
+	var buf strings.Builder
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "average saving") {
+		t.Error("render missing summary line")
+	}
+}
+
+func TestFig9bShape(t *testing.T) {
+	res, err := RunFig9b(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*Fig9bResult)
+	if r.MobiCoreW >= r.DefaultW {
+		t.Errorf("MobiCore used more power (%.3f vs %.3f W) on the benchmark", r.MobiCoreW, r.DefaultW)
+	}
+	if r.PowerSavings() < 0.05 {
+		t.Errorf("benchmark power saving = %.1f%%, want clearly positive (paper ≈23%%)", r.PowerSavings()*100)
+	}
+	if r.DefaultScore <= 0 || r.MobiCoreScore <= 0 {
+		t.Error("scores missing")
+	}
+}
+
+func maxOf(xs []float64) float64 {
+	best := math.Inf(-1)
+	for _, x := range xs {
+		best = math.Max(best, x)
+	}
+	return best
+}
+
+func minOf(xs []float64) float64 {
+	best := math.Inf(1)
+	for _, x := range xs {
+		best = math.Min(best, x)
+	}
+	return best
+}

@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+)
+
+// gameRows runs the shared gaming sessions once for all Figure 10–13
+// assertions (2-minute sessions scaled down 4×).
+func gameRows(t *testing.T) []GameRow {
+	t.Helper()
+	rows, err := runGames(Options{Scale: 0.25, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("game rows = %d, want 5", len(rows))
+	}
+	return rows
+}
+
+// TestGamesShape asserts the paper's per-game structure in one pass over
+// shared sessions (Figures 10–13):
+//
+//   - MobiCore never consumes meaningfully more than the default (Fig. 10),
+//   - Real Racing 3 is the minimal saving and the game where MobiCore's
+//     average frequency is *higher* (§6.3's observation),
+//   - FPS stays within a playable band of the default's (Fig. 11),
+//   - average frequency reduction is positive overall (Fig. 12).
+func TestGamesShape(t *testing.T) {
+	rows := gameRows(t)
+	byName := map[string]GameRow{}
+	var avgSaving, avgFreqRed float64
+	for _, g := range rows {
+		byName[g.Game] = g
+		avgSaving += g.SavingsFrac()
+		avgFreqRed += g.FreqReductionFrac()
+
+		if g.SavingsFrac() < -0.05 {
+			t.Errorf("%s: MobiCore loses %.1f%% power", g.Game, -g.SavingsFrac()*100)
+		}
+		if ratio := g.FPSRatio(); ratio < 0.70 || ratio > 1.10 {
+			t.Errorf("%s: FPS ratio %.2f outside the acceptable band (paper ≈0.78–1.0)", g.Game, ratio)
+		}
+	}
+	avgSaving /= float64(len(rows))
+	avgFreqRed /= float64(len(rows))
+
+	if avgSaving < 0.02 {
+		t.Errorf("average game saving = %.1f%%, want positive (paper 5.3%%)", avgSaving*100)
+	}
+	if avgFreqRed < 0.05 {
+		t.Errorf("average frequency reduction = %.1f%%, want positive (paper 22.5%%)", avgFreqRed*100)
+	}
+
+	rr3 := byName["Real Racing 3"]
+	for name, g := range byName {
+		if name == "Real Racing 3" {
+			continue
+		}
+		if g.SavingsFrac() < rr3.SavingsFrac()-0.01 {
+			t.Errorf("%s saving %.1f%% below Real Racing 3's %.1f%% — RR3 should be the floor",
+				name, g.SavingsFrac()*100, rr3.SavingsFrac()*100)
+		}
+	}
+	if rr3.FreqReductionFrac() > 0.02 {
+		t.Errorf("Real Racing 3 frequency reduction = %.1f%%, want ≈0 or negative (paper: 0.5%% higher)",
+			rr3.FreqReductionFrac()*100)
+	}
+
+	subway := byName["Subway Surf"]
+	if subway.SavingsFrac() < avgSaving {
+		t.Errorf("Subway Surf saving %.1f%% below average %.1f%% — paper has it as the maximum",
+			subway.SavingsFrac()*100, avgSaving*100)
+	}
+}
+
+func TestGameFiguresRender(t *testing.T) {
+	rows := gameRows(t)
+	results := []Result{
+		&Fig10Result{Rows: rows},
+		&Fig11Result{Rows: rows},
+		&Fig12Result{Rows: rows},
+		&Fig13Result{Rows: rows},
+	}
+	for _, res := range results {
+		var buf bytes.Buffer
+		if err := res.WriteText(&buf); err != nil {
+			t.Errorf("%s: %v", res.ID(), err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s rendered nothing", res.ID())
+		}
+	}
+	var empty Fig10Result
+	if err := empty.WriteText(&bytes.Buffer{}); err == nil {
+		t.Error("empty result should refuse to render")
+	}
+}

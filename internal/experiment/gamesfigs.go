@@ -1,0 +1,179 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"mobicore/internal/soc"
+)
+
+// Fig10Result reproduces Figure 10: average power consumption per game.
+type Fig10Result struct {
+	Rows []GameRow
+}
+
+// ID implements Result.
+func (*Fig10Result) ID() string { return "fig10" }
+
+// Title implements Result.
+func (*Fig10Result) Title() string {
+	return "Figure 10: Average power consumption comparison across the five games"
+}
+
+// WriteText implements Result.
+func (r *Fig10Result) WriteText(w io.Writer) error {
+	if len(r.Rows) == 0 {
+		return errNoData
+	}
+	fmt.Fprintf(w, "%-16s %12s %12s %9s\n", "game", "default mW", "mobicore mW", "saving%")
+	var sum float64
+	for _, g := range r.Rows {
+		fmt.Fprintf(w, "%-16s %12.1f %12.1f %9.2f\n",
+			g.Game, g.DefaultW*1000, g.MobiCoreW*1000, g.SavingsFrac()*100)
+		sum += g.SavingsFrac()
+	}
+	fmt.Fprintf(w, "average saving: %.1f%% (paper: 5.3%%, max 11.7%% on Subway Surf)\n",
+		sum/float64(len(r.Rows))*100)
+	return nil
+}
+
+// AverageSavings returns the mean power saving across games.
+func (r *Fig10Result) AverageSavings() float64 {
+	if len(r.Rows) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, g := range r.Rows {
+		sum += g.SavingsFrac()
+	}
+	return sum / float64(len(r.Rows))
+}
+
+// RunFig10 plays the five 2-minute gaming sessions under both policies.
+func RunFig10(opt Options) (Result, error) {
+	rows, err := runGames(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig10Result{Rows: rows}, nil
+}
+
+// Fig11Result reproduces Figure 11: average FPS reached and FPS ratio.
+type Fig11Result struct {
+	Rows []GameRow
+}
+
+// ID implements Result.
+func (*Fig11Result) ID() string { return "fig11" }
+
+// Title implements Result.
+func (*Fig11Result) Title() string { return "Figure 11: Average FPS reached and FPS ratio" }
+
+// WriteText implements Result.
+func (r *Fig11Result) WriteText(w io.Writer) error {
+	if len(r.Rows) == 0 {
+		return errNoData
+	}
+	fmt.Fprintf(w, "%-16s %12s %12s %10s\n", "game", "default fps", "mobicore fps", "ratio")
+	var sum float64
+	for _, g := range r.Rows {
+		fmt.Fprintf(w, "%-16s %12.1f %12.1f %10.2f\n",
+			g.Game, g.DefaultFPS, g.MobiCoreFPS, g.FPSRatio())
+		sum += g.FPSRatio()
+	}
+	fmt.Fprintf(w, "average ratio: %.2f (paper: MobiCore ≈22%% fewer FPS, still in the playable band)\n",
+		sum/float64(len(r.Rows)))
+	return nil
+}
+
+// RunFig11 reports the FPS view of the gaming sessions.
+func RunFig11(opt Options) (Result, error) {
+	rows, err := runGames(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig11Result{Rows: rows}, nil
+}
+
+// Fig12Result reproduces Figure 12: average frequency difference and
+// number of cores.
+type Fig12Result struct {
+	Rows []GameRow
+}
+
+// ID implements Result.
+func (*Fig12Result) ID() string { return "fig12" }
+
+// Title implements Result.
+func (*Fig12Result) Title() string {
+	return "Figure 12: Average frequency difference and number of active cores"
+}
+
+// WriteText implements Result.
+func (r *Fig12Result) WriteText(w io.Writer) error {
+	if len(r.Rows) == 0 {
+		return errNoData
+	}
+	fmt.Fprintf(w, "%-16s %12s %12s %10s %10s %10s\n",
+		"game", "default f", "mobicore f", "freq red%", "def cores", "mob cores")
+	var fsum, dc, mc float64
+	for _, g := range r.Rows {
+		fmt.Fprintf(w, "%-16s %12v %12v %10.1f %10.2f %10.2f\n",
+			g.Game, soc.Hz(g.DefaultFreqHz), soc.Hz(g.MobiCoreFreqHz),
+			g.FreqReductionFrac()*100, g.DefaultCores, g.MobiCoreCores)
+		fsum += g.FreqReductionFrac()
+		dc += g.DefaultCores
+		mc += g.MobiCoreCores
+	}
+	n := float64(len(r.Rows))
+	fmt.Fprintf(w, "average frequency reduction: %.1f%% (paper: 22.5%%)\n", fsum/n*100)
+	fmt.Fprintf(w, "average cores: default %.2f vs mobicore %.2f (paper: 2.75 vs 2.52)\n", dc/n, mc/n)
+	return nil
+}
+
+// RunFig12 reports the hardware-usage view of the gaming sessions.
+func RunFig12(opt Options) (Result, error) {
+	rows, err := runGames(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig12Result{Rows: rows}, nil
+}
+
+// Fig13Result reproduces Figure 13: CPU load stress level — average load
+// per policy and the load variation.
+type Fig13Result struct {
+	Rows []GameRow
+}
+
+// ID implements Result.
+func (*Fig13Result) ID() string { return "fig13" }
+
+// Title implements Result.
+func (*Fig13Result) Title() string { return "Figure 13: CPU load stress level" }
+
+// WriteText implements Result.
+func (r *Fig13Result) WriteText(w io.Writer) error {
+	if len(r.Rows) == 0 {
+		return errNoData
+	}
+	fmt.Fprintf(w, "%-16s %12s %12s %12s\n", "game", "default load", "mobicore load", "reduction")
+	var sum float64
+	for _, g := range r.Rows {
+		fmt.Fprintf(w, "%-16s %11.1f%% %12.1f%% %11.1f%%\n",
+			g.Game, g.DefaultUtil*100, g.MobiCoreUtil*100, g.LoadReduction()*100)
+		sum += g.LoadReduction()
+	}
+	fmt.Fprintf(w, "average load reduction: %.1f%% (paper: default 3.1%% busier)\n",
+		sum/float64(len(r.Rows))*100)
+	return nil
+}
+
+// RunFig13 reports the load view of the gaming sessions.
+func RunFig13(opt Options) (Result, error) {
+	rows, err := runGames(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig13Result{Rows: rows}, nil
+}

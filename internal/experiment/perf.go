@@ -1,0 +1,167 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"mobicore/internal/geekbench"
+	"mobicore/internal/platform"
+	"mobicore/internal/power"
+	"mobicore/internal/soc"
+)
+
+// Fig6Row is one frequency's score and power, one core at 100% load.
+type Fig6Row struct {
+	Freq      soc.Hz
+	Score     float64
+	AvgPowerW float64
+}
+
+// Fig6Result reproduces Figure 6: power consumption and performance over
+// frequency at 100% CPU utilization for one core.
+type Fig6Result struct {
+	Rows []Fig6Row
+}
+
+// ID implements Result.
+func (*Fig6Result) ID() string { return "fig6" }
+
+// Title implements Result.
+func (*Fig6Result) Title() string {
+	return "Figure 6: Power consumption and performance over frequency, 100% utilization, 1 core"
+}
+
+// WriteText implements Result.
+func (r *Fig6Result) WriteText(w io.Writer) error {
+	if len(r.Rows) == 0 {
+		return errNoData
+	}
+	fmt.Fprintf(w, "%-12s %10s %10s\n", "freq", "score", "avg mW")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-12v %10.0f %10.1f\n", row.Freq, row.Score, row.AvgPowerW*1000)
+	}
+	return nil
+}
+
+// RunFig6 scores the benchmark suite at every operating point on one core
+// and evaluates the power model with the suite's busy fraction — stalls do
+// not switch transistors, which is why both curves flatten at the top
+// (§3.5's plateau near 1.95 GHz).
+func RunFig6(opt Options) (Result, error) {
+	_ = opt // analytic: no session time to scale
+	plat := platform.Nexus5()
+	model, err := power.NewModel(plat.Power, plat.Table)
+	if err != nil {
+		return nil, fmt.Errorf("fig6: %w", err)
+	}
+	suite := geekbench.StandardSuite()
+	res := &Fig6Result{Rows: make([]Fig6Row, 0, plat.Table.Len())}
+	for _, opp := range plat.Table.Points() {
+		score, err := geekbench.SingleCoreScore(suite, opp.Freq)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 %v: %w", opp.Freq, err)
+		}
+		busy, err := geekbench.BusyFraction(suite, opp.Freq, 1)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 %v: %w", opp.Freq, err)
+		}
+		watts := model.SystemWatts(benchLoads(plat.NumCores, 1, opp, busy))
+		res.Rows = append(res.Rows, Fig6Row{Freq: opp.Freq, Score: score, AvgPowerW: watts})
+	}
+	return res, nil
+}
+
+// Fig7Row is one frequency's performance/power ratio for 1 and 4 cores.
+type Fig7Row struct {
+	Freq       soc.Hz
+	Ratio1Core float64 // score per watt
+	Ratio4Core float64
+}
+
+// Fig7Result reproduces Figure 7: performance/power ratio over frequency
+// for one and four cores.
+type Fig7Result struct {
+	Rows []Fig7Row
+}
+
+// ID implements Result.
+func (*Fig7Result) ID() string { return "fig7" }
+
+// Title implements Result.
+func (*Fig7Result) Title() string {
+	return "Figure 7: Performance/power ratio over CPU frequency for 1 and 4 cores"
+}
+
+// WriteText implements Result.
+func (r *Fig7Result) WriteText(w io.Writer) error {
+	if len(r.Rows) == 0 {
+		return errNoData
+	}
+	fmt.Fprintf(w, "%-12s %12s %12s\n", "freq", "1-core s/W", "4-core s/W")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-12v %12.1f %12.1f\n", row.Freq, row.Ratio1Core, row.Ratio4Core)
+	}
+	return nil
+}
+
+// PeakFreq4Core returns the frequency with the best 4-core ratio — the
+// paper finds the peak near 960 MHz, after which "the performance achieved
+// is not worth the power consumption".
+func (r *Fig7Result) PeakFreq4Core() soc.Hz {
+	var best soc.Hz
+	bestRatio := -1.0
+	for _, row := range r.Rows {
+		if row.Ratio4Core > bestRatio {
+			best, bestRatio = row.Freq, row.Ratio4Core
+		}
+	}
+	return best
+}
+
+// RunFig7 evaluates score-per-watt across the frequency range for one and
+// four cores.
+func RunFig7(opt Options) (Result, error) {
+	_ = opt
+	plat := platform.Nexus5()
+	model, err := power.NewModel(plat.Power, plat.Table)
+	if err != nil {
+		return nil, fmt.Errorf("fig7: %w", err)
+	}
+	suite := geekbench.StandardSuite()
+	res := &Fig7Result{Rows: make([]Fig7Row, 0, plat.Table.Len())}
+	for _, opp := range plat.Table.Points() {
+		row := Fig7Row{Freq: opp.Freq}
+		for _, n := range []int{1, 4} {
+			score, err := geekbench.Score(suite, opp.Freq, n)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %v n=%d: %w", opp.Freq, n, err)
+			}
+			busy, err := geekbench.BusyFraction(suite, opp.Freq, n)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %v n=%d: %w", opp.Freq, n, err)
+			}
+			watts := model.SystemWatts(benchLoads(plat.NumCores, n, opp, busy))
+			if n == 1 {
+				row.Ratio1Core = score / watts
+			} else {
+				row.Ratio4Core = score / watts
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// benchLoads builds the power-model view of a pinned benchmark run: n
+// active cores at the OPP with the suite's busy fraction, the rest offline.
+func benchLoads(total, active int, opp soc.OPP, busy float64) []power.CoreLoad {
+	loads := make([]power.CoreLoad, total)
+	for i := range loads {
+		if i < active {
+			loads[i] = power.CoreLoad{State: soc.StateActive, OPP: opp, Util: busy}
+		} else {
+			loads[i] = power.CoreLoad{State: soc.StateOffline}
+		}
+	}
+	return loads
+}

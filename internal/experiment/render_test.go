@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mobicore/internal/soc"
+)
+
+// TestMotivationResultsRender exercises fig1/fig2 end to end at small
+// scale and checks their text output carries the expected rows.
+func TestMotivationResultsRender(t *testing.T) {
+	res1, err := RunFig1(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res1.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, phone := range []string{"Nexus S", "Nexus 5", "LG G3"} {
+		if !strings.Contains(buf.String(), phone) {
+			t.Errorf("fig1 output missing %q", phone)
+		}
+	}
+
+	res2, err := RunFig2(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := res2.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "42.1") {
+		t.Errorf("fig2 output missing the paper's 42.1 C column:\n%s", buf.String())
+	}
+	r2 := res2.(*Fig2Result)
+	if len(r2.Rows) != 2 {
+		t.Fatalf("fig2 rows = %d, want 2", len(r2.Rows))
+	}
+	// Even at reduced scale, the Nexus 5's PREDICTED steady state must
+	// land on the IR reading; the transient SteadyC only converges at
+	// full scale.
+	for _, row := range r2.Rows {
+		if diff := row.PredictedC - row.PaperTempC; diff > 1.5 || diff < -1.5 {
+			t.Errorf("%s predicted %.1f C vs paper %.1f C", row.Name, row.PredictedC, row.PaperTempC)
+		}
+	}
+}
+
+// TestFig2TemperatureContrast: the quad-core must run hotter than the
+// single-core — the point of the IR image.
+func TestFig2TemperatureContrast(t *testing.T) {
+	res, err := RunFig2(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*Fig2Result)
+	byName := map[string]Fig2Row{}
+	for _, row := range r.Rows {
+		byName[row.Name] = row
+	}
+	if byName["Nexus 5"].PredictedC <= byName["Nexus S"].PredictedC {
+		t.Errorf("Nexus 5 (%.1f C) should run hotter than Nexus S (%.1f C)",
+			byName["Nexus 5"].PredictedC, byName["Nexus S"].PredictedC)
+	}
+}
+
+// TestFig6PlateauNumbers: the marginal score per marginal hertz shrinks at
+// the top of the table (the §3.5 plateau) and power keeps rising.
+func TestFig6PlateauNumbers(t *testing.T) {
+	res, err := RunFig6(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*Fig6Result)
+	if len(r.Rows) != 14 {
+		t.Fatalf("fig6 rows = %d, want 14 OPPs", len(r.Rows))
+	}
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Score <= r.Rows[i-1].Score {
+			t.Errorf("score not increasing at %v", r.Rows[i].Freq)
+		}
+		if r.Rows[i].AvgPowerW <= r.Rows[i-1].AvgPowerW {
+			t.Errorf("power not increasing at %v", r.Rows[i].Freq)
+		}
+	}
+	// Score elasticity at the top must be below the bottom's.
+	first := relGain(r.Rows[0].Score, r.Rows[1].Score) /
+		relGain(float64(r.Rows[0].Freq), float64(r.Rows[1].Freq))
+	last := relGain(r.Rows[12].Score, r.Rows[13].Score) /
+		relGain(float64(r.Rows[12].Freq), float64(r.Rows[13].Freq))
+	if last >= first {
+		t.Errorf("no plateau: elasticity first %.2f vs last %.2f", first, last)
+	}
+}
+
+func relGain(a, b float64) float64 { return (b - a) / a }
+
+// TestFiveBenchFreqs: the §3.1 selection — two low, one middle, two high.
+func TestFiveBenchFreqs(t *testing.T) {
+	table := soc.MSM8974Table()
+	freqs := fiveBenchFreqs(table)
+	if len(freqs) != 5 {
+		t.Fatalf("got %d frequencies, want 5", len(freqs))
+	}
+	if freqs[0] != table.Min().Freq {
+		t.Errorf("first = %v, want table minimum", freqs[0])
+	}
+	if freqs[4] != table.Max().Freq {
+		t.Errorf("last = %v, want table maximum", freqs[4])
+	}
+	for i := 1; i < 5; i++ {
+		if freqs[i] <= freqs[i-1] {
+			t.Errorf("selection not increasing: %v", freqs)
+		}
+	}
+	// Small tables degrade gracefully.
+	tiny, err := soc.UniformTable(3, 100*soc.MHz, 300*soc.MHz, 0.9, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fiveBenchFreqs(tiny); len(got) != 3 {
+		t.Errorf("tiny table selection = %v, want all 3 points", got)
+	}
+}
+
+// TestOptionsDur: scaling clamps to a floor that keeps the control loop
+// exercised.
+func TestOptionsDur(t *testing.T) {
+	opt := Options{Scale: 0.000001}
+	if got := opt.dur(60 * 1e9); got.Seconds() < 0.5 {
+		t.Errorf("scaled duration %v below the 500 ms floor", got)
+	}
+	full := Options{}
+	if got := full.dur(60 * 1e9); got.Seconds() != 60 {
+		t.Errorf("zero scale should mean 1.0, got %v", got)
+	}
+}

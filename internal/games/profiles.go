@@ -1,0 +1,115 @@
+package games
+
+import "time"
+
+// The five evaluation titles (§6). The shapes are calibrated against the
+// per-game observations of Figures 10–13:
+//
+//   - Real Racing 3: steady, heavy, serial-bound — the title where MobiCore
+//     found "no room to further optimize" (≈0% saving, 2.2 cores).
+//   - Subway Surf: spiky and well-threaded — the best case (11.7% saving,
+//     3.9 cores under the default policy, 43% frequency gap).
+//   - Badland: moderate 2D physics.
+//   - Angry Birds: light with physics bursts on every launch.
+//   - Asphalt 8: heavy racing with scene swings.
+
+// RealRacing3 returns the steady heavy racing profile.
+func RealRacing3() Profile {
+	return Profile{
+		Name:         "Real Racing 3",
+		TargetFPS:    30,
+		FrameCycles:  2.6e8,
+		ParallelFrac: 0.50,
+		Workers:      2,
+		SwingAmp:     0.08,
+		SwingPeriod:  15 * time.Second,
+		BurstEvery:   20 * time.Second,
+		BurstLen:     time.Second,
+		BurstMult:    1.3,
+		NoiseStd:     0.04,
+		MaxQueue:     3,
+	}
+}
+
+// SubwaySurf returns the spiky endless-runner profile.
+func SubwaySurf() Profile {
+	return Profile{
+		Name:         "Subway Surf",
+		TargetFPS:    24,
+		FrameCycles:  1.2e8,
+		ParallelFrac: 0.78,
+		Workers:      3,
+		SwingAmp:     0.30,
+		SwingPeriod:  7 * time.Second,
+		BurstEvery:   3 * time.Second,
+		BurstLen:     900 * time.Millisecond,
+		BurstMult:    2.0,
+		NoiseStd:     0.12,
+		MaxQueue:     3,
+	}
+}
+
+// Badland returns the moderate 2D side-scroller profile.
+func Badland() Profile {
+	return Profile{
+		Name:         "Badland",
+		TargetFPS:    24,
+		FrameCycles:  1.1e8,
+		ParallelFrac: 0.60,
+		Workers:      2,
+		SwingAmp:     0.15,
+		SwingPeriod:  10 * time.Second,
+		BurstEvery:   10 * time.Second,
+		BurstLen:     800 * time.Millisecond,
+		BurstMult:    1.8,
+		NoiseStd:     0.05,
+		MaxQueue:     3,
+	}
+}
+
+// AngryBirds returns the light physics-puzzler profile.
+func AngryBirds() Profile {
+	return Profile{
+		Name:         "Angry Birds",
+		TargetFPS:    20,
+		FrameCycles:  0.8e8,
+		ParallelFrac: 0.50,
+		Workers:      1,
+		SwingAmp:     0.10,
+		SwingPeriod:  9 * time.Second,
+		BurstEvery:   7 * time.Second,
+		BurstLen:     time.Second,
+		BurstMult:    2.2,
+		NoiseStd:     0.10,
+		MaxQueue:     3,
+	}
+}
+
+// Asphalt8 returns the heavy arcade-racing profile.
+func Asphalt8() Profile {
+	return Profile{
+		Name:         "Asphalt 8",
+		TargetFPS:    24,
+		FrameCycles:  1.9e8,
+		ParallelFrac: 0.70,
+		Workers:      3,
+		SwingAmp:     0.20,
+		SwingPeriod:  12 * time.Second,
+		BurstEvery:   8 * time.Second,
+		BurstLen:     1500 * time.Millisecond,
+		BurstMult:    1.6,
+		NoiseStd:     0.06,
+		MaxQueue:     3,
+	}
+}
+
+// All returns the five games in the thesis' numbering order (1–5).
+func All() []Profile {
+	return []Profile{
+		RealRacing3(),
+		SubwaySurf(),
+		Badland(),
+		AngryBirds(),
+		Asphalt8(),
+	}
+}

@@ -1,0 +1,144 @@
+// Package geekbench reproduces the role GeekBench 4 plays in the thesis: a
+// complex CPU benchmark that "pushes the limits of the system" and returns a
+// score (§3.5). The suite is synthetic — a mix of compute-bound and
+// memory-stalled sections with imperfect parallel scaling — but exposes the
+// same two interfaces the thesis uses:
+//
+//   - analytic scoring at a pinned frequency and core count (Figures 6–7),
+//   - a workload that runs the suite under a live governor so policies can
+//     be compared by score and power (Figure 9b).
+//
+// Scores are normalized so one Krait-class core flat out lands near the
+// historical GeekBench 4 single-core result for the Nexus 5 (≈950).
+package geekbench
+
+import (
+	"errors"
+	"math"
+
+	"mobicore/internal/soc"
+)
+
+// Section is one benchmark sub-test.
+type Section struct {
+	// Name identifies the section in reports.
+	Name string
+	// WorkCycles is the CPU work of one run of this section.
+	WorkCycles float64
+	// StallSeconds is frequency-independent time per run — memory and
+	// cache-miss stalls that do not shrink when the clock rises. This
+	// term produces the high-frequency plateau of Figure 6.
+	StallSeconds float64
+	// ParallelFrac is the Amdahl parallel fraction for multi-core runs.
+	ParallelFrac float64
+}
+
+// Validate rejects nonsensical sections.
+func (s Section) Validate() error {
+	switch {
+	case s.Name == "":
+		return errors.New("geekbench: section needs a name")
+	case s.WorkCycles <= 0:
+		return errors.New("geekbench: WorkCycles must be positive")
+	case s.StallSeconds < 0:
+		return errors.New("geekbench: StallSeconds must be non-negative")
+	case s.ParallelFrac < 0 || s.ParallelFrac > 1:
+		return errors.New("geekbench: ParallelFrac must be in [0,1]")
+	}
+	return nil
+}
+
+// StandardSuite returns the ten-section suite used throughout the
+// reproduction: crypto and integer sections are compute-bound and scale
+// well; memory sections stall heavily and barely scale.
+func StandardSuite() []Section {
+	return []Section{
+		{Name: "aes", WorkCycles: 2.2e8, StallSeconds: 0.004, ParallelFrac: 0.95},
+		{Name: "lzma", WorkCycles: 2.8e8, StallSeconds: 0.045, ParallelFrac: 0.80},
+		{Name: "jpeg", WorkCycles: 2.5e8, StallSeconds: 0.012, ParallelFrac: 0.90},
+		{Name: "dijkstra", WorkCycles: 2.0e8, StallSeconds: 0.050, ParallelFrac: 0.70},
+		{Name: "html5-dom", WorkCycles: 2.4e8, StallSeconds: 0.040, ParallelFrac: 0.75},
+		{Name: "sgemm", WorkCycles: 3.0e8, StallSeconds: 0.008, ParallelFrac: 0.95},
+		{Name: "sfft", WorkCycles: 2.6e8, StallSeconds: 0.015, ParallelFrac: 0.90},
+		{Name: "rigid-body", WorkCycles: 2.3e8, StallSeconds: 0.010, ParallelFrac: 0.85},
+		{Name: "memcopy", WorkCycles: 1.2e8, StallSeconds: 0.080, ParallelFrac: 0.45},
+		{Name: "memlatency", WorkCycles: 0.8e8, StallSeconds: 0.100, ParallelFrac: 0.40},
+	}
+}
+
+// scoreScale normalizes SingleCoreScore to ≈950 for one MSM8974 core at
+// 2.2656 GHz, the Nexus 5's historical GeekBench 4 single-core ballpark.
+const scoreScale = 124.5
+
+// sectionSeconds returns the wall time of one run of s on n cores at
+// frequency f with Amdahl scaling.
+func sectionSeconds(s Section, f soc.Hz, n int) float64 {
+	speedup := 1.0
+	if n > 1 {
+		speedup = 1 / ((1 - s.ParallelFrac) + s.ParallelFrac/float64(n))
+	}
+	return s.WorkCycles/(float64(f)*speedup) + s.StallSeconds
+}
+
+// Score computes the analytic benchmark score for n cores pinned at
+// frequency f: the geometric mean of per-section rates, scaled to the
+// GeekBench-4-like range. It returns an error for invalid inputs.
+func Score(suite []Section, f soc.Hz, n int) (float64, error) {
+	if len(suite) == 0 {
+		return 0, errors.New("geekbench: empty suite")
+	}
+	if f == 0 {
+		return 0, errors.New("geekbench: zero frequency")
+	}
+	if n < 1 {
+		return 0, errors.New("geekbench: need at least one core")
+	}
+	logSum := 0.0
+	for _, s := range suite {
+		if err := s.Validate(); err != nil {
+			return 0, err
+		}
+		rate := 1 / sectionSeconds(s, f, n)
+		logSum += math.Log(rate)
+	}
+	return scoreScale * math.Exp(logSum/float64(len(suite))), nil
+}
+
+// SingleCoreScore is Score with one core.
+func SingleCoreScore(suite []Section, f soc.Hz) (float64, error) {
+	return Score(suite, f, 1)
+}
+
+// BusyFraction returns the fraction of wall time the CPU actually switches
+// (vs stalls) when running the suite at frequency f on n cores — the
+// utilization the power model should see. At high frequency compute time
+// shrinks while stalls do not, so the busy fraction falls; this is why
+// measured power plateaus in Figure 6 even as the clock keeps rising.
+func BusyFraction(suite []Section, f soc.Hz, n int) (float64, error) {
+	if len(suite) == 0 {
+		return 0, errors.New("geekbench: empty suite")
+	}
+	if f == 0 {
+		return 0, errors.New("geekbench: zero frequency")
+	}
+	if n < 1 {
+		return 0, errors.New("geekbench: need at least one core")
+	}
+	var busy, total float64
+	for _, s := range suite {
+		if err := s.Validate(); err != nil {
+			return 0, err
+		}
+		sec := sectionSeconds(s, f, n)
+		speedup := 1.0
+		if n > 1 {
+			speedup = 1 / ((1 - s.ParallelFrac) + s.ParallelFrac/float64(n))
+		}
+		busy += s.WorkCycles / (float64(f) * speedup)
+		total += sec
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return busy / total, nil
+}

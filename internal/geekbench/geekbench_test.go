@@ -1,0 +1,190 @@
+package geekbench
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mobicore/internal/soc"
+)
+
+func table() *soc.OPPTable { return soc.MSM8974Table() }
+
+func TestSectionValidate(t *testing.T) {
+	good := Section{Name: "x", WorkCycles: 1e8, StallSeconds: 0.01, ParallelFrac: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good section rejected: %v", err)
+	}
+	bad := []Section{
+		{Name: "", WorkCycles: 1e8},
+		{Name: "x", WorkCycles: 0},
+		{Name: "x", WorkCycles: 1e8, StallSeconds: -1},
+		{Name: "x", WorkCycles: 1e8, ParallelFrac: 1.5},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad section %d accepted", i)
+		}
+	}
+}
+
+func TestStandardSuiteValid(t *testing.T) {
+	suite := StandardSuite()
+	if len(suite) != 10 {
+		t.Fatalf("suite has %d sections, want 10", len(suite))
+	}
+	for _, s := range suite {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+// TestScoreAnchors: single-core at f_max lands near the Nexus 5's
+// historical GeekBench 4 ballpark; multi-core scales but sub-linearly.
+func TestScoreAnchors(t *testing.T) {
+	suite := StandardSuite()
+	single, err := SingleCoreScore(suite, table().Max().Freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single < 800 || single > 1100 {
+		t.Errorf("single-core score = %.0f, want ≈950", single)
+	}
+	multi, err := Score(suite, table().Max().Freq, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi <= single*1.5 {
+		t.Errorf("4-core score %.0f should be well above single %.0f", multi, single)
+	}
+	if multi >= single*4 {
+		t.Errorf("4-core score %.0f scales super-linearly vs %.0f (Amdahl violated)", multi, single)
+	}
+}
+
+// TestScoreMonotoneInFrequency and saturating: the Fig. 6 shape.
+func TestScoreShape(t *testing.T) {
+	suite := StandardSuite()
+	tbl := table()
+	var prev float64
+	var firstGain, lastGain float64
+	for i, opp := range tbl.Points() {
+		score, err := SingleCoreScore(suite, opp.Freq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if score <= prev {
+			t.Errorf("score not increasing at %v: %.1f after %.1f", opp.Freq, score, prev)
+		}
+		if i == 1 {
+			firstGain = (score - prev) / prev / (float64(opp.Freq-tbl.At(0).Freq) / float64(tbl.At(0).Freq))
+		}
+		if i == tbl.Len()-1 {
+			prevFreq := tbl.At(i - 1).Freq
+			lastGain = (score - prev) / prev / (float64(opp.Freq-prevFreq) / float64(prevFreq))
+		}
+		prev = score
+	}
+	// Marginal score per marginal hertz must shrink (plateau, §3.5).
+	if lastGain >= firstGain {
+		t.Errorf("no saturation: elasticity first %.2f, last %.2f", firstGain, lastGain)
+	}
+}
+
+// TestBusyFractionFalls: at higher frequency the stall share grows, so the
+// busy fraction falls — the power-plateau mechanism.
+func TestBusyFractionFalls(t *testing.T) {
+	suite := StandardSuite()
+	lo, err := BusyFraction(suite, table().Min().Freq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := BusyFraction(suite, table().Max().Freq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi >= lo {
+		t.Errorf("busy fraction should fall with frequency: %.3f at min, %.3f at max", lo, hi)
+	}
+	if lo > 1 || hi < 0 {
+		t.Errorf("busy fractions out of range: %v, %v", lo, hi)
+	}
+}
+
+func TestScoreValidation(t *testing.T) {
+	suite := StandardSuite()
+	if _, err := Score(nil, 1*soc.GHz, 1); err == nil {
+		t.Error("empty suite accepted")
+	}
+	if _, err := Score(suite, 0, 1); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	if _, err := Score(suite, 1*soc.GHz, 0); err == nil {
+		t.Error("zero cores accepted")
+	}
+}
+
+func TestNewRunValidation(t *testing.T) {
+	suite := StandardSuite()
+	if _, err := NewRun(nil, table(), 1, 1); err == nil {
+		t.Error("empty suite accepted")
+	}
+	if _, err := NewRun(suite, nil, 1, 1); err == nil {
+		t.Error("nil table accepted")
+	}
+	if _, err := NewRun(suite, table(), 0, 1); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if _, err := NewRun(suite, table(), 1, 0); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+// TestRunCompletes: driving the workload with instant execution finishes
+// every section and scores near the analytic single-core value.
+func TestRunCompletes(t *testing.T) {
+	suite := StandardSuite()
+	run, err := NewRun(suite, table(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	now := time.Duration(0)
+	fmaxPerTick := float64(table().Max().Freq) / 1000 // cycles per 1 ms at f_max
+	for i := 0; i < 200_000 && !run.Done(); i++ {
+		run.Tick(now, time.Millisecond, rng)
+		for _, th := range run.Threads() {
+			th.Execute(fmaxPerTick, 0)
+		}
+		now += time.Millisecond
+	}
+	if !run.Done() {
+		t.Fatalf("run never finished; %d sections done", run.CompletedSections())
+	}
+	if got, want := run.CompletedSections(), len(suite); got != want {
+		t.Errorf("sections = %d, want %d", got, want)
+	}
+	score, err := run.ScoreAfter(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, err := SingleCoreScore(suite, table().Max().Freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tick-quantized run pays scheduling overhead; allow 25%.
+	if score < analytic*0.75 || score > analytic*1.25 {
+		t.Errorf("simulated score %.0f too far from analytic %.0f", score, analytic)
+	}
+}
+
+func TestScoreAfterValidation(t *testing.T) {
+	run, err := NewRun(StandardSuite(), table(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.ScoreAfter(0); err == nil {
+		t.Error("zero elapsed accepted")
+	}
+}

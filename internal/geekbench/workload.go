@@ -1,0 +1,157 @@
+package geekbench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mobicore/internal/sched"
+	"mobicore/internal/soc"
+)
+
+// chunksPerSection splits each section into interleaved compute/stall
+// slices. Real benchmark kernels stall throughout execution, not in one
+// block at the end; chunking exposes that duty cycle at the granularity
+// governors sample.
+const chunksPerSection = 8
+
+// threadState tracks one worker's progress through the suite.
+type threadState struct {
+	thread    *sched.Thread
+	section   int           // index into the suite for the current run
+	chunk     int           // chunk within the current section
+	iteration int           // completed suite passes
+	stalling  time.Duration // remaining stall time before the next deposit
+	deposited bool          // work for the current chunk is in flight
+}
+
+// Run executes the suite as a live workload: each worker thread runs the
+// sections in order — depositing a section's cycles, waiting for them to
+// execute, then stalling for the section's memory time — for a fixed number
+// of iterations. Running it under different managers yields the Figure 9b
+// comparison. Run implements workload.Workload structurally (it is consumed
+// through that interface by the simulator).
+type Run struct {
+	suite      []Section
+	iterations int
+	states     []threadState
+	threads    []*sched.Thread
+
+	completedSections int
+	refRate           float64 // single-core f_max sections/sec, for scoring
+}
+
+// NewRun builds a benchmark run over nThreads worker threads, each
+// completing the suite `iterations` times. table anchors score
+// normalization to the platform's maximum frequency.
+func NewRun(suite []Section, table *soc.OPPTable, nThreads, iterations int) (*Run, error) {
+	if len(suite) == 0 {
+		return nil, errors.New("geekbench: empty suite")
+	}
+	for _, s := range suite {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if table == nil || table.Len() == 0 {
+		return nil, soc.ErrEmptyTable
+	}
+	if nThreads < 1 {
+		return nil, errors.New("geekbench: need at least one thread")
+	}
+	if iterations < 1 {
+		return nil, errors.New("geekbench: need at least one iteration")
+	}
+	r := &Run{
+		suite:      suite,
+		iterations: iterations,
+		states:     make([]threadState, nThreads),
+		threads:    make([]*sched.Thread, nThreads),
+	}
+	for i := range r.states {
+		th := sched.NewThread(fmt.Sprintf("geekbench-%d", i))
+		r.threads[i] = th
+		r.states[i] = threadState{thread: th}
+	}
+	// Reference: one core at f_max runs the whole suite in refSeconds.
+	var refSeconds float64
+	for _, s := range suite {
+		refSeconds += sectionSeconds(s, table.Max().Freq, 1)
+	}
+	r.refRate = float64(len(suite)) / refSeconds
+	return r, nil
+}
+
+// Name implements workload.Workload.
+func (r *Run) Name() string { return "geekbench" }
+
+// Threads implements workload.Workload.
+func (r *Run) Threads() []*sched.Thread { return r.threads }
+
+// Done implements workload.Workload.
+func (r *Run) Done() bool {
+	for i := range r.states {
+		if r.states[i].iteration < r.iterations {
+			return false
+		}
+	}
+	return true
+}
+
+// Tick implements workload.Workload: advance each worker's
+// deposit → execute → stall cycle.
+func (r *Run) Tick(now, dt time.Duration, rng *rand.Rand) {
+	_ = rng // the benchmark is deterministic
+	for i := range r.states {
+		st := &r.states[i]
+		if st.iteration >= r.iterations {
+			continue
+		}
+		if st.stalling > 0 {
+			st.stalling -= dt
+			continue
+		}
+		sec := r.suite[st.section]
+		if !st.deposited {
+			st.thread.AddWork(sec.WorkCycles / chunksPerSection)
+			st.deposited = true
+			continue
+		}
+		if st.thread.Pending() == 0 {
+			// Chunk's compute finished: pay its stall slice, advance.
+			st.stalling = time.Duration(sec.StallSeconds / chunksPerSection * float64(time.Second))
+			st.deposited = false
+			st.chunk++
+			if st.chunk == chunksPerSection {
+				st.chunk = 0
+				r.completedSections++
+				st.section++
+				if st.section == len(r.suite) {
+					st.section = 0
+					st.iteration++
+				}
+			}
+		}
+	}
+}
+
+// CompletedSections returns total sections finished across all threads.
+func (r *Run) CompletedSections() int { return r.completedSections }
+
+// ScoreAfter converts a finished (or partial) run into a benchmark score:
+// the section completion rate relative to one reference core at f_max,
+// scaled onto the same range as the analytic Score. Multi-threaded runs
+// score higher by completing sections in parallel, exactly how GeekBench's
+// multi-core score works.
+func (r *Run) ScoreAfter(elapsed time.Duration) (float64, error) {
+	if elapsed <= 0 {
+		return 0, errors.New("geekbench: non-positive elapsed time")
+	}
+	rate := float64(r.completedSections) / elapsed.Seconds()
+	return rate / r.refRate * baselineScore, nil
+}
+
+// baselineScore is the score assigned to the reference rate (one core at
+// the table maximum): the Nexus 5's GeekBench-4-class single-core result.
+const baselineScore = 950

@@ -1,0 +1,212 @@
+// Package hotplug implements dynamic core scaling (DCS, §2.2.2): policies
+// that decide how many cores stay online. It provides the mpdecision
+// stand-in (the vendor service that "protects the phone from turning off
+// cores") and the default load-threshold hotplug that takes over once
+// mpdecision is disabled — the configuration the thesis measures against.
+package hotplug
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Input is what a DCS policy observes at one sampling point.
+type Input struct {
+	// Now is the simulation time of this sample.
+	Now time.Duration
+	// Util is per-core busy fraction over the period; offline cores are 0.
+	Util []float64
+	// Online flags each core's state.
+	Online []bool
+}
+
+// Validate rejects malformed inputs.
+func (in Input) Validate() error {
+	if len(in.Util) == 0 || len(in.Util) != len(in.Online) {
+		return fmt.Errorf("hotplug: inconsistent input lengths util=%d online=%d",
+			len(in.Util), len(in.Online))
+	}
+	for i, u := range in.Util {
+		if u < 0 || u > 1 {
+			return fmt.Errorf("hotplug: core %d utilization %v outside [0,1]", i, u)
+		}
+	}
+	return nil
+}
+
+// OnlineCount returns how many cores are currently online.
+func (in Input) OnlineCount() int {
+	n := 0
+	for _, on := range in.Online {
+		if on {
+			n++
+		}
+	}
+	return n
+}
+
+// OverallUtil averages utilization over online cores (§2.2's definition).
+func (in Input) OverallUtil() float64 {
+	sum, n := 0.0, 0
+	for i, u := range in.Util {
+		if in.Online[i] {
+			sum += u
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Policy decides the target number of online cores each sampling period.
+type Policy interface {
+	// Name returns the policy's identifier.
+	Name() string
+	// TargetCores returns how many cores should be online, in
+	// [1, len(in.Online)].
+	TargetCores(in Input) (int, error)
+	// Reset clears internal state.
+	Reset()
+}
+
+// MPDecision models the stock Qualcomm service as the thesis treats it: a
+// guard that keeps every core online so the default hotplug policy cannot
+// act ("mpdecision is a service which protects the phone from turning off
+// cores", §2.2.2). Disabling it — what the authors do over adb — means not
+// using this policy.
+type MPDecision struct{}
+
+var _ Policy = (*MPDecision)(nil)
+
+// Name implements Policy.
+func (MPDecision) Name() string { return "mpdecision" }
+
+// TargetCores implements Policy: all cores stay online.
+func (MPDecision) TargetCores(in Input) (int, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	return len(in.Online), nil
+}
+
+// Reset implements Policy.
+func (MPDecision) Reset() {}
+
+// Fixed holds the online count at a constant — the knob the measurement
+// experiments (Figures 3–7) use to pin 1, 2, 3 or 4 cores.
+type Fixed struct {
+	n int
+}
+
+var _ Policy = (*Fixed)(nil)
+
+// NewFixed builds a policy that keeps exactly n cores online.
+func NewFixed(n int) (*Fixed, error) {
+	if n < 1 {
+		return nil, errors.New("hotplug: fixed core count must be >= 1")
+	}
+	return &Fixed{n: n}, nil
+}
+
+// Name implements Policy.
+func (f *Fixed) Name() string { return fmt.Sprintf("fixed-%d", f.n) }
+
+// TargetCores implements Policy.
+func (f *Fixed) TargetCores(in Input) (int, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	if f.n > len(in.Online) {
+		return len(in.Online), nil
+	}
+	return f.n, nil
+}
+
+// Reset implements Policy.
+func (f *Fixed) Reset() {}
+
+// LoadTunables configure the default load-threshold hotplug.
+type LoadTunables struct {
+	// UpThreshold: overall utilization above this onlines one more core.
+	UpThreshold float64
+	// DownThreshold: overall utilization below this offlines one core.
+	DownThreshold float64
+	// HoldTime is the minimum interval between consecutive hotplug
+	// actions, damping oscillation (hotplug transitions are expensive).
+	HoldTime time.Duration
+}
+
+// DefaultLoadTunables match common device trees: add a core above 80%
+// average load, remove below 30%, act at most every 100 ms.
+func DefaultLoadTunables() LoadTunables {
+	return LoadTunables{UpThreshold: 0.80, DownThreshold: 0.30, HoldTime: 100 * time.Millisecond}
+}
+
+// Validate rejects nonsensical tunables.
+func (t LoadTunables) Validate() error {
+	if t.UpThreshold <= 0 || t.UpThreshold > 1 {
+		return errors.New("hotplug: UpThreshold must be in (0,1]")
+	}
+	if t.DownThreshold < 0 || t.DownThreshold >= t.UpThreshold {
+		return errors.New("hotplug: DownThreshold must be in [0,UpThreshold)")
+	}
+	if t.HoldTime < 0 {
+		return errors.New("hotplug: HoldTime must be non-negative")
+	}
+	return nil
+}
+
+// Load is the default Android hotplug once mpdecision is out of the way:
+// "more cores for a high workload and less cores for a low workload ...
+// either activate or inactivate cores, which is a little abrupt" (§2.2.2).
+type Load struct {
+	tun        LoadTunables
+	lastChange time.Duration
+	armed      bool
+}
+
+var _ Policy = (*Load)(nil)
+
+// NewLoad builds the default load-threshold hotplug policy.
+func NewLoad(tun LoadTunables) (*Load, error) {
+	if err := tun.Validate(); err != nil {
+		return nil, err
+	}
+	return &Load{tun: tun}, nil
+}
+
+// Name implements Policy.
+func (g *Load) Name() string { return "load-hotplug" }
+
+// TargetCores implements Policy.
+func (g *Load) TargetCores(in Input) (int, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	cur := in.OnlineCount()
+	if g.armed && in.Now-g.lastChange < g.tun.HoldTime {
+		return cur, nil
+	}
+	util := in.OverallUtil()
+	target := cur
+	switch {
+	case util > g.tun.UpThreshold && cur < len(in.Online):
+		target = cur + 1
+	case util < g.tun.DownThreshold && cur > 1:
+		target = cur - 1
+	}
+	if target != cur {
+		g.lastChange = in.Now
+		g.armed = true
+	}
+	return target, nil
+}
+
+// Reset implements Policy.
+func (g *Load) Reset() {
+	g.lastChange = 0
+	g.armed = false
+}

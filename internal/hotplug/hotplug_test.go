@@ -1,0 +1,202 @@
+package hotplug
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func input(utils []float64, online []bool, now time.Duration) Input {
+	return Input{Now: now, Util: utils, Online: online}
+}
+
+func allOnline(n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = true
+	}
+	return out
+}
+
+func TestInputValidate(t *testing.T) {
+	good := input([]float64{0.5, 0.5}, allOnline(2), 0)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good input rejected: %v", err)
+	}
+	if err := input(nil, nil, 0).Validate(); err == nil {
+		t.Error("empty input accepted")
+	}
+	if err := input([]float64{0.5}, allOnline(2), 0).Validate(); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := input([]float64{1.5}, allOnline(1), 0).Validate(); err == nil {
+		t.Error("util > 1 accepted")
+	}
+}
+
+func TestOverallUtilExcludesOffline(t *testing.T) {
+	in := input([]float64{0.8, 0.4, 0, 0}, []bool{true, true, false, false}, 0)
+	if got, want := in.OverallUtil(), 0.6; math.Abs(got-want) > 1e-12 {
+		t.Errorf("overall = %v, want %v", got, want)
+	}
+	if got, want := in.OnlineCount(), 2; got != want {
+		t.Errorf("online = %v, want %v", got, want)
+	}
+}
+
+func TestMPDecisionKeepsAllCores(t *testing.T) {
+	var p MPDecision
+	got, err := p.TargetCores(input([]float64{0, 0, 0, 0}, allOnline(4), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Errorf("mpdecision target = %d, want 4 (it protects cores from offlining)", got)
+	}
+}
+
+func TestFixed(t *testing.T) {
+	if _, err := NewFixed(0); err == nil {
+		t.Error("NewFixed(0) accepted")
+	}
+	p, err := NewFixed(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.TargetCores(input([]float64{1, 1, 1, 1}, allOnline(4), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("fixed-2 target = %d under full load, want 2", got)
+	}
+	// Fixed count clamps to the physical core count.
+	big, err := NewFixed(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = big.TargetCores(input([]float64{0, 0}, allOnline(2), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("fixed-9 on 2 cores = %d, want 2", got)
+	}
+}
+
+func TestLoadTunablesValidate(t *testing.T) {
+	if err := DefaultLoadTunables().Validate(); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	bad := []LoadTunables{
+		{UpThreshold: 0, DownThreshold: 0.3, HoldTime: 0},
+		{UpThreshold: 0.8, DownThreshold: 0.9, HoldTime: 0},
+		{UpThreshold: 0.8, DownThreshold: 0.3, HoldTime: -time.Second},
+	}
+	for i, tun := range bad {
+		if err := tun.Validate(); err == nil {
+			t.Errorf("bad tunables %d accepted", i)
+		}
+	}
+}
+
+func TestLoadAddsCoreOnHighLoad(t *testing.T) {
+	p, err := NewLoad(DefaultLoadTunables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := input([]float64{0.9, 0.9, 0, 0}, []bool{true, true, false, false}, time.Second)
+	got, err := p.TargetCores(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("high load target = %d, want 3 (one more core)", got)
+	}
+}
+
+func TestLoadRemovesCoreOnLowLoad(t *testing.T) {
+	p, err := NewLoad(DefaultLoadTunables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := input([]float64{0.1, 0.1, 0.1, 0}, []bool{true, true, true, false}, time.Second)
+	got, err := p.TargetCores(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("low load target = %d, want 2", got)
+	}
+}
+
+func TestLoadNeverBelowOne(t *testing.T) {
+	p, err := NewLoad(DefaultLoadTunables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := input([]float64{0, 0, 0, 0}, []bool{true, false, false, false}, time.Second)
+	got, err := p.TargetCores(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("idle single core target = %d, want 1 (cannot offline the last core)", got)
+	}
+}
+
+func TestLoadHoldTimeDampsOscillation(t *testing.T) {
+	tun := DefaultLoadTunables()
+	tun.HoldTime = 100 * time.Millisecond
+	p, err := NewLoad(tun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := input([]float64{0.9, 0.9, 0, 0}, []bool{true, true, false, false}, 50*time.Millisecond)
+	got, err := p.TargetCores(high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("first decision = %d, want 3", got)
+	}
+	// 50 ms later — inside the hold window — another change is denied.
+	high3 := input([]float64{0.9, 0.9, 0.9, 0}, []bool{true, true, true, false}, 100*time.Millisecond)
+	got, err = p.TargetCores(high3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("inside hold window target = %d, want hold at 3", got)
+	}
+	// Past the hold window the policy may act again.
+	high3.Now = 200 * time.Millisecond
+	got, err = p.TargetCores(high3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Errorf("post-hold target = %d, want 4", got)
+	}
+}
+
+func TestLoadReset(t *testing.T) {
+	p, err := NewLoad(DefaultLoadTunables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := input([]float64{0.9, 0.9}, allOnline(2), 10*time.Millisecond)
+	if _, err := p.TargetCores(in); err != nil {
+		t.Fatal(err)
+	}
+	p.Reset()
+	// After reset the hold timer must not block an immediate action.
+	in = input([]float64{0.9, 0.9, 0.9, 0}, []bool{true, true, true, false}, 20*time.Millisecond)
+	got, err := p.TargetCores(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Errorf("post-reset target = %d, want 4 (hold timer should be cleared)", got)
+	}
+}

@@ -1,0 +1,157 @@
+package monsoon
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newMon(t *testing.T, cfg Config) *Monitor {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{SampleEvery: 0}); err == nil {
+		t.Error("zero sample interval accepted")
+	}
+	if _, err := New(Config{SampleEvery: time.Millisecond, MaxSamples: -1}); err == nil {
+		t.Error("negative max samples accepted")
+	}
+}
+
+func TestObserveIntegration(t *testing.T) {
+	m := newMon(t, Config{SampleEvery: 10 * time.Millisecond})
+	for i := 0; i < 100; i++ {
+		if err := m.Observe(time.Duration(i)*time.Millisecond, 2.0, time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := m.AverageWatts(), 2.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("average = %v, want %v", got, want)
+	}
+	if got, want := m.Joules(), 0.2; math.Abs(got-want) > 1e-9 {
+		t.Errorf("joules = %v, want %v", got, want)
+	}
+	if got, want := m.Elapsed(), 100*time.Millisecond; got != want {
+		t.Errorf("elapsed = %v, want %v", got, want)
+	}
+	if got, want := len(m.Trace()), 10; got != want {
+		t.Errorf("trace samples = %d, want %d", got, want)
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	m := newMon(t, DefaultConfig())
+	if err := m.Observe(0, -1, time.Millisecond); err == nil {
+		t.Error("negative power accepted")
+	}
+	if err := m.Observe(0, 1, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestMaxSamplesTruncation(t *testing.T) {
+	m := newMon(t, Config{SampleEvery: time.Millisecond, MaxSamples: 5})
+	for i := 0; i < 100; i++ {
+		if err := m.Observe(time.Duration(i)*time.Millisecond, 1.0, time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(m.Trace()); got != 5 {
+		t.Errorf("trace = %d samples, want capped 5", got)
+	}
+	if !m.Truncated() {
+		t.Error("truncation not flagged")
+	}
+	// The summary keeps integrating past the cap.
+	if got, want := m.Elapsed(), 100*time.Millisecond; got != want {
+		t.Errorf("elapsed = %v, want %v", got, want)
+	}
+}
+
+func TestSampleAveragesWindow(t *testing.T) {
+	m := newMon(t, Config{SampleEvery: 2 * time.Millisecond})
+	// 1 W then 3 W within one sample window → sample of 2 W.
+	if err := m.Observe(0, 1, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Observe(time.Millisecond, 3, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	trace := m.Trace()
+	if len(trace) != 1 {
+		t.Fatalf("trace = %d samples, want 1", len(trace))
+	}
+	if math.Abs(trace[0].Value-2.0) > 1e-9 {
+		t.Errorf("sample = %v, want window average 2.0", trace[0].Value)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	m := newMon(t, Config{SampleEvery: time.Millisecond})
+	for i := 0; i < 3; i++ {
+		if err := m.Observe(time.Duration(i)*time.Millisecond, float64(i), time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // header + 3 samples
+		t.Fatalf("csv rows = %d, want 4", len(rows))
+	}
+	if rows[0][0] != "seconds" || rows[0][1] != "watts" {
+		t.Errorf("header = %v", rows[0])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	m := newMon(t, Config{SampleEvery: time.Millisecond})
+	if err := m.Observe(0, 1.5, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		AverageWatts float64 `json:"average_watts"`
+		Samples      []struct {
+			Watts float64 `json:"watts"`
+		} `json:"samples"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(doc.AverageWatts-1.5) > 1e-9 {
+		t.Errorf("json average = %v, want 1.5", doc.AverageWatts)
+	}
+	if len(doc.Samples) != 1 {
+		t.Errorf("json samples = %d, want 1", len(doc.Samples))
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := newMon(t, DefaultConfig())
+	if err := m.Observe(0, 2, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	if m.Joules() != 0 || m.Elapsed() != 0 || len(m.Trace()) != 0 || m.Truncated() {
+		t.Error("reset monitor retains state")
+	}
+}

@@ -1,0 +1,211 @@
+// Package policy defines the unified CPU-management interface the simulator
+// drives. The thesis' central observation is that DVFS (governors) and DCS
+// (hotplug) "are neither unified nor coordinated in the real implementation
+// as they both have two different interfaces" (§1.1). This package is that
+// pair of interfaces joined into one: a Manager decides frequency, online
+// cores, and CPU bandwidth quota in a single step. Stock Android behaviour
+// is recovered by composing a cpufreq.Governor with a hotplug.Policy
+// (Compose); MobiCore implements Manager natively in internal/core.
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mobicore/internal/cpufreq"
+	"mobicore/internal/hotplug"
+	"mobicore/internal/soc"
+)
+
+// Input is the unified observation a Manager receives every sampling
+// period. Slices are indexed by core id and must not be mutated.
+type Input struct {
+	// Now is the simulation time; Period the time since the last sample.
+	Now    time.Duration
+	Period time.Duration
+	// Util is per-core busy fraction over the period in [0,1]; offline
+	// cores carry 0.
+	Util []float64
+	// Online flags each core's hotplug state.
+	Online []bool
+	// CurFreq is each core's programmed frequency.
+	CurFreq []soc.Hz
+	// Quota is the currently programmed global CPU bandwidth in (0,1].
+	Quota float64
+	// Table is the platform OPP table.
+	Table *soc.OPPTable
+}
+
+// Validate rejects malformed inputs.
+func (in Input) Validate() error {
+	if in.Table == nil || in.Table.Len() == 0 {
+		return errors.New("policy: input missing OPP table")
+	}
+	n := len(in.Util)
+	if n == 0 || len(in.Online) != n || len(in.CurFreq) != n {
+		return fmt.Errorf("policy: inconsistent input lengths util=%d online=%d freq=%d",
+			len(in.Util), len(in.Online), len(in.CurFreq))
+	}
+	if in.Quota <= 0 || in.Quota > 1 {
+		return fmt.Errorf("policy: quota %v outside (0,1]", in.Quota)
+	}
+	for i, u := range in.Util {
+		if u < 0 || u > 1 {
+			return fmt.Errorf("policy: core %d utilization %v outside [0,1]", i, u)
+		}
+	}
+	return nil
+}
+
+// OverallUtil averages utilization over online cores (§2.2's definition).
+func (in Input) OverallUtil() float64 {
+	sum, n := 0.0, 0
+	for i, u := range in.Util {
+		if in.Online[i] {
+			sum += u
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Decision is a Manager's complete resource allocation for the next period.
+type Decision struct {
+	// TargetFreq is the desired frequency per core id; entries for cores
+	// that end up offline are ignored. Frequencies must be operating
+	// points of the platform table.
+	TargetFreq []soc.Hz
+	// OnlineCores is the desired number of online cores in [1, numCores].
+	OnlineCores int
+	// Quota is the CPU bandwidth for the next period in (0,1].
+	Quota float64
+}
+
+// Validate checks a decision against the table and core count.
+func (d Decision) Validate(table *soc.OPPTable, numCores int) error {
+	if len(d.TargetFreq) != numCores {
+		return fmt.Errorf("policy: decision has %d frequencies for %d cores", len(d.TargetFreq), numCores)
+	}
+	for i, f := range d.TargetFreq {
+		if !table.Contains(f) {
+			return fmt.Errorf("policy: core %d target %v is not an operating point", i, f)
+		}
+	}
+	if d.OnlineCores < 1 || d.OnlineCores > numCores {
+		return fmt.Errorf("policy: online core target %d outside [1,%d]", d.OnlineCores, numCores)
+	}
+	if d.Quota <= 0 || d.Quota > 1 {
+		return fmt.Errorf("policy: quota %v outside (0,1]", d.Quota)
+	}
+	return nil
+}
+
+// Manager is a complete CPU management policy: one decision covering DVFS,
+// DCS, and bandwidth. Implementations must be deterministic.
+type Manager interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Decide maps one observation to one allocation.
+	Decide(in Input) (Decision, error)
+	// Reset clears internal state between runs.
+	Reset()
+}
+
+// Composite adapts a (governor, hotplug) pair into a Manager — the stock
+// Android arrangement where the two mechanisms run independently. The
+// governor is consulted after the hotplug policy, but neither sees the
+// other's decision, reproducing the lack of coordination the thesis
+// criticizes. Quota is always 1: stock Android leaves bandwidth alone.
+type Composite struct {
+	name     string
+	governor cpufreq.Governor
+	plug     hotplug.Policy
+}
+
+var _ Manager = (*Composite)(nil)
+
+// Compose builds a Composite manager.
+func Compose(governor cpufreq.Governor, plug hotplug.Policy) (*Composite, error) {
+	if governor == nil || plug == nil {
+		return nil, errors.New("policy: Compose requires a governor and a hotplug policy")
+	}
+	return &Composite{
+		name:     governor.Name() + "+" + plug.Name(),
+		governor: governor,
+		plug:     plug,
+	}, nil
+}
+
+// Name implements Manager.
+func (c *Composite) Name() string { return c.name }
+
+// Governor exposes the wrapped governor (used by experiments that need to
+// program a userspace speed).
+func (c *Composite) Governor() cpufreq.Governor { return c.governor }
+
+// Decide implements Manager: hotplug and governor each act on the same
+// observation without coordination.
+func (c *Composite) Decide(in Input) (Decision, error) {
+	if err := in.Validate(); err != nil {
+		return Decision{}, err
+	}
+	cores, err := c.plug.TargetCores(hotplug.Input{Now: in.Now, Util: in.Util, Online: in.Online})
+	if err != nil {
+		return Decision{}, fmt.Errorf("policy: hotplug %s: %w", c.plug.Name(), err)
+	}
+	freqs, err := c.governor.Target(cpufreq.Input{
+		Now:     in.Now,
+		Period:  in.Period,
+		Util:    in.Util,
+		Online:  in.Online,
+		CurFreq: in.CurFreq,
+		Table:   in.Table,
+	})
+	if err != nil {
+		return Decision{}, fmt.Errorf("policy: governor %s: %w", c.governor.Name(), err)
+	}
+	return Decision{TargetFreq: freqs, OnlineCores: cores, Quota: 1}, nil
+}
+
+// Reset implements Manager.
+func (c *Composite) Reset() {
+	c.governor.Reset()
+	c.plug.Reset()
+}
+
+// AndroidDefault builds the baseline the thesis evaluates against: the
+// ondemand governor combined with the default load-threshold hotplug
+// (mpdecision disabled so DCS can act, §3.1/§6).
+func AndroidDefault(table *soc.OPPTable) (*Composite, error) {
+	gov, err := cpufreq.New("ondemand", table)
+	if err != nil {
+		return nil, err
+	}
+	plug, err := hotplug.NewLoad(hotplug.DefaultLoadTunables())
+	if err != nil {
+		return nil, err
+	}
+	return Compose(gov, plug)
+}
+
+// Pinned builds a manager that fixes both the frequency and the online core
+// count — the measurement configuration of Figures 3–7 (userspace governor
+// plus a fixed hotplug).
+func Pinned(table *soc.OPPTable, freq soc.Hz, cores int) (*Composite, error) {
+	gov, err := cpufreq.NewUserspace(table)
+	if err != nil {
+		return nil, err
+	}
+	if err := gov.SetSpeed(freq); err != nil {
+		return nil, err
+	}
+	plug, err := hotplug.NewFixed(cores)
+	if err != nil {
+		return nil, err
+	}
+	return Compose(gov, plug)
+}

@@ -1,0 +1,61 @@
+package power
+
+import (
+	"errors"
+	"time"
+)
+
+// Meter integrates power over time into energy (Eq. 5–7: E = ∫P dt) and
+// tracks the running average — the quantity the thesis reports for every
+// experiment ("total average power consumption"). Meter is not safe for
+// concurrent use; the simulation loop owns it.
+type Meter struct {
+	joules  float64
+	elapsed time.Duration
+	peak    float64
+}
+
+// ErrNegativePower guards the integrator against model bugs: a negative
+// sample would silently corrupt every downstream average.
+var ErrNegativePower = errors.New("power: negative power sample")
+
+// Accumulate adds a sample of watts held for dt.
+func (m *Meter) Accumulate(watts float64, dt time.Duration) error {
+	if watts < 0 {
+		return ErrNegativePower
+	}
+	if dt < 0 {
+		return errors.New("power: negative duration")
+	}
+	m.joules += watts * dt.Seconds()
+	m.elapsed += dt
+	if watts > m.peak {
+		m.peak = watts
+	}
+	return nil
+}
+
+// Joules returns total accumulated energy.
+func (m *Meter) Joules() float64 { return m.joules }
+
+// Elapsed returns total integrated time.
+func (m *Meter) Elapsed() time.Duration { return m.elapsed }
+
+// AverageWatts returns energy divided by elapsed time, or 0 before any
+// sample has been accumulated.
+func (m *Meter) AverageWatts() float64 {
+	if m.elapsed <= 0 {
+		return 0
+	}
+	return m.joules / m.elapsed.Seconds()
+}
+
+// PeakWatts returns the highest sample seen.
+func (m *Meter) PeakWatts() float64 { return m.peak }
+
+// Reset clears the meter.
+func (m *Meter) Reset() {
+	m.joules = 0
+	m.elapsed = 0
+	m.peak = 0
+}

@@ -1,0 +1,315 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mobicore/internal/soc"
+)
+
+// nexus5Params mirrors the calibrated Nexus 5 profile without importing the
+// platform package (which would create an import cycle in tests).
+func nexus5Params(t *testing.T) Params {
+	t.Helper()
+	coeff, exp, err := FitLeak(1.2, 0.120, 0.9, 0.047)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Params{
+		CeffFarads:      1.35e-10,
+		LeakCoeffWatts:  coeff,
+		LeakExponent:    exp,
+		OfflineWatts:    0.002,
+		CacheBaseWatts:  0.040,
+		CacheSlopeWatts: 0.040,
+		BaseWatts:       0.080,
+	}
+}
+
+func newModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel(nexus5Params(t), soc.MSM8974Table())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParamsValidate(t *testing.T) {
+	base := nexus5Params(t)
+	mutations := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero ceff", func(p *Params) { p.CeffFarads = 0 }},
+		{"negative leak", func(p *Params) { p.LeakCoeffWatts = -1 }},
+		{"sub-linear leak exponent", func(p *Params) { p.LeakExponent = 0.5 }},
+		{"negative offline", func(p *Params) { p.OfflineWatts = -0.1 }},
+		{"negative cache", func(p *Params) { p.CacheBaseWatts = -0.1 }},
+		{"negative base", func(p *Params) { p.BaseWatts = -0.1 }},
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("calibrated params should validate: %v", err)
+	}
+	for _, tt := range mutations {
+		t.Run(tt.name, func(t *testing.T) {
+			p := base
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+// TestLeakAnchors is the §4.1.2 measurement: 120 mW per core at f_max,
+// 47 mW at f_min.
+func TestLeakAnchors(t *testing.T) {
+	m := newModel(t)
+	table := soc.MSM8974Table()
+	if got := m.LeakWatts(table.Max().Volt); math.Abs(got-0.120) > 1e-9 {
+		t.Errorf("leak at f_max voltage = %.4f W, want 0.120 (paper anchor)", got)
+	}
+	if got := m.LeakWatts(table.Min().Volt); math.Abs(got-0.047) > 1e-9 {
+		t.Errorf("leak at f_min voltage = %.4f W, want 0.047 (paper anchor)", got)
+	}
+}
+
+// TestFullBlastAnchor checks the §1.2 absolute: 4 cores at 100% and f_max
+// draw ≈ 2.40 W on the Nexus 5 profile.
+func TestFullBlastAnchor(t *testing.T) {
+	m := newModel(t)
+	opp := soc.MSM8974Table().Max()
+	loads := make([]CoreLoad, 4)
+	for i := range loads {
+		loads[i] = CoreLoad{State: soc.StateActive, OPP: opp, Util: 1}
+	}
+	got := m.SystemWatts(loads)
+	if math.Abs(got-2.404) > 0.05 {
+		t.Errorf("full blast = %.3f W, want ≈2.40 W (paper's 2403.82 mW)", got)
+	}
+}
+
+func TestFitLeak(t *testing.T) {
+	coeff, exp, err := FitLeak(1.2, 0.120, 0.9, 0.047)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp < 3.0 || exp > 3.5 {
+		t.Errorf("fitted exponent = %.3f, expected ≈3.26", exp)
+	}
+	if got := coeff * math.Pow(1.2, exp); math.Abs(got-0.120) > 1e-12 {
+		t.Errorf("anchor 1 reproduces %.6f, want 0.120", got)
+	}
+	bad := []struct{ v1, w1, v2, w2 float64 }{
+		{0, 0.1, 0.9, 0.05},
+		{1.2, 0, 0.9, 0.05},
+		{1.2, 0.1, 1.2, 0.05},
+		{1.2, 0.1, -0.9, 0.05},
+	}
+	for _, b := range bad {
+		if _, _, err := FitLeak(soc.Volt(b.v1), b.w1, soc.Volt(b.v2), b.w2); err == nil {
+			t.Errorf("FitLeak(%v) should fail", b)
+		}
+	}
+}
+
+// TestPowerMonotoneInFrequency: at fixed utilization, a higher OPP never
+// draws less power (the Fig. 3 ordering).
+func TestPowerMonotoneInFrequency(t *testing.T) {
+	m := newModel(t)
+	table := soc.MSM8974Table()
+	for _, util := range []float64{0, 0.1, 0.5, 1.0} {
+		prev := -1.0
+		for _, opp := range table.Points() {
+			got := m.CoreWatts(soc.StateActive, opp, util)
+			if got < prev {
+				t.Errorf("util %.1f: power decreased from %.4f to %.4f at %v", util, prev, got, opp.Freq)
+			}
+			prev = got
+		}
+	}
+}
+
+// TestPowerMonotoneInUtilization: at a fixed OPP, more utilization never
+// draws less power.
+func TestPowerMonotoneInUtilization(t *testing.T) {
+	m := newModel(t)
+	table := soc.MSM8974Table()
+	prop := func(rawU1, rawU2 uint16, oppIdx uint8) bool {
+		u1 := float64(rawU1) / math.MaxUint16
+		u2 := float64(rawU2) / math.MaxUint16
+		if u1 > u2 {
+			u1, u2 = u2, u1
+		}
+		opp := table.At(int(oppIdx) % table.Len())
+		return m.CoreWatts(soc.StateActive, opp, u1) <= m.CoreWatts(soc.StateActive, opp, u2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOfflineCheaperThanIdle encodes the §4.1.2 argument for off-lining
+// over race-to-idle: an offline core must always beat an idle one.
+func TestOfflineCheaperThanIdle(t *testing.T) {
+	m := newModel(t)
+	for _, opp := range soc.MSM8974Table().Points() {
+		idle := m.CoreWatts(soc.StateIdle, opp, 0)
+		off := m.CoreWatts(soc.StateOffline, opp, 0)
+		if off >= idle {
+			t.Errorf("at %v offline (%.4f W) not cheaper than idle (%.4f W)", opp.Freq, off, idle)
+		}
+	}
+}
+
+// TestIdleLeakFraction: per-core-rail platforms (fraction unset → 1.0) pay
+// full leakage when idle — the paper's 120 mW measurement — while
+// shared-rail platforms discount it.
+func TestIdleLeakFraction(t *testing.T) {
+	table := soc.MSM8974Table()
+	opp := table.Max()
+
+	perRail := newModel(t)
+	if got, want := perRail.CoreWatts(soc.StateIdle, opp, 0), perRail.LeakWatts(opp.Volt); math.Abs(got-want) > 1e-12 {
+		t.Errorf("per-core rail idle = %v, want full leak %v", got, want)
+	}
+
+	params := nexus5Params(t)
+	params.IdleLeakFraction = 0.3
+	shared, err := NewModel(params, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := shared.CoreWatts(soc.StateIdle, opp, 0), 0.3*shared.LeakWatts(opp.Volt); math.Abs(got-want) > 1e-12 {
+		t.Errorf("shared rail idle = %v, want %v", got, want)
+	}
+	// An active core pays full leakage regardless of the fraction.
+	if got, want := shared.CoreWatts(soc.StateActive, opp, 0.5),
+		shared.LeakWatts(opp.Volt)+shared.DynamicWatts(opp, 0.5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("active core = %v, want %v", got, want)
+	}
+	params.IdleLeakFraction = 1.5
+	if err := params.Validate(); err == nil {
+		t.Error("IdleLeakFraction above 1 accepted")
+	}
+}
+
+func TestSystemWattsNonNegativeProperty(t *testing.T) {
+	m := newModel(t)
+	table := soc.MSM8974Table()
+	prop := func(states [4]uint8, utils [4]uint16, opps [4]uint8) bool {
+		loads := make([]CoreLoad, 4)
+		for i := range loads {
+			st := soc.CoreState(int(states[i])%3 + 1)
+			loads[i] = CoreLoad{
+				State: st,
+				OPP:   table.At(int(opps[i]) % table.Len()),
+				Util:  float64(utils[i]) / math.MaxUint16,
+			}
+		}
+		watts := m.SystemWatts(loads)
+		return watts >= m.Params().BaseWatts && !math.IsNaN(watts) && !math.IsInf(watts, 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredictWatts(t *testing.T) {
+	m := newModel(t)
+	table := soc.MSM8974Table()
+	opp := table.At(5) // 960 MHz
+	// Demand of half one core's capacity: util 0.5 on one core.
+	w1, err := m.PredictWatts(1, opp, float64(opp.Freq)/2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.SystemWatts([]CoreLoad{
+		{State: soc.StateActive, OPP: opp, Util: 0.5},
+		{State: soc.StateOffline},
+		{State: soc.StateOffline},
+		{State: soc.StateOffline},
+	})
+	if math.Abs(w1-want) > 1e-12 {
+		t.Errorf("PredictWatts = %.6f, want %.6f", w1, want)
+	}
+	if _, err := m.PredictWatts(0, opp, 1e9, 4); err == nil {
+		t.Error("PredictWatts with 0 cores should fail")
+	}
+	if _, err := m.PredictWatts(5, opp, 1e9, 4); err == nil {
+		t.Error("PredictWatts with too many cores should fail")
+	}
+	if _, err := m.PredictWatts(1, opp, -1, 4); err == nil {
+		t.Error("PredictWatts with negative demand should fail")
+	}
+}
+
+// TestMoreCoresLowerFreqTradeoff reproduces the §4.2 trade-off structure:
+// for a mid demand, the model must prefer neither always-one-core nor
+// always-max-cores; specific crossovers depend on calibration, but spreading
+// a high demand over more cores at lower frequency must beat one core at max
+// frequency at equal capacity.
+func TestMoreCoresLowerFreqTradeoff(t *testing.T) {
+	m := newModel(t)
+	table := soc.MSM8974Table()
+	fmax := table.Max()
+	// Demand = exactly one core flat out.
+	demand := float64(fmax.Freq)
+	oneCore, err := m.PredictWatts(1, fmax, demand, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two cores at ~0.63·fmax (1497.6 MHz ×2 ≥ demand) — lower voltage.
+	half := table.At(9)
+	twoCores, err := m.PredictWatts(2, half, demand, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twoCores >= oneCore {
+		t.Errorf("2×%v (%.3f W) should beat 1×%v (%.3f W) at this demand (voltage quadratic advantage)",
+			half.Freq, twoCores, fmax.Freq, oneCore)
+	}
+}
+
+func TestCapacityMet(t *testing.T) {
+	opp := soc.OPP{Freq: 1 * soc.GHz, Volt: 1.0}
+	if !CapacityMet(2, opp, 2e9) {
+		t.Error("2×1GHz should meet 2e9 cycles/s")
+	}
+	if CapacityMet(1, opp, 2e9) {
+		t.Error("1×1GHz should not meet 2e9 cycles/s")
+	}
+}
+
+func TestMeter(t *testing.T) {
+	var m Meter
+	if err := m.Accumulate(2.0, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Accumulate(4.0, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.Joules(), 6.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("joules = %v, want %v", got, want)
+	}
+	if got, want := m.AverageWatts(), 3.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("average = %v, want %v", got, want)
+	}
+	if got, want := m.PeakWatts(), 4.0; got != want {
+		t.Errorf("peak = %v, want %v", got, want)
+	}
+	if err := m.Accumulate(-1, time.Second); err == nil {
+		t.Error("negative power should fail")
+	}
+	if err := m.Accumulate(1, -time.Second); err == nil {
+		t.Error("negative duration should fail")
+	}
+	m.Reset()
+	if m.Joules() != 0 || m.AverageWatts() != 0 || m.PeakWatts() != 0 {
+		t.Error("reset meter should be zero")
+	}
+}

@@ -1,0 +1,257 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mobicore/internal/soc"
+)
+
+func newCPU(t *testing.T, cores int) *soc.CPU {
+	t.Helper()
+	cpu, err := soc.NewCPU(cores, soc.MSM8974Table())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cpu
+}
+
+func TestThreadLifecycle(t *testing.T) {
+	th := NewThread("worker")
+	if th.Runnable() {
+		t.Error("fresh thread should not be runnable")
+	}
+	th.AddWork(100)
+	th.AddWork(-5) // ignored
+	if got := th.Pending(); got != 100 {
+		t.Errorf("pending = %v, want 100", got)
+	}
+	if got := th.DropWork(30); got != 30 {
+		t.Errorf("dropped = %v, want 30", got)
+	}
+	if got := th.DropWork(1000); got != 70 {
+		t.Errorf("over-drop = %v, want 70", got)
+	}
+	if th.Runnable() {
+		t.Error("drained thread should not be runnable")
+	}
+	if th.LastCore() != -1 {
+		t.Errorf("unscheduled thread LastCore = %d, want -1", th.LastCore())
+	}
+}
+
+func TestScheduleExecutesWork(t *testing.T) {
+	cpu := newCPU(t, 4)
+	if err := cpu.SetFreqAll(1_036_800 * soc.KHz); err != nil {
+		t.Fatal(err)
+	}
+	var s Scheduler
+	th := NewThread("t0")
+	th.AddWork(500_000) // ~0.48 ms at 1.0368 GHz
+	res, err := s.Schedule(cpu, []*Thread{th}, time.Millisecond, Unlimited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Pending() != 0 {
+		t.Errorf("pending = %v, want 0", th.Pending())
+	}
+	if math.Abs(res.ExecutedCycles-500_000) > 1 {
+		t.Errorf("executed = %v, want 500000", res.ExecutedCycles)
+	}
+	wantSec := 500_000 / 1.0368e9
+	if math.Abs(res.BusySeconds[th.LastCore()]-wantSec) > 1e-9 {
+		t.Errorf("busy = %v, want %v", res.BusySeconds[th.LastCore()], wantSec)
+	}
+}
+
+func TestScheduleBalancesThreads(t *testing.T) {
+	cpu := newCPU(t, 4)
+	if err := cpu.SetFreqAll(300 * soc.MHz); err != nil {
+		t.Fatal(err)
+	}
+	var s Scheduler
+	threads := make([]*Thread, 4)
+	for i := range threads {
+		threads[i] = NewThread("t" + string(rune('0'+i)))
+		threads[i].AddWork(1e9) // far more than one tick can serve
+	}
+	res, err := s.Schedule(cpu, threads, time.Millisecond, Unlimited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each thread should land on its own core, each fully busy.
+	cores := map[int]bool{}
+	for _, th := range threads {
+		cores[th.LastCore()] = true
+	}
+	if len(cores) != 4 {
+		t.Errorf("4 heavy threads should spread over 4 cores, got %v", cores)
+	}
+	for i, b := range res.BusySeconds {
+		if math.Abs(b-0.001) > 1e-9 {
+			t.Errorf("core %d busy %v, want full tick", i, b)
+		}
+	}
+}
+
+func TestScheduleAffinity(t *testing.T) {
+	cpu := newCPU(t, 4)
+	var s Scheduler
+	th := NewThread("sticky")
+	th.AddWork(1000)
+	if _, err := s.Schedule(cpu, []*Thread{th}, time.Millisecond, Unlimited); err != nil {
+		t.Fatal(err)
+	}
+	home := th.LastCore()
+	for i := 0; i < 5; i++ {
+		th.AddWork(1000)
+		if _, err := s.Schedule(cpu, []*Thread{th}, time.Millisecond, Unlimited); err != nil {
+			t.Fatal(err)
+		}
+		if th.LastCore() != home {
+			t.Errorf("iteration %d: thread migrated from %d to %d with no pressure", i, home, th.LastCore())
+		}
+	}
+}
+
+func TestScheduleSkipsOfflineCores(t *testing.T) {
+	cpu := newCPU(t, 4)
+	if err := cpu.SetOnlineCount(1); err != nil {
+		t.Fatal(err)
+	}
+	var s Scheduler
+	threads := []*Thread{NewThread("a"), NewThread("b")}
+	for _, th := range threads {
+		th.AddWork(1e9)
+	}
+	res, err := s.Schedule(cpu, threads, time.Millisecond, Unlimited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		if res.BusySeconds[i] != 0 {
+			t.Errorf("offline core %d executed work", i)
+		}
+	}
+	for _, th := range threads {
+		if th.LastCore() > 0 {
+			t.Errorf("thread placed on offline core %d", th.LastCore())
+		}
+	}
+}
+
+// TestBandwidthPoolCapsAggregate: the shared pool caps total busy seconds
+// across cores — the §4.1.1 CPU bandwidth control.
+func TestBandwidthPoolCapsAggregate(t *testing.T) {
+	cpu := newCPU(t, 4)
+	var s Scheduler
+	threads := make([]*Thread, 4)
+	for i := range threads {
+		threads[i] = NewThread("t" + string(rune('0'+i)))
+		threads[i].AddWork(1e9)
+	}
+	pool := 0.002 // two core-milliseconds across four cores
+	res, err := s.Schedule(cpu, threads, time.Millisecond, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, b := range res.BusySeconds {
+		total += b
+	}
+	if total > pool+1e-9 {
+		t.Errorf("total busy %v exceeds pool %v", total, pool)
+	}
+	if math.Abs(res.PoolUsedSec-total) > 1e-9 {
+		t.Errorf("PoolUsedSec %v != total busy %v", res.PoolUsedSec, total)
+	}
+	if res.ThrottledSeconds == 0 {
+		t.Error("pool exhaustion with pending work should report throttling")
+	}
+}
+
+func TestZeroPoolRunsNothing(t *testing.T) {
+	cpu := newCPU(t, 2)
+	var s Scheduler
+	th := NewThread("starved")
+	th.AddWork(1000)
+	res, err := s.Schedule(cpu, []*Thread{th}, time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecutedCycles != 0 {
+		t.Errorf("zero pool executed %v cycles", res.ExecutedCycles)
+	}
+	if th.Pending() != 1000 {
+		t.Errorf("pending = %v, want untouched 1000", th.Pending())
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	var s Scheduler
+	if _, err := s.Schedule(nil, nil, time.Millisecond, Unlimited); err == nil {
+		t.Error("nil cpu accepted")
+	}
+	cpu := newCPU(t, 2)
+	if _, err := s.Schedule(cpu, nil, 0, Unlimited); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := s.Schedule(cpu, nil, -time.Millisecond, Unlimited); err == nil {
+		t.Error("negative window accepted")
+	}
+}
+
+func TestScheduleDeterminism(t *testing.T) {
+	run := func() []float64 {
+		cpu := newCPU(t, 4)
+		var s Scheduler
+		threads := []*Thread{NewThread("b"), NewThread("a"), NewThread("c")}
+		threads[0].AddWork(5e5)
+		threads[1].AddWork(5e5)
+		threads[2].AddWork(3e5)
+		res, err := s.Schedule(cpu, threads, time.Millisecond, Unlimited)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BusySeconds
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic schedule: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestWorkConservationProperty: cycles executed never exceed cycles
+// deposited, and executed + remaining pending == deposited.
+func TestWorkConservationProperty(t *testing.T) {
+	cpu, err := soc.NewCPU(4, soc.MSM8974Table())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Scheduler
+	prop := func(amounts [4]uint32) bool {
+		threads := make([]*Thread, 4)
+		var deposited float64
+		for i := range threads {
+			threads[i] = NewThread("p" + string(rune('0'+i)))
+			amt := float64(amounts[i] % 10_000_000)
+			threads[i].AddWork(amt)
+			deposited += amt
+		}
+		res, err := s.Schedule(cpu, threads, time.Millisecond, Unlimited)
+		if err != nil {
+			return false
+		}
+		remaining := TotalPending(threads)
+		return math.Abs(res.ExecutedCycles+remaining-deposited) < 1e-3 &&
+			res.ExecutedCycles <= deposited+1e-3
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Error(err)
+	}
+}

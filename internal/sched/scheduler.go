@@ -1,0 +1,184 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"mobicore/internal/soc"
+)
+
+// Result reports what one scheduling window executed.
+type Result struct {
+	// BusySeconds is per-core execution time, indexed by core id.
+	BusySeconds []float64
+	// ExecutedCycles is the total cycles drained from all threads.
+	ExecutedCycles float64
+	// ThrottledSeconds is runnable time denied by the bandwidth quota:
+	// time cores could have executed pending work but the quota forbade.
+	ThrottledSeconds float64
+	// PoolUsedSec is the bandwidth-pool time consumed this window.
+	PoolUsedSec float64
+}
+
+// Utilization returns per-core busy fraction for a window of dt.
+func (r Result) Utilization(dt time.Duration) []float64 {
+	out := make([]float64, len(r.BusySeconds))
+	if dt <= 0 {
+		return out
+	}
+	for i, b := range r.BusySeconds {
+		out[i] = b / dt.Seconds()
+		if out[i] > 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Scheduler load-balances threads across online cores each window. It keeps
+// soft affinity (a thread prefers its previous core while that core has
+// budget) and otherwise places the largest debts on the least-loaded cores —
+// a deterministic longest-processing-time greedy that stands in for the
+// kernel's balancer. The zero value is ready to use.
+type Scheduler struct{}
+
+// ErrBadQuota rejects malformed bandwidth budgets.
+var ErrBadQuota = errors.New("sched: invalid bandwidth budget")
+
+// Unlimited disables the bandwidth pool for a scheduling window.
+const Unlimited = -1.0
+
+// Schedule executes up to one window dt of work from threads on cpu's
+// online cores. poolSec is the shared CPU bandwidth remaining this
+// enforcement period (CFS group-quota semantics, the §4.1.1 global CPU
+// bandwidth): total busy seconds across all cores this window may not
+// exceed it, but any single core may run at full speed while the pool
+// lasts. Pass Unlimited (or any negative value) for no cap. Schedule
+// updates cpu cycle accounting via soc.CPU.Run and returns per-core busy
+// time plus the pool time actually consumed.
+func (s *Scheduler) Schedule(cpu *soc.CPU, threads []*Thread, dt time.Duration, poolSec float64) (Result, error) {
+	if cpu == nil {
+		return Result{}, errors.New("sched: nil cpu")
+	}
+	if dt <= 0 {
+		return Result{}, errors.New("sched: non-positive window")
+	}
+
+	snap := cpu.Snapshot()
+	res := Result{BusySeconds: make([]float64, len(snap))}
+
+	pool := poolSec
+	limited := pool >= 0
+
+	budget := make([]float64, len(snap)) // seconds of execution allowed
+	online := make([]bool, len(snap))
+	freq := make([]float64, len(snap))
+	for i, c := range snap {
+		if c.State != soc.StateOffline {
+			online[i] = true
+			budget[i] = dt.Seconds()
+			freq[i] = float64(c.Freq)
+		}
+	}
+
+	runnable := make([]*Thread, 0, len(threads))
+	for _, t := range threads {
+		if t != nil && t.Runnable() {
+			runnable = append(runnable, t)
+		}
+	}
+	// Largest debt first; name breaks ties so runs are deterministic.
+	sort.SliceStable(runnable, func(i, j int) bool {
+		if runnable[i].pending != runnable[j].pending {
+			return runnable[i].pending > runnable[j].pending
+		}
+		return runnable[i].name < runnable[j].name
+	})
+
+	for _, t := range runnable {
+		if limited && pool <= 0 {
+			break // bandwidth exhausted for this window
+		}
+		core := s.pickCore(t, online, budget)
+		if core < 0 {
+			continue // no core time anywhere
+		}
+		allowedSec := budget[core]
+		if limited && pool < allowedSec {
+			allowedSec = pool
+		}
+		maxCycles := allowedSec * freq[core]
+		done := t.Execute(maxCycles, core)
+		sec := 0.0
+		if freq[core] > 0 {
+			sec = done / freq[core]
+		}
+		budget[core] -= sec
+		if limited {
+			pool -= sec
+		}
+		res.BusySeconds[core] += sec
+		res.ExecutedCycles += done
+		res.PoolUsedSec += sec
+	}
+
+	// Throttled time: capacity withheld by the bandwidth pool while
+	// runnable work remained.
+	var leftover float64
+	for _, t := range runnable {
+		leftover += t.pending
+	}
+	if leftover > 0 && limited && pool <= 1e-12 {
+		for i := range snap {
+			if online[i] && budget[i] > 0 {
+				res.ThrottledSeconds += budget[i]
+			}
+		}
+	}
+
+	// Commit busy time to the SoC's cycle accounting.
+	for i := range snap {
+		if !online[i] {
+			continue
+		}
+		busyNanos := uint64(res.BusySeconds[i] * 1e9)
+		windowNanos := uint64(dt.Nanoseconds())
+		if busyNanos > windowNanos {
+			busyNanos = windowNanos
+		}
+		if _, err := cpu.Run(i, busyNanos, windowNanos); err != nil {
+			return Result{}, fmt.Errorf("sched: committing core %d: %w", i, err)
+		}
+	}
+	return res, nil
+}
+
+// pickCore returns the thread's previous core if it is online with budget,
+// otherwise the online core with the most remaining budget (lowest id wins
+// ties). Returns -1 when no core has budget.
+func (s *Scheduler) pickCore(t *Thread, online []bool, budget []float64) int {
+	const eps = 1e-12
+	if lc := t.lastCore; lc >= 0 && lc < len(online) && online[lc] && budget[lc] > eps {
+		return lc
+	}
+	best, bestBudget := -1, eps
+	for i := range online {
+		if online[i] && budget[i] > bestBudget {
+			best, bestBudget = i, budget[i]
+		}
+	}
+	return best
+}
+
+// TotalPending sums pending cycles across threads — the backlog.
+func TotalPending(threads []*Thread) float64 {
+	var total float64
+	for _, t := range threads {
+		if t != nil {
+			total += t.Pending()
+		}
+	}
+	return total
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mobicore/internal/metrics"
+	"mobicore/internal/monsoon"
+	"mobicore/internal/platform"
+	"mobicore/internal/soc"
+	"mobicore/internal/thermal"
+	"mobicore/internal/workload"
+)
+
+// Report summarizes a simulation session — the quantities the thesis plots:
+// average power, average per-core frequency, average online core count,
+// average utilization, temperature, and execution volume.
+type Report struct {
+	Policy   string
+	Platform string
+	Duration time.Duration
+
+	AvgPowerW  float64
+	PeakPowerW float64
+	EnergyJ    float64
+
+	AvgFreqHz      float64
+	AvgOnlineCores float64
+	AvgUtil        float64
+	AvgQuota       float64
+
+	AvgTempC float64
+	MaxTempC float64
+
+	ExecutedCycles     float64
+	QuotaThrottledSec  float64
+	ThermalCappedSec   float64
+	PerWorkloadCycles  map[string]float64
+	PerWorkloadPending map[string]float64
+
+	FreqSeries  metrics.Series
+	CoreSeries  metrics.Series
+	UtilSeries  metrics.Series
+	QuotaSeries metrics.Series
+	TempSeries  metrics.Series
+}
+
+// report builds the session report from the current accumulators.
+func (s *Sim) report() *Report {
+	r := &Report{
+		Policy:             s.cfg.Manager.Name(),
+		Platform:           s.cfg.Platform.Name,
+		Duration:           s.now,
+		AvgPowerW:          s.mon.AverageWatts(),
+		PeakPowerW:         s.mon.TraceSummary().Max(),
+		EnergyJ:            s.mon.Joules(),
+		AvgFreqHz:          s.freqSum.Mean(),
+		AvgOnlineCores:     s.coreSum.Mean(),
+		AvgUtil:            s.utilSum.Mean(),
+		AvgQuota:           s.quotaSum.Mean(),
+		AvgTempC:           s.tempSum.Mean(),
+		MaxTempC:           s.tempSum.Max(),
+		ExecutedCycles:     s.executed,
+		QuotaThrottledSec:  s.throttledSec,
+		ThermalCappedSec:   s.thermalSec,
+		PerWorkloadCycles:  make(map[string]float64, len(s.cfg.Workloads)),
+		PerWorkloadPending: make(map[string]float64, len(s.cfg.Workloads)),
+		FreqSeries:         s.freqSeries,
+		CoreSeries:         s.coreSeries,
+		UtilSeries:         s.utilSeries,
+		QuotaSeries:        s.quotaSeries,
+		TempSeries:         s.tempSeries,
+	}
+	for _, w := range s.cfg.Workloads {
+		r.PerWorkloadCycles[w.Name()] += workload.ExecutedCycles(w)
+		r.PerWorkloadPending[w.Name()] += workload.PendingCycles(w)
+	}
+	return r
+}
+
+// Monitor exposes the power meter for trace export.
+func (s *Sim) Monitor() *monsoon.Monitor { return s.mon }
+
+// WriteSummary renders the report as aligned human-readable text.
+func (r *Report) WriteSummary(w io.Writer) error {
+	_, err := fmt.Fprintf(w, `policy:          %s
+platform:        %s
+duration:        %v
+avg power:       %.1f mW
+peak power:      %.1f mW
+energy:          %.2f J
+avg frequency:   %s
+avg cores:       %.2f
+avg utilization: %.1f%%
+avg quota:       %.2f
+avg temp:        %.1f C (max %.1f C)
+executed:        %.3g cycles
+quota throttled: %.2f core-s
+thermal capped:  %.2f s
+`,
+		r.Policy, r.Platform, r.Duration,
+		r.AvgPowerW*1000, r.PeakPowerW*1000, r.EnergyJ,
+		soc.Hz(r.AvgFreqHz), r.AvgOnlineCores, r.AvgUtil*100, r.AvgQuota,
+		r.AvgTempC, r.MaxTempC, r.ExecutedCycles,
+		r.QuotaThrottledSec, r.ThermalCappedSec)
+	if err != nil {
+		return fmt.Errorf("sim: writing summary: %w", err)
+	}
+	return nil
+}
+
+// thermalZone adapts thermal.Zone so sim can treat "no thermal model" and
+// "thermal model" uniformly.
+type thermalZone struct {
+	zone *thermal.Zone
+}
+
+func newThermalZone(p platform.Platform, table *soc.OPPTable) (*thermalZone, error) {
+	z, err := thermal.NewZone(p.Thermal, table)
+	if err != nil {
+		return nil, err
+	}
+	return &thermalZone{zone: z}, nil
+}
+
+func (t *thermalZone) step(watts float64, dt time.Duration) { t.zone.Step(watts, dt) }
+func (t *thermalZone) tempC() float64                       { return t.zone.TempC() }
+func (t *thermalZone) throttling() bool                     { return t.zone.Throttling() }
+func (t *thermalZone) clamp(f soc.Hz) soc.Hz                { return t.zone.Clamp(f) }
+
+// Zone exposes the thermal zone for experiments that read temperature.
+func (s *Sim) Zone() *thermal.Zone { return s.zone.zone }

@@ -1,0 +1,416 @@
+// Package sim is the discrete-time engine that wires the substrates
+// together: workloads deposit cycle demand, the scheduler places it on the
+// SoC's online cores under the bandwidth quota, the power model integrates
+// the rail, the thermal zone integrates temperature (and may cap frequency
+// like msm_thermal), and every sampling period the installed policy.Manager
+// observes utilization and reprograms frequency, core count, and quota —
+// exactly the control loop a governor lives in on the real device.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mobicore/internal/metrics"
+	"mobicore/internal/monsoon"
+	"mobicore/internal/platform"
+	"mobicore/internal/policy"
+	"mobicore/internal/power"
+	"mobicore/internal/sched"
+	"mobicore/internal/soc"
+	"mobicore/internal/workload"
+)
+
+// Config assembles one simulation.
+type Config struct {
+	// Platform selects the device profile; required.
+	Platform platform.Platform
+	// Manager is the CPU management policy under test; required.
+	Manager policy.Manager
+	// Workloads generate demand; at least one is required.
+	Workloads []workload.Workload
+
+	// Tick is the integration step (default 1 ms).
+	Tick time.Duration
+	// SamplePeriod is how often the Manager runs (default 50 ms).
+	SamplePeriod time.Duration
+	// Seed drives all workload randomness; runs with equal seeds and
+	// configs produce identical traces.
+	Seed int64
+
+	// InitialFreq is the boot frequency (default: table max, as the
+	// kernel boots before a governor takes over). Must be an OPP.
+	InitialFreq soc.Hz
+	// InitialCores is the boot online count (default: all).
+	InitialCores int
+	// InitialQuota is the boot bandwidth (default 1).
+	InitialQuota float64
+
+	// Monitor configures the power meter (default monsoon.DefaultConfig).
+	Monitor monsoon.Config
+}
+
+func (c *Config) fillDefaults() error {
+	if err := c.Platform.Validate(); err != nil {
+		return err
+	}
+	if c.Manager == nil {
+		return errors.New("sim: config needs a policy manager")
+	}
+	if len(c.Workloads) == 0 {
+		return errors.New("sim: config needs at least one workload")
+	}
+	if c.Tick == 0 {
+		c.Tick = time.Millisecond
+	}
+	if c.Tick <= 0 {
+		return errors.New("sim: tick must be positive")
+	}
+	if c.SamplePeriod == 0 {
+		c.SamplePeriod = 50 * time.Millisecond
+	}
+	if c.SamplePeriod < c.Tick {
+		return errors.New("sim: sample period must be >= tick")
+	}
+	if c.InitialFreq == 0 {
+		c.InitialFreq = c.Platform.Table.Max().Freq
+	}
+	if !c.Platform.Table.Contains(c.InitialFreq) {
+		return fmt.Errorf("sim: initial frequency %v is not an operating point", c.InitialFreq)
+	}
+	if c.InitialCores == 0 {
+		c.InitialCores = c.Platform.NumCores
+	}
+	if c.InitialCores < 1 || c.InitialCores > c.Platform.NumCores {
+		return fmt.Errorf("sim: initial cores %d outside [1,%d]", c.InitialCores, c.Platform.NumCores)
+	}
+	if c.InitialQuota == 0 {
+		c.InitialQuota = 1
+	}
+	if c.InitialQuota <= 0 || c.InitialQuota > 1 {
+		return errors.New("sim: initial quota must be in (0,1]")
+	}
+	if c.Monitor.SampleEvery == 0 {
+		c.Monitor = monsoon.DefaultConfig()
+	}
+	return nil
+}
+
+// Sim is one running simulation. Not safe for concurrent use.
+type Sim struct {
+	cfg   Config
+	cpu   *soc.CPU
+	model *power.Model
+	zone  *thermalZone
+	sch   sched.Scheduler
+	rng   *rand.Rand
+	mon   *monsoon.Monitor
+
+	now       time.Duration
+	quota     float64
+	quotaPool float64  // shared bandwidth pool (seconds) remaining this period
+	requested []soc.Hz // manager-requested per-core frequency, pre thermal clamp
+
+	// window accumulators between manager samples
+	winBusySec []float64
+	winElapsed time.Duration
+	lastSample time.Duration
+
+	// run-wide accounting
+	freqSum      metrics.Summary // avg online-core frequency, tick-weighted
+	coreSum      metrics.Summary // online core count
+	utilSum      metrics.Summary // overall (online-core average) utilization
+	quotaSum     metrics.Summary
+	tempSum      metrics.Summary
+	executed     float64
+	throttledSec float64 // quota-denied core time
+	thermalSec   float64 // time spent with a thermal cap engaged
+
+	freqSeries  metrics.Series
+	coreSeries  metrics.Series
+	utilSeries  metrics.Series
+	quotaSeries metrics.Series
+	tempSeries  metrics.Series
+}
+
+// New builds a simulation from cfg.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	cpu, err := soc.NewCPU(cfg.Platform.NumCores, cfg.Platform.Table)
+	if err != nil {
+		return nil, fmt.Errorf("sim: building CPU: %w", err)
+	}
+	model, err := power.NewModel(cfg.Platform.Power, cfg.Platform.Table)
+	if err != nil {
+		return nil, fmt.Errorf("sim: building power model: %w", err)
+	}
+	zone, err := newThermalZone(cfg.Platform, cfg.Platform.Table)
+	if err != nil {
+		return nil, fmt.Errorf("sim: building thermal zone: %w", err)
+	}
+	mon, err := monsoon.New(cfg.Monitor)
+	if err != nil {
+		return nil, fmt.Errorf("sim: building monitor: %w", err)
+	}
+	s := &Sim{
+		cfg:        cfg,
+		cpu:        cpu,
+		model:      model,
+		zone:       zone,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		mon:        mon,
+		quota:      cfg.InitialQuota,
+		requested:  make([]soc.Hz, cfg.Platform.NumCores),
+		winBusySec: make([]float64, cfg.Platform.NumCores),
+	}
+	s.refillQuota()
+	if err := cpu.SetOnlineCount(cfg.InitialCores); err != nil {
+		return nil, fmt.Errorf("sim: initial hotplug: %w", err)
+	}
+	if err := cpu.SetFreqAll(cfg.InitialFreq); err != nil {
+		return nil, fmt.Errorf("sim: initial frequency: %w", err)
+	}
+	for i := range s.requested {
+		s.requested[i] = cfg.InitialFreq
+	}
+	return s, nil
+}
+
+// Now returns the current simulation time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// CPU exposes the simulated processor (read-mostly; experiments inspect it).
+func (s *Sim) CPU() *soc.CPU { return s.cpu }
+
+// Quota returns the currently programmed bandwidth.
+func (s *Sim) Quota() float64 { return s.quota }
+
+// Step advances the simulation by one tick.
+func (s *Sim) Step() error {
+	dt := s.cfg.Tick
+
+	// 1. Demand generation.
+	threads := make([]*sched.Thread, 0, 8)
+	for _, w := range s.cfg.Workloads {
+		w.Tick(s.now, dt, s.rng)
+		threads = append(threads, w.Threads()...)
+	}
+
+	// 2. Scheduling and execution under the remaining bandwidth pool
+	// (CFS group-quota semantics: full speed until the period's shared
+	// budget drains).
+	pool := sched.Unlimited
+	if s.quota < 1 {
+		pool = s.quotaPool
+	}
+	res, err := s.sch.Schedule(s.cpu, threads, dt, pool)
+	if err != nil {
+		return fmt.Errorf("sim: scheduling at %v: %w", s.now, err)
+	}
+	s.executed += res.ExecutedCycles
+	s.throttledSec += res.ThrottledSeconds
+	s.quotaPool -= res.PoolUsedSec
+	if s.quotaPool < 0 {
+		s.quotaPool = 0
+	}
+
+	// 3. Power and thermal integration.
+	snap := s.cpu.Snapshot()
+	loads := make([]power.CoreLoad, len(snap))
+	util := res.Utilization(dt)
+	onlineCount := 0
+	var freqAcc float64
+	var overall float64
+	for i, c := range snap {
+		loads[i] = power.CoreLoad{
+			State: c.State,
+			OPP:   soc.OPP{Freq: c.Freq, Volt: c.Volt},
+			Util:  util[i],
+		}
+		if c.State != soc.StateOffline {
+			onlineCount++
+			freqAcc += float64(c.Freq)
+			overall += util[i]
+			s.winBusySec[i] += util[i] * dt.Seconds()
+		}
+	}
+	watts := s.model.SystemWatts(loads)
+	if err := s.mon.Observe(s.now, watts, dt); err != nil {
+		return fmt.Errorf("sim: power observation: %w", err)
+	}
+	s.zone.step(watts, dt)
+	if s.zone.throttling() {
+		s.thermalSec += dt.Seconds()
+	}
+	// Thermal driver acts between governor samples: re-clamp requests.
+	if err := s.applyFrequencies(); err != nil {
+		return err
+	}
+
+	// Run-wide accounting (tick-weighted).
+	if onlineCount > 0 {
+		s.freqSum.Add(freqAcc / float64(onlineCount))
+		s.utilSum.Add(overall / float64(onlineCount))
+	}
+	s.coreSum.Add(float64(onlineCount))
+	s.quotaSum.Add(s.quota)
+	s.tempSum.Add(s.zone.tempC())
+
+	s.now += dt
+	s.winElapsed += dt
+
+	// 4. Policy sampling.
+	if s.now-s.lastSample >= s.cfg.SamplePeriod {
+		if err := s.samplePolicy(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// samplePolicy runs the manager against the accumulated window and applies
+// its decision.
+func (s *Sim) samplePolicy() error {
+	period := s.now - s.lastSample
+	s.lastSample = s.now
+
+	snap := s.cpu.Snapshot()
+	in := policy.Input{
+		Now:     s.now,
+		Period:  period,
+		Util:    make([]float64, len(snap)),
+		Online:  make([]bool, len(snap)),
+		CurFreq: make([]soc.Hz, len(snap)),
+		Quota:   s.quota,
+		Table:   s.cfg.Platform.Table,
+	}
+	winSec := s.winElapsed.Seconds()
+	for i, c := range snap {
+		in.Online[i] = c.State != soc.StateOffline
+		in.CurFreq[i] = c.Freq
+		if winSec > 0 && in.Online[i] {
+			u := s.winBusySec[i] / winSec
+			if u > 1 {
+				u = 1
+			}
+			in.Util[i] = u
+		}
+	}
+
+	dec, err := s.cfg.Manager.Decide(in)
+	if err != nil {
+		return fmt.Errorf("sim: policy %s at %v: %w", s.cfg.Manager.Name(), s.now, err)
+	}
+	if err := dec.Validate(s.cfg.Platform.Table, len(snap)); err != nil {
+		return fmt.Errorf("sim: policy %s produced invalid decision: %w", s.cfg.Manager.Name(), err)
+	}
+
+	if err := s.cpu.SetOnlineCount(dec.OnlineCores); err != nil {
+		return fmt.Errorf("sim: applying hotplug decision: %w", err)
+	}
+	copy(s.requested, dec.TargetFreq)
+	if err := s.applyFrequencies(); err != nil {
+		return err
+	}
+	s.quota = dec.Quota
+	s.refillQuota()
+
+	// Record the sampled series.
+	snap = s.cpu.Snapshot()
+	var freqAcc float64
+	online := 0
+	for _, c := range snap {
+		if c.State != soc.StateOffline {
+			freqAcc += float64(c.Freq)
+			online++
+		}
+	}
+	if online > 0 {
+		s.freqSeries.Append(s.now, freqAcc/float64(online))
+	}
+	s.coreSeries.Append(s.now, float64(online))
+	s.utilSeries.Append(s.now, in.OverallUtil())
+	s.quotaSeries.Append(s.now, s.quota)
+	s.tempSeries.Append(s.now, s.zone.tempC())
+
+	// Reset the window.
+	for i := range s.winBusySec {
+		s.winBusySec[i] = 0
+	}
+	s.winElapsed = 0
+	return nil
+}
+
+// refillQuota grants the shared pool quota×numCores×SamplePeriod seconds of
+// execution for the next enforcement period — the cgroup arrangement where
+// the quota caps the group's aggregate CPU time as a fraction of the
+// phone's total capacity, not each core's.
+func (s *Sim) refillQuota() {
+	s.quotaPool = s.quota * float64(s.cpu.NumCores()) * s.cfg.SamplePeriod.Seconds()
+}
+
+// applyFrequencies programs each online core to its requested frequency,
+// clamped by the thermal cap.
+func (s *Sim) applyFrequencies() error {
+	for i, want := range s.requested {
+		f := s.zone.clamp(want)
+		cur, err := s.cpu.Freq(i)
+		if err != nil {
+			return fmt.Errorf("sim: reading core %d frequency: %w", i, err)
+		}
+		if cur == f {
+			continue
+		}
+		if err := s.cpu.SetFreq(i, f); err != nil {
+			return fmt.Errorf("sim: programming core %d to %v: %w", i, f, err)
+		}
+	}
+	return nil
+}
+
+// Run advances the simulation by d and returns the report for the whole
+// session so far.
+func (s *Sim) Run(d time.Duration) (*Report, error) {
+	if d <= 0 {
+		return nil, errors.New("sim: run duration must be positive")
+	}
+	end := s.now + d
+	for s.now < end {
+		if err := s.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return s.report(), nil
+}
+
+// RunUntilDone advances until every workload reports Done or maxDur
+// elapses, whichever is first. It returns the report and whether all
+// workloads finished.
+func (s *Sim) RunUntilDone(maxDur time.Duration) (*Report, bool, error) {
+	if maxDur <= 0 {
+		return nil, false, errors.New("sim: max duration must be positive")
+	}
+	end := s.now + maxDur
+	for s.now < end {
+		if allDone(s.cfg.Workloads) {
+			return s.report(), true, nil
+		}
+		if err := s.Step(); err != nil {
+			return nil, false, err
+		}
+	}
+	return s.report(), allDone(s.cfg.Workloads), nil
+}
+
+func allDone(ws []workload.Workload) bool {
+	for _, w := range ws {
+		if !w.Done() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,62 @@
+package soc
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCPUConcurrentAccess exercises the CPU's mutex under parallel
+// frequency programming, hotplug, execution, and snapshotting. Run with
+// -race to validate the locking.
+func TestCPUConcurrentAccess(t *testing.T) {
+	cpu, err := NewCPU(4, MSM8974Table())
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs := MSM8974Table().Frequencies()
+
+	var wg sync.WaitGroup
+	const iters = 500
+
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if err := cpu.SetFreq(i%4, freqs[i%len(freqs)]); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			_ = cpu.SetOnlineCount(1 + i%4)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			// Execution may race with hotplug: offline errors are
+			// expected and fine; corruption is not.
+			_, _ = cpu.Run(i%4, 1000, 2000)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			snap := cpu.Snapshot()
+			if len(snap) != 4 {
+				t.Errorf("snapshot size %d", len(snap))
+				return
+			}
+			_ = cpu.OnlineCount()
+			_ = cpu.CapacityCyclesPerSec()
+		}
+	}()
+	wg.Wait()
+
+	if got := cpu.OnlineCount(); got < 1 || got > 4 {
+		t.Errorf("online count %d corrupted", got)
+	}
+}

@@ -1,0 +1,343 @@
+package soc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// CoreState is the power state of a single CPU core (§2.1 of the thesis).
+type CoreState int
+
+// The three states the paper distinguishes. Active executes instructions at
+// the programmed frequency; Idle is online but not executing (it still leaks
+// because the rail stays up); Offline is the deepest state, consuming almost
+// nothing, reachable only through hotplug.
+const (
+	StateOffline CoreState = iota + 1
+	StateIdle
+	StateActive
+)
+
+// String implements fmt.Stringer.
+func (s CoreState) String() string {
+	switch s {
+	case StateOffline:
+		return "offline"
+	case StateIdle:
+		return "idle"
+	case StateActive:
+		return "active"
+	default:
+		return fmt.Sprintf("CoreState(%d)", int(s))
+	}
+}
+
+// Errors returned by core and CPU operations.
+var (
+	ErrCoreOffline  = errors.New("soc: core is offline")
+	ErrLastCore     = errors.New("soc: cannot offline the last online core")
+	ErrInvalidCore  = errors.New("soc: invalid core id")
+	ErrBadFrequency = errors.New("soc: frequency is not an operating point")
+)
+
+// Core is one CPU core. It tracks its state, current operating point, and
+// cumulative busy/idle cycle accounting. Core is not safe for concurrent use;
+// the owning CPU serializes access.
+type Core struct {
+	id    int
+	table *OPPTable
+
+	state CoreState
+	opp   OPP
+
+	// Cycle accounting since construction.
+	busyCycles  uint64
+	totalActive uint64 // nanoseconds spent online (active or idle)
+	busyNanos   uint64 // nanoseconds spent executing
+}
+
+// newCore constructs an online, idle core at the table's minimum frequency.
+func newCore(id int, table *OPPTable) *Core {
+	return &Core{id: id, table: table, state: StateIdle, opp: table.Min()}
+}
+
+// ID returns the core's index within its CPU.
+func (c *Core) ID() int { return c.id }
+
+// State returns the core's current power state.
+func (c *Core) State() CoreState { return c.state }
+
+// Online reports whether the core is idle or active.
+func (c *Core) Online() bool { return c.state != StateOffline }
+
+// Freq returns the core's programmed frequency. Offline cores report the
+// frequency they will resume at.
+func (c *Core) Freq() Hz { return c.opp.Freq }
+
+// Volt returns the supply voltage of the core's programmed operating point.
+func (c *Core) Volt() Volt { return c.opp.Volt }
+
+// OPP returns the core's full programmed operating point.
+func (c *Core) OPP() OPP { return c.opp }
+
+// BusyCycles returns cumulative executed cycles.
+func (c *Core) BusyCycles() uint64 { return c.busyCycles }
+
+// setFreq programs an exact operating point.
+func (c *Core) setFreq(freq Hz) error {
+	i := c.table.IndexOf(freq)
+	if i < 0 {
+		return fmt.Errorf("%w: %v", ErrBadFrequency, freq)
+	}
+	c.opp = c.table.At(i)
+	return nil
+}
+
+// CPU is a multi-core processor with per-core DVFS (each core has its own
+// rail, as on the MSM8974) and hotplug. CPU is safe for concurrent use.
+type CPU struct {
+	mu    sync.Mutex
+	cores []*Core
+	table *OPPTable
+}
+
+// NewCPU builds a CPU with n identical cores sharing one OPP table. All
+// cores start online (idle) at the minimum frequency, which is where a
+// freshly booted kernel leaves them.
+func NewCPU(n int, table *OPPTable) (*CPU, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("soc: core count must be positive, got %d", n)
+	}
+	if table == nil || table.Len() == 0 {
+		return nil, ErrEmptyTable
+	}
+	cores := make([]*Core, n)
+	for i := range cores {
+		cores[i] = newCore(i, table)
+	}
+	return &CPU{cores: cores, table: table}, nil
+}
+
+// NumCores returns the total number of cores, online or not.
+func (c *CPU) NumCores() int { return len(c.cores) }
+
+// Table returns the shared OPP table.
+func (c *CPU) Table() *OPPTable { return c.table }
+
+// OnlineCount returns the number of online cores.
+func (c *CPU) OnlineCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, core := range c.cores {
+		if core.Online() {
+			n++
+		}
+	}
+	return n
+}
+
+// OnlineIDs returns the ids of all online cores in ascending order.
+func (c *CPU) OnlineIDs() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]int, 0, len(c.cores))
+	for _, core := range c.cores {
+		if core.Online() {
+			ids = append(ids, core.id)
+		}
+	}
+	return ids
+}
+
+// CoreSnapshot is an immutable view of one core, safe to hold across ticks.
+type CoreSnapshot struct {
+	ID         int
+	State      CoreState
+	Freq       Hz
+	Volt       Volt
+	BusyCycles uint64
+}
+
+// Snapshot captures the state of every core.
+func (c *CPU) Snapshot() []CoreSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CoreSnapshot, len(c.cores))
+	for i, core := range c.cores {
+		out[i] = CoreSnapshot{
+			ID:         core.id,
+			State:      core.state,
+			Freq:       core.opp.Freq,
+			Volt:       core.opp.Volt,
+			BusyCycles: core.busyCycles,
+		}
+	}
+	return out
+}
+
+// SetFreq programs core id to the exact operating frequency freq.
+func (c *CPU) SetFreq(id int, freq Hz) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	core, err := c.core(id)
+	if err != nil {
+		return err
+	}
+	return core.setFreq(freq)
+}
+
+// SetFreqAll programs every online core to freq (global DVFS).
+func (c *CPU) SetFreqAll(freq Hz) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.table.IndexOf(freq) < 0 {
+		return fmt.Errorf("%w: %v", ErrBadFrequency, freq)
+	}
+	for _, core := range c.cores {
+		if core.Online() {
+			if err := core.setFreq(freq); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Freq returns core id's programmed frequency.
+func (c *CPU) Freq(id int) (Hz, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	core, err := c.core(id)
+	if err != nil {
+		return 0, err
+	}
+	return core.opp.Freq, nil
+}
+
+// Online brings core id online (into the idle state). Bringing an online
+// core online is a no-op, matching the kernel's hotplug semantics.
+func (c *CPU) Online(id int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	core, err := c.core(id)
+	if err != nil {
+		return err
+	}
+	if core.state == StateOffline {
+		core.state = StateIdle
+	}
+	return nil
+}
+
+// Offline removes core id from service. The last online core cannot be
+// offlined: the kernel forbids it and so do we, because a zero-core system
+// has no meaning.
+func (c *CPU) Offline(id int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	core, err := c.core(id)
+	if err != nil {
+		return err
+	}
+	if core.state == StateOffline {
+		return nil
+	}
+	online := 0
+	for _, other := range c.cores {
+		if other.Online() {
+			online++
+		}
+	}
+	if online <= 1 {
+		return ErrLastCore
+	}
+	core.state = StateOffline
+	return nil
+}
+
+// SetOnlineCount onlines/offlines cores so that exactly n are online.
+// Cores are onlined lowest-id first and offlined highest-id first, the
+// convention mpdecision follows (core 0 stays up). n is clamped to [1, max].
+func (c *CPU) SetOnlineCount(n int) error {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(c.cores) {
+		n = len(c.cores)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	online := 0
+	for _, core := range c.cores {
+		if core.Online() {
+			online++
+		}
+	}
+	// Online additional cores from the lowest id.
+	for i := 0; online < n && i < len(c.cores); i++ {
+		if !c.cores[i].Online() {
+			c.cores[i].state = StateIdle
+			online++
+		}
+	}
+	// Offline surplus cores from the highest id.
+	for i := len(c.cores) - 1; online > n && i > 0; i-- {
+		if c.cores[i].Online() {
+			c.cores[i].state = StateOffline
+			online--
+		}
+	}
+	return nil
+}
+
+// Run executes busyNanos of work on core id within a window of windowNanos,
+// updating state and cycle accounting. busyNanos is clamped to windowNanos.
+// It returns the number of cycles executed. Calling Run on an offline core
+// returns ErrCoreOffline: the scheduler must never place work there.
+func (c *CPU) Run(id int, busyNanos, windowNanos uint64) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	core, err := c.core(id)
+	if err != nil {
+		return 0, err
+	}
+	if !core.Online() {
+		return 0, fmt.Errorf("%w: core %d", ErrCoreOffline, id)
+	}
+	if busyNanos > windowNanos {
+		busyNanos = windowNanos
+	}
+	cycles := uint64(float64(core.opp.Freq) * float64(busyNanos) / 1e9)
+	core.busyCycles += cycles
+	core.busyNanos += busyNanos
+	core.totalActive += windowNanos
+	if busyNanos > 0 {
+		core.state = StateActive
+	} else {
+		core.state = StateIdle
+	}
+	return cycles, nil
+}
+
+// CapacityCyclesPerSec returns the aggregate cycles/second of all online
+// cores at their current frequencies — the headroom the scheduler has.
+func (c *CPU) CapacityCyclesPerSec() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total float64
+	for _, core := range c.cores {
+		if core.Online() {
+			total += float64(core.opp.Freq)
+		}
+	}
+	return total
+}
+
+func (c *CPU) core(id int) (*Core, error) {
+	if id < 0 || id >= len(c.cores) {
+		return nil, fmt.Errorf("%w: %d (have %d cores)", ErrInvalidCore, id, len(c.cores))
+	}
+	return c.cores[id], nil
+}

@@ -1,0 +1,42 @@
+package soc
+
+// MSM8974Table returns the 14-point OPP table of the Snapdragon 800
+// (MSM8974) in the Nexus 5 — 300 MHz to 2.2656 GHz, 0.9 V to 1.2 V
+// (Table 1 of the thesis). Voltages follow a mildly convex curve between the
+// two endpoints the paper reports, matching Krait 400 PVS-nominal behaviour.
+func MSM8974Table() *OPPTable {
+	return MustOPPTable([]OPP{
+		{Freq: 300_000 * KHz, Volt: 0.900},
+		{Freq: 422_400 * KHz, Volt: 0.910},
+		{Freq: 652_800 * KHz, Volt: 0.930},
+		{Freq: 729_600 * KHz, Volt: 0.940},
+		{Freq: 883_200 * KHz, Volt: 0.960},
+		{Freq: 960_000 * KHz, Volt: 0.975},
+		{Freq: 1_036_800 * KHz, Volt: 0.990},
+		{Freq: 1_190_400 * KHz, Volt: 1.010},
+		{Freq: 1_267_200 * KHz, Volt: 1.025},
+		{Freq: 1_497_600 * KHz, Volt: 1.060},
+		{Freq: 1_574_400 * KHz, Volt: 1.075},
+		{Freq: 1_728_000 * KHz, Volt: 1.100},
+		{Freq: 1_958_400 * KHz, Volt: 1.145},
+		{Freq: 2_265_600 * KHz, Volt: 1.200},
+	})
+}
+
+// UniformTable builds a synthetic table of n evenly spaced frequencies
+// between lo and hi with linearly interpolated voltages — useful for the
+// older single/dual-core platform profiles of Figure 1 and for tests.
+func UniformTable(n int, lo, hi Hz, vlo, vhi Volt) (*OPPTable, error) {
+	points := make([]OPP, 0, n)
+	for i := 0; i < n; i++ {
+		frac := 0.0
+		if n > 1 {
+			frac = float64(i) / float64(n-1)
+		}
+		points = append(points, OPP{
+			Freq: lo + Hz(frac*float64(hi-lo)),
+			Volt: vlo + Volt(frac*float64(vhi-vlo)),
+		})
+	}
+	return NewOPPTable(points)
+}

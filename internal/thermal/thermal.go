@@ -1,0 +1,145 @@
+// Package thermal models the die/skin temperature of the handset with a
+// first-order RC network and implements an msm_thermal-style frequency-cap
+// throttle. The thermal path matters twice in the thesis: Figure 2's IR
+// contrast between the Nexus S and Nexus 5, and the sub-linear core scaling
+// of Figure 4, which on real hardware is largely the thermal driver clipping
+// sustained multi-core turbo.
+package thermal
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"mobicore/internal/soc"
+)
+
+// Params describes one platform's thermal characteristics.
+type Params struct {
+	// AmbientC is the environment temperature in °C.
+	AmbientC float64
+	// ResistanceKPerW is the steady-state thermal resistance from the CPU
+	// area to ambient: T_ss = ambient + P · R.
+	ResistanceKPerW float64
+	// TimeConstant is the RC time constant τ; the die covers ~63% of the
+	// distance to steady state in one τ.
+	TimeConstant time.Duration
+
+	// TripC engages throttling; ReleaseC disengages it (hysteresis).
+	// Setting TripC to 0 (or +Inf semantics via a huge value) disables
+	// throttling.
+	TripC    float64
+	ReleaseC float64
+	// StepPeriod is how often the throttle moves the cap by one OPP.
+	StepPeriod time.Duration
+}
+
+// Validate reports the first nonsensical field.
+func (p Params) Validate() error {
+	switch {
+	case p.ResistanceKPerW <= 0:
+		return errors.New("thermal: ResistanceKPerW must be positive")
+	case p.TimeConstant <= 0:
+		return errors.New("thermal: TimeConstant must be positive")
+	case p.TripC != 0 && p.ReleaseC > p.TripC:
+		return errors.New("thermal: ReleaseC must not exceed TripC")
+	case p.TripC != 0 && p.StepPeriod <= 0:
+		return errors.New("thermal: StepPeriod must be positive when throttling")
+	}
+	return nil
+}
+
+// Zone integrates temperature and drives the throttle cap. Not safe for
+// concurrent use; owned by the simulation loop.
+type Zone struct {
+	params Params
+	table  *soc.OPPTable
+
+	tempC      float64
+	capIndex   int // index into the OPP table; len-1 means uncapped
+	sinceStep  time.Duration
+	throttling bool
+}
+
+// NewZone builds a thermal zone starting at ambient with no cap.
+func NewZone(params Params, table *soc.OPPTable) (*Zone, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if table == nil || table.Len() == 0 {
+		return nil, soc.ErrEmptyTable
+	}
+	return &Zone{
+		params:   params,
+		table:    table,
+		tempC:    params.AmbientC,
+		capIndex: table.Len() - 1,
+	}, nil
+}
+
+// TempC returns the current modelled temperature.
+func (z *Zone) TempC() float64 { return z.tempC }
+
+// Throttling reports whether the cap is currently engaged below max.
+func (z *Zone) Throttling() bool { return z.capIndex < z.table.Len()-1 }
+
+// CapFreq returns the maximum frequency currently allowed.
+func (z *Zone) CapFreq() soc.Hz { return z.table.At(z.capIndex).Freq }
+
+// SteadyStateC returns the temperature the zone converges to if watts are
+// held forever: ambient + P·R.
+func (z *Zone) SteadyStateC(watts float64) float64 {
+	return z.params.AmbientC + watts*z.params.ResistanceKPerW
+}
+
+// Step advances the model by dt under a dissipation of watts and updates
+// the throttle cap. dT/dt = (T_ss − T)/τ, integrated exactly.
+func (z *Zone) Step(watts float64, dt time.Duration) {
+	if dt <= 0 {
+		return
+	}
+	tss := z.SteadyStateC(watts)
+	alpha := 1 - math.Exp(-dt.Seconds()/z.params.TimeConstant.Seconds())
+	z.tempC += (tss - z.tempC) * alpha
+
+	if z.params.TripC == 0 {
+		return // throttling disabled
+	}
+	z.sinceStep += dt
+	if z.sinceStep < z.params.StepPeriod {
+		return
+	}
+	z.sinceStep = 0
+	switch {
+	case z.tempC >= z.params.TripC:
+		z.throttling = true
+		if z.capIndex > 0 {
+			z.capIndex--
+		}
+	case z.tempC <= z.params.ReleaseC:
+		z.throttling = false
+		if z.capIndex < z.table.Len()-1 {
+			z.capIndex++
+		}
+	case z.throttling:
+		// Between release and trip while hot: hold the cap.
+	}
+}
+
+// Clamp applies the current cap to a requested frequency, returning the
+// highest allowed operating point at or below the request.
+func (z *Zone) Clamp(req soc.Hz) soc.Hz {
+	cap := z.CapFreq()
+	if req <= cap {
+		return req
+	}
+	return z.table.FloorFreq(cap).Freq
+}
+
+// Reset returns the zone to ambient with no cap.
+func (z *Zone) Reset() {
+	z.tempC = z.params.AmbientC
+	z.capIndex = z.table.Len() - 1
+	z.sinceStep = 0
+	z.throttling = false
+}

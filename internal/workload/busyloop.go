@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mobicore/internal/sched"
+	"mobicore/internal/soc"
+)
+
+// BusyLoopConfig shapes the kernel-app reproduction. The real tool runs
+// busy loops "for a certain number of iterations and includes a period of
+// idleness, which is about 40ms" (§3.1): each thread spins through a fixed
+// cycle budget, then sleeps 40 ms, then repeats. The "allowed overall CPU
+// utilization" knob sizes the spin budget so that, at the reference
+// frequency, the duty cycle equals the target utilization. Because the spin
+// budget is in cycles, a slower clock stretches the busy phase — raising
+// observed utilization — exactly the feedback real governors see.
+type BusyLoopConfig struct {
+	// TargetUtil is the per-thread duty-cycle target at RefFreq, in [0,1].
+	// 1.0 means continuous spinning with no idle period.
+	TargetUtil float64
+	// Threads is the number of worker loops (the paper's app splits work
+	// over 4 processes, §3.2).
+	Threads int
+	// RefFreq anchors the utilization target: the spin budget is sized so
+	// a core at RefFreq spends TargetUtil of its time busy. Experiments
+	// use the frequency they pin, or f_max for governor-driven runs.
+	RefFreq soc.Hz
+	// IdlePeriod is the sleep between spin batches (default 40 ms, §3.1).
+	IdlePeriod time.Duration
+	// Stagger offsets each thread's first batch by Stagger×index so the
+	// threads do not run in lockstep (default 10 ms).
+	Stagger time.Duration
+}
+
+// Validate rejects nonsensical configurations.
+func (c BusyLoopConfig) Validate() error {
+	if c.TargetUtil < 0 || c.TargetUtil > 1 {
+		return errors.New("workload: TargetUtil must be in [0,1]")
+	}
+	if c.Threads < 1 {
+		return errors.New("workload: Threads must be >= 1")
+	}
+	if c.RefFreq == 0 {
+		return errors.New("workload: RefFreq must be set")
+	}
+	if c.IdlePeriod < 0 || c.Stagger < 0 {
+		return errors.New("workload: idle/stagger durations must be non-negative")
+	}
+	return nil
+}
+
+// loopPhase is one thread's position in the spin/idle cycle.
+type loopPhase int
+
+const (
+	phaseSpinning loopPhase = iota + 1
+	phaseIdling
+)
+
+type loopState struct {
+	thread *sched.Thread
+	phase  loopPhase
+	timer  time.Duration // remaining idle time when idling
+}
+
+// BusyLoop is the reproduced in-house kernel application: per-thread
+// spin-for-C-cycles / idle-40ms duty cycles with no memory accesses.
+type BusyLoop struct {
+	cfg        BusyLoopConfig
+	continuous bool    // TargetUtil ≈ 1: spin without idle periods
+	spinCycles float64 // cycles per spin batch when not continuous
+	loops      []loopState
+	threads    []*sched.Thread
+}
+
+var _ Workload = (*BusyLoop)(nil)
+
+// continuousUtil is the utilization at or above which the loop degenerates
+// to continuous spinning: the thread keeps a standing backlog instead of
+// alternating spin batches with idle periods.
+const continuousUtil = 0.999
+
+// NewBusyLoop builds the kernel-app workload.
+func NewBusyLoop(cfg BusyLoopConfig) (*BusyLoop, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.IdlePeriod == 0 {
+		cfg.IdlePeriod = 40 * time.Millisecond // §3.1's idle period
+	}
+	if cfg.Stagger == 0 {
+		cfg.Stagger = 10 * time.Millisecond
+	}
+	b := &BusyLoop{cfg: cfg, continuous: cfg.TargetUtil >= continuousUtil}
+	if !b.continuous {
+		// busy/(busy+idle) = u  ⇒  busy = idle·u/(1-u); cycles at RefFreq.
+		busySec := cfg.IdlePeriod.Seconds() * cfg.TargetUtil / (1 - cfg.TargetUtil)
+		b.spinCycles = busySec * float64(cfg.RefFreq)
+	}
+	b.loops = make([]loopState, cfg.Threads)
+	b.threads = make([]*sched.Thread, cfg.Threads)
+	for i := range b.loops {
+		th := sched.NewThread(fmt.Sprintf("busyloop-%d", i))
+		b.threads[i] = th
+		// Start idling for the stagger offset, then begin spinning.
+		b.loops[i] = loopState{
+			thread: th,
+			phase:  phaseIdling,
+			timer:  time.Duration(i) * cfg.Stagger,
+		}
+	}
+	return b, nil
+}
+
+// Name implements Workload.
+func (b *BusyLoop) Name() string { return "busyloop" }
+
+// Threads implements Workload.
+func (b *BusyLoop) Threads() []*sched.Thread { return b.threads }
+
+// Done implements Workload: the kernel app runs until stopped.
+func (b *BusyLoop) Done() bool { return false }
+
+// SpinCycles reports the per-batch cycle budget (0 when continuous).
+func (b *BusyLoop) SpinCycles() float64 { return b.spinCycles }
+
+// Continuous reports whether the loop spins without idle periods.
+func (b *BusyLoop) Continuous() bool { return b.continuous }
+
+// Tick implements Workload: advance each thread's spin/idle state machine.
+func (b *BusyLoop) Tick(now, dt time.Duration, rng *rand.Rand) {
+	_ = rng // the kernel app is deterministic
+	for i := range b.loops {
+		l := &b.loops[i]
+		if b.continuous {
+			// Continuous spin: keep one second of work queued.
+			top := float64(b.cfg.RefFreq)
+			if l.thread.Pending() < top/2 {
+				l.thread.AddWork(top - l.thread.Pending())
+			}
+			continue
+		}
+		switch l.phase {
+		case phaseSpinning:
+			if !l.thread.Runnable() {
+				// Batch finished somewhere in the last tick; start
+				// the idle period.
+				l.phase = phaseIdling
+				l.timer = b.cfg.IdlePeriod
+			}
+		case phaseIdling:
+			l.timer -= dt
+			if l.timer <= 0 {
+				if b.cfg.TargetUtil > 0 {
+					l.thread.AddWork(b.spinCycles)
+					l.phase = phaseSpinning
+				} else {
+					l.timer = b.cfg.IdlePeriod // 0% target: idle forever
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"mobicore/internal/sched"
+)
+
+// Step is one segment of a scripted demand trace.
+type Step struct {
+	// Duration is how long this segment lasts.
+	Duration time.Duration
+	// CyclesPerSec is the total demand rate across all threads during
+	// the segment.
+	CyclesPerSec float64
+}
+
+// Scripted replays a piecewise-constant demand trace — the workload shape
+// tests use to exercise burst and slow modes deterministically.
+type Scripted struct {
+	name    string
+	steps   []Step
+	threads []*sched.Thread
+	elapsed time.Duration
+	total   time.Duration
+}
+
+var _ Workload = (*Scripted)(nil)
+
+// NewScripted builds a scripted workload over nThreads threads.
+func NewScripted(name string, nThreads int, steps []Step) (*Scripted, error) {
+	if name == "" {
+		return nil, errors.New("workload: scripted workload needs a name")
+	}
+	if nThreads < 1 {
+		return nil, errors.New("workload: scripted workload needs >= 1 thread")
+	}
+	if len(steps) == 0 {
+		return nil, errors.New("workload: scripted workload needs steps")
+	}
+	var total time.Duration
+	for i, s := range steps {
+		if s.Duration <= 0 {
+			return nil, fmt.Errorf("workload: step %d has non-positive duration", i)
+		}
+		if s.CyclesPerSec < 0 {
+			return nil, fmt.Errorf("workload: step %d has negative demand", i)
+		}
+		total += s.Duration
+	}
+	threads := make([]*sched.Thread, nThreads)
+	for i := range threads {
+		threads[i] = sched.NewThread(fmt.Sprintf("%s-%d", name, i))
+	}
+	return &Scripted{name: name, steps: steps, threads: threads, total: total}, nil
+}
+
+// Name implements Workload.
+func (s *Scripted) Name() string { return s.name }
+
+// Threads implements Workload.
+func (s *Scripted) Threads() []*sched.Thread { return s.threads }
+
+// Done implements Workload: true once the trace is exhausted and every
+// deposited cycle has executed.
+func (s *Scripted) Done() bool {
+	if s.elapsed < s.total {
+		return false
+	}
+	for _, t := range s.threads {
+		if t.Runnable() {
+			return false
+		}
+	}
+	return true
+}
+
+// Tick implements Workload.
+func (s *Scripted) Tick(now, dt time.Duration, rng *rand.Rand) {
+	_ = rng
+	if s.elapsed >= s.total {
+		return
+	}
+	rate := s.rateAt(s.elapsed)
+	s.elapsed += dt
+	perThread := rate * dt.Seconds() / float64(len(s.threads))
+	for _, t := range s.threads {
+		t.AddWork(perThread)
+	}
+}
+
+func (s *Scripted) rateAt(at time.Duration) float64 {
+	var acc time.Duration
+	for _, step := range s.steps {
+		acc += step.Duration
+		if at < acc {
+			return step.CyclesPerSec
+		}
+	}
+	return 0
+}
+
+// Sinusoid produces smoothly varying demand — a stand-in for "dynamic"
+// applications whose load oscillates, used in tests of the bandwidth
+// controller's burst/slow detection.
+type Sinusoid struct {
+	name     string
+	meanRate float64 // cycles/sec
+	amp      float64 // fraction of meanRate
+	period   time.Duration
+	noise    float64 // stddev as fraction of instantaneous rate
+	threads  []*sched.Thread
+	elapsed  time.Duration
+}
+
+var _ Workload = (*Sinusoid)(nil)
+
+// NewSinusoid builds an oscillating workload.
+func NewSinusoid(name string, nThreads int, meanRate, amplitude float64, period time.Duration, noise float64) (*Sinusoid, error) {
+	if nThreads < 1 {
+		return nil, errors.New("workload: sinusoid needs >= 1 thread")
+	}
+	if meanRate <= 0 {
+		return nil, errors.New("workload: sinusoid needs positive mean rate")
+	}
+	if amplitude < 0 || amplitude > 1 {
+		return nil, errors.New("workload: sinusoid amplitude must be in [0,1]")
+	}
+	if period <= 0 {
+		return nil, errors.New("workload: sinusoid needs positive period")
+	}
+	if noise < 0 {
+		return nil, errors.New("workload: sinusoid noise must be non-negative")
+	}
+	threads := make([]*sched.Thread, nThreads)
+	for i := range threads {
+		threads[i] = sched.NewThread(fmt.Sprintf("%s-%d", name, i))
+	}
+	return &Sinusoid{
+		name: name, meanRate: meanRate, amp: amplitude,
+		period: period, noise: noise, threads: threads,
+	}, nil
+}
+
+// Name implements Workload.
+func (s *Sinusoid) Name() string { return s.name }
+
+// Threads implements Workload.
+func (s *Sinusoid) Threads() []*sched.Thread { return s.threads }
+
+// Done implements Workload: open-ended.
+func (s *Sinusoid) Done() bool { return false }
+
+// Tick implements Workload.
+func (s *Sinusoid) Tick(now, dt time.Duration, rng *rand.Rand) {
+	s.elapsed += dt
+	phase := 2 * math.Pi * float64(s.elapsed) / float64(s.period)
+	rate := s.meanRate * (1 + s.amp*math.Sin(phase))
+	if s.noise > 0 {
+		rate *= 1 + s.noise*rng.NormFloat64()
+		if rate < 0 {
+			rate = 0
+		}
+	}
+	perThread := rate * dt.Seconds() / float64(len(s.threads))
+	for _, t := range s.threads {
+		t.AddWork(perThread)
+	}
+}

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// ParseTraceCSV reads a demand trace of "seconds,cycles_per_sec" rows (an
+// optional header is skipped) into Scripted steps. Each row's rate holds
+// until the next row's timestamp; the final row needs a following
+// "end-of-trace" row carrying the closing timestamp (its rate is ignored).
+// This is the import half of a measure-on-device / replay-in-simulation
+// workflow: record per-second served cycles from a real phone, replay them
+// against any policy here.
+func ParseTraceCSV(r io.Reader) ([]Step, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace csv: %w", err)
+	}
+	if len(rows) > 0 {
+		if _, err := strconv.ParseFloat(rows[0][0], 64); err != nil {
+			rows = rows[1:] // header row
+		}
+	}
+	if len(rows) < 2 {
+		return nil, errors.New("workload: trace needs at least two rows (start and end)")
+	}
+	steps := make([]Step, 0, len(rows)-1)
+	prevAt := -1.0
+	prevRate := 0.0
+	for i, row := range rows {
+		at, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace row %d: bad timestamp %q", i, row[0])
+		}
+		rate, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace row %d: bad rate %q", i, row[1])
+		}
+		if rate < 0 {
+			return nil, fmt.Errorf("workload: trace row %d: negative rate", i)
+		}
+		if prevAt >= 0 {
+			if at <= prevAt {
+				return nil, fmt.Errorf("workload: trace row %d: timestamps not increasing", i)
+			}
+			steps = append(steps, Step{
+				Duration:     time.Duration((at - prevAt) * float64(time.Second)),
+				CyclesPerSec: prevRate,
+			})
+		}
+		prevAt, prevRate = at, rate
+	}
+	return steps, nil
+}
+
+// WriteTraceCSV writes steps in the format ParseTraceCSV reads, including
+// the closing end-of-trace row.
+func WriteTraceCSV(w io.Writer, steps []Step) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"seconds", "cycles_per_sec"}); err != nil {
+		return fmt.Errorf("workload: writing trace header: %w", err)
+	}
+	at := 0.0
+	for _, s := range steps {
+		row := []string{
+			strconv.FormatFloat(at, 'f', 6, 64),
+			strconv.FormatFloat(s.CyclesPerSec, 'f', 3, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("workload: writing trace row: %w", err)
+		}
+		at += s.Duration.Seconds()
+	}
+	end := []string{strconv.FormatFloat(at, 'f', 6, 64), "0"}
+	if err := cw.Write(end); err != nil {
+		return fmt.Errorf("workload: writing trace end row: %w", err)
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("workload: flushing trace: %w", err)
+	}
+	return nil
+}

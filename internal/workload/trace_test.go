@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseTraceCSV(t *testing.T) {
+	in := "seconds,cycles_per_sec\n0,1e9\n0.5,2e9\n1.0,0\n"
+	steps, err := ParseTraceCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Step{
+		{Duration: 500 * time.Millisecond, CyclesPerSec: 1e9},
+		{Duration: 500 * time.Millisecond, CyclesPerSec: 2e9},
+	}
+	if len(steps) != len(want) {
+		t.Fatalf("steps = %d, want %d", len(steps), len(want))
+	}
+	for i := range want {
+		if steps[i].Duration != want[i].Duration || steps[i].CyclesPerSec != want[i].CyclesPerSec {
+			t.Errorf("step %d = %+v, want %+v", i, steps[i], want[i])
+		}
+	}
+}
+
+func TestParseTraceCSVNoHeader(t *testing.T) {
+	steps, err := ParseTraceCSV(strings.NewReader("0,5e8\n2,0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 1 || steps[0].Duration != 2*time.Second || steps[0].CyclesPerSec != 5e8 {
+		t.Errorf("steps = %+v", steps)
+	}
+}
+
+func TestParseTraceCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"too short":      "0,1e9\n",
+		"bad timestamp":  "zero,1e9\nx,0\n",
+		"bad rate":       "0,fast\n1,0\n",
+		"negative rate":  "0,-5\n1,0\n",
+		"non-increasing": "0,1e9\n0,2e9\n1,0\n",
+		"wrong fields":   "0,1,2\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseTraceCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+// TestTraceRoundTrip: Write → Parse reproduces the steps.
+func TestTraceRoundTrip(t *testing.T) {
+	orig := []Step{
+		{Duration: 250 * time.Millisecond, CyclesPerSec: 1.5e9},
+		{Duration: time.Second, CyclesPerSec: 3e8},
+		{Duration: 100 * time.Millisecond, CyclesPerSec: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTraceCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip steps = %d, want %d", len(got), len(orig))
+	}
+	for i := range orig {
+		durDelta := got[i].Duration - orig[i].Duration
+		if durDelta < -time.Microsecond || durDelta > time.Microsecond {
+			t.Errorf("step %d duration = %v, want %v", i, got[i].Duration, orig[i].Duration)
+		}
+		if got[i].CyclesPerSec != orig[i].CyclesPerSec {
+			t.Errorf("step %d rate = %v, want %v", i, got[i].CyclesPerSec, orig[i].CyclesPerSec)
+		}
+	}
+}
+
+// TestTracePlayback: a parsed trace drives a Scripted workload.
+func TestTracePlayback(t *testing.T) {
+	steps, err := ParseTraceCSV(strings.NewReader("0,1e9\n0.1,0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := NewScripted("replayed", 1, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for now := time.Duration(0); now < 200*time.Millisecond; now += time.Millisecond {
+		wl.Tick(now, time.Millisecond, rng())
+	}
+	got := PendingCycles(wl)
+	if got < 0.95e8 || got > 1.05e8 {
+		t.Errorf("replayed demand = %v, want ≈1e8", got)
+	}
+}

@@ -1,0 +1,48 @@
+// Package workload defines the demand side of the simulation: generators
+// that deposit cycle debt into scheduler threads each tick. It includes the
+// reproduction of the thesis' "in-house kernel application" — configurable
+// busy loops with no memory accesses and a ~40 ms idle period per iteration
+// (§3.1) — plus scripted shapes used by tests and experiments.
+package workload
+
+import (
+	"math/rand"
+	"time"
+
+	"mobicore/internal/sched"
+)
+
+// Workload produces demand over simulated time. Implementations are driven
+// by the simulation loop and must be deterministic given the same rng.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Tick advances the workload by dt at simulation time now, depositing
+	// any new demand into its threads. rng is the simulation's seeded
+	// source; implementations must use it for all randomness.
+	Tick(now, dt time.Duration, rng *rand.Rand)
+	// Threads returns the workload's schedulable threads. The slice is
+	// stable across the run.
+	Threads() []*sched.Thread
+	// Done reports whether a finite workload has produced all its work
+	// and seen it executed. Open-ended workloads always return false.
+	Done() bool
+}
+
+// ExecutedCycles sums executed cycles across a workload's threads.
+func ExecutedCycles(w Workload) float64 {
+	var total float64
+	for _, t := range w.Threads() {
+		total += t.Executed()
+	}
+	return total
+}
+
+// PendingCycles sums queued cycles across a workload's threads.
+func PendingCycles(w Workload) float64 {
+	var total float64
+	for _, t := range w.Threads() {
+		total += t.Pending()
+	}
+	return total
+}

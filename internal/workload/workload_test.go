@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mobicore/internal/soc"
+)
+
+const fmax = 2_265_600 * soc.KHz
+
+func rng() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func TestBusyLoopConfigValidate(t *testing.T) {
+	good := BusyLoopConfig{TargetUtil: 0.5, Threads: 4, RefFreq: fmax}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []BusyLoopConfig{
+		{TargetUtil: -0.1, Threads: 1, RefFreq: fmax},
+		{TargetUtil: 1.1, Threads: 1, RefFreq: fmax},
+		{TargetUtil: 0.5, Threads: 0, RefFreq: fmax},
+		{TargetUtil: 0.5, Threads: 1, RefFreq: 0},
+		{TargetUtil: 0.5, Threads: 1, RefFreq: fmax, IdlePeriod: -time.Second},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestBusyLoopDutyCycle: the spin budget must equal the §3.1 duty-cycle
+// arithmetic — busy = idle·u/(1−u) at the reference frequency.
+func TestBusyLoopDutyCycle(t *testing.T) {
+	b, err := NewBusyLoop(BusyLoopConfig{TargetUtil: 0.3, Threads: 1, RefFreq: fmax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBusySec := 0.040 * 0.3 / 0.7
+	if got, want := b.SpinCycles(), wantBusySec*float64(fmax); math.Abs(got-want) > 1 {
+		t.Errorf("spin cycles = %v, want %v", got, want)
+	}
+}
+
+// TestBusyLoopAlternation: a thread deposits one batch, goes idle for the
+// idle period after the batch is drained, then deposits again.
+func TestBusyLoopAlternation(t *testing.T) {
+	b, err := NewBusyLoop(BusyLoopConfig{
+		TargetUtil: 0.5, Threads: 1, RefFreq: fmax, Stagger: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := b.Threads()[0]
+	r := rng()
+	// Tick until the first batch lands.
+	now := time.Duration(0)
+	for i := 0; i < 10 && !th.Runnable(); i++ {
+		b.Tick(now, time.Millisecond, r)
+		now += time.Millisecond
+	}
+	if !th.Runnable() {
+		t.Fatal("no batch deposited after stagger")
+	}
+	batch := th.Pending()
+	if math.Abs(batch-b.SpinCycles()) > 1 {
+		t.Fatalf("batch = %v, want %v", batch, b.SpinCycles())
+	}
+	// Drain it; the loop must wait IdlePeriod before the next batch.
+	th.DropWork(batch)
+	b.Tick(now, time.Millisecond, r)
+	now += time.Millisecond
+	if th.Runnable() {
+		t.Fatal("deposited immediately without idling")
+	}
+	for i := 0; i < 39; i++ { // rest of the 40 ms idle period
+		b.Tick(now, time.Millisecond, r)
+		now += time.Millisecond
+	}
+	b.Tick(now, time.Millisecond, r)
+	if !th.Runnable() {
+		t.Error("no batch after the idle period elapsed")
+	}
+}
+
+func TestBusyLoopContinuousSpin(t *testing.T) {
+	b, err := NewBusyLoop(BusyLoopConfig{TargetUtil: 1.0, Threads: 2, RefFreq: fmax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SpinCycles() != 0 {
+		t.Errorf("continuous spin should report 0 batch cycles, got %v", b.SpinCycles())
+	}
+	r := rng()
+	b.Tick(0, time.Millisecond, r)
+	for i, th := range b.Threads() {
+		if !th.Runnable() {
+			t.Errorf("thread %d idle under continuous spin", i)
+		}
+	}
+	if b.Done() {
+		t.Error("busy loop should never report done")
+	}
+}
+
+func TestBusyLoopZeroUtil(t *testing.T) {
+	b, err := NewBusyLoop(BusyLoopConfig{TargetUtil: 0, Threads: 1, RefFreq: fmax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng()
+	for now := time.Duration(0); now < time.Second; now += time.Millisecond {
+		b.Tick(now, time.Millisecond, r)
+	}
+	if got := b.Threads()[0].Pending(); got != 0 {
+		t.Errorf("0%% target deposited %v cycles", got)
+	}
+}
+
+func TestScriptedValidation(t *testing.T) {
+	if _, err := NewScripted("", 1, []Step{{Duration: time.Second, CyclesPerSec: 1}}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewScripted("x", 0, []Step{{Duration: time.Second, CyclesPerSec: 1}}); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if _, err := NewScripted("x", 1, nil); err == nil {
+		t.Error("no steps accepted")
+	}
+	if _, err := NewScripted("x", 1, []Step{{Duration: 0, CyclesPerSec: 1}}); err == nil {
+		t.Error("zero-duration step accepted")
+	}
+	if _, err := NewScripted("x", 1, []Step{{Duration: time.Second, CyclesPerSec: -1}}); err == nil {
+		t.Error("negative demand accepted")
+	}
+}
+
+func TestScriptedReplaysTrace(t *testing.T) {
+	s, err := NewScripted("trace", 2, []Step{
+		{Duration: 100 * time.Millisecond, CyclesPerSec: 1e9},
+		{Duration: 100 * time.Millisecond, CyclesPerSec: 2e9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng()
+	for now := time.Duration(0); now < 300*time.Millisecond; now += time.Millisecond {
+		s.Tick(now, time.Millisecond, r)
+	}
+	deposited := PendingCycles(s)
+	want := 1e9*0.1 + 2e9*0.1
+	if math.Abs(deposited-want) > 1e6 {
+		t.Errorf("deposited = %v, want %v", deposited, want)
+	}
+	if s.Done() {
+		t.Error("Done with pending work")
+	}
+	for _, th := range s.Threads() {
+		th.DropWork(th.Pending())
+	}
+	if !s.Done() {
+		t.Error("not Done after trace exhausted and work drained")
+	}
+}
+
+func TestSinusoidValidation(t *testing.T) {
+	if _, err := NewSinusoid("s", 0, 1e9, 0.5, time.Second, 0); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if _, err := NewSinusoid("s", 1, 0, 0.5, time.Second, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewSinusoid("s", 1, 1e9, 1.5, time.Second, 0); err == nil {
+		t.Error("amplitude > 1 accepted")
+	}
+	if _, err := NewSinusoid("s", 1, 1e9, 0.5, 0, 0); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := NewSinusoid("s", 1, 1e9, 0.5, time.Second, -1); err == nil {
+		t.Error("negative noise accepted")
+	}
+}
+
+func TestSinusoidMeanRate(t *testing.T) {
+	s, err := NewSinusoid("wave", 1, 1e9, 0.5, 100*time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng()
+	// Integrate over exactly ten periods: the sinusoid averages out.
+	for now := time.Duration(0); now < time.Second; now += time.Millisecond {
+		s.Tick(now, time.Millisecond, r)
+	}
+	got := PendingCycles(s)
+	if math.Abs(got-1e9)/1e9 > 0.02 {
+		t.Errorf("integrated demand = %v, want ≈1e9 (mean rate over full periods)", got)
+	}
+}
+
+func TestSinusoidDeterminism(t *testing.T) {
+	run := func() float64 {
+		s, err := NewSinusoid("wave", 2, 1e9, 0.5, 50*time.Millisecond, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(33))
+		for now := time.Duration(0); now < 200*time.Millisecond; now += time.Millisecond {
+			s.Tick(now, time.Millisecond, r)
+		}
+		return PendingCycles(s)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed diverged: %v vs %v", a, b)
+	}
+}
+
+func TestExecutedCyclesHelper(t *testing.T) {
+	b, err := NewBusyLoop(BusyLoopConfig{TargetUtil: 0.5, Threads: 2, RefFreq: fmax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ExecutedCycles(b); got != 0 {
+		t.Errorf("fresh workload executed = %v", got)
+	}
+}

@@ -1,0 +1,275 @@
+// Package mobicore is a library reproduction of "MobiCore: An Adaptive
+// Hybrid Approach for Power-Efficient CPU Management on Android Devices"
+// (Broyde, University of Pittsburgh, 2017).
+//
+// It provides a deterministic smartphone-SoC simulation — multi-core CPU
+// with per-core DVFS and hotplug, a calibrated CMOS power model, an RC
+// thermal model with throttling, a load-balancing scheduler with CFS-style
+// bandwidth control, and the stock Linux cpufreq governors — plus the
+// paper's contribution: the MobiCore unified CPU manager, which decides
+// frequency, online core count, and CPU bandwidth quota in one step.
+//
+// Quick start:
+//
+//	dev, err := mobicore.NewDevice(mobicore.Config{
+//		Platform: "nexus5",
+//		Policy:   mobicore.PolicyMobiCore,
+//	}, mobicore.BusyLoop(0.3, 4))
+//	if err != nil { ... }
+//	report, err := dev.Run(10 * time.Second)
+//	fmt.Printf("%.1f mW\n", report.AvgPowerW*1000)
+//
+// Every table and figure of the thesis' evaluation can be regenerated with
+// RunExperiment; see ExperimentIDs for the list.
+package mobicore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"mobicore/internal/core"
+	"mobicore/internal/cpufreq"
+	"mobicore/internal/experiment"
+	"mobicore/internal/hotplug"
+	"mobicore/internal/platform"
+	"mobicore/internal/policy"
+	"mobicore/internal/power"
+	"mobicore/internal/sim"
+	"mobicore/internal/soc"
+	"mobicore/internal/workload"
+)
+
+// Policy names accepted by Config.Policy.
+const (
+	// PolicyMobiCore is the paper's contribution: the full energy-model
+	// guided hybrid manager (DVFS + DCS + bandwidth in one decision).
+	PolicyMobiCore = "mobicore"
+	// PolicyMobiCoreThreshold is MobiCore with the §5.2 threshold rule
+	// for core re-evaluation instead of the energy-model search.
+	PolicyMobiCoreThreshold = "mobicore-threshold"
+	// PolicyAndroidDefault is the baseline the thesis evaluates against:
+	// the ondemand governor plus the default load hotplug (mpdecision
+	// disabled).
+	PolicyAndroidDefault = "android-default"
+	// PolicyOracle is the §4.2 exhaustive energy-model optimizer,
+	// re-evaluated every sampling period.
+	PolicyOracle = "oracle"
+)
+
+// Config assembles a simulated device.
+type Config struct {
+	// Platform names a device profile: "nexus5" (default), "nexus-s",
+	// "mb810", "galaxy-s2", "nexus4", or "lg-g3". See Platforms.
+	Platform string
+	// Policy names the CPU manager: one of the Policy* constants or
+	// "<governor>+<hotplug>" where governor is any stock cpufreq
+	// governor (ondemand, interactive, conservative, powersave,
+	// performance, userspace) and hotplug is "load", "mpdecision", or
+	// "fixed-N". Defaults to PolicyAndroidDefault.
+	Policy string
+	// SamplePeriod is the governor sampling period (default 50 ms).
+	SamplePeriod time.Duration
+	// Tick is the simulation integration step (default 1 ms).
+	Tick time.Duration
+	// Seed drives all workload randomness; equal seeds reproduce runs
+	// bit for bit.
+	Seed int64
+	// DisableThermalThrottle removes the thermal frequency cap (the
+	// configuration of the paper's short "highest computing state"
+	// measurements).
+	DisableThermalThrottle bool
+}
+
+// Device is a simulated handset running workloads under a CPU policy.
+type Device struct {
+	sim  *sim.Sim
+	plat platform.Platform
+}
+
+// Workload is the demand-side interface; build instances with BusyLoop,
+// NewGame, GeekBenchRun, Scripted, or Sinusoid.
+type Workload = workload.Workload
+
+// Report summarizes a completed run; see the fields of sim.Report.
+type Report = sim.Report
+
+// NewDevice builds a device from cfg and installs the workloads.
+func NewDevice(cfg Config, workloads ...Workload) (*Device, error) {
+	if len(workloads) == 0 {
+		return nil, errors.New("mobicore: NewDevice needs at least one workload")
+	}
+	plat, err := lookupPlatform(cfg.Platform)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DisableThermalThrottle {
+		plat = plat.WithoutThrottle()
+	}
+	mgr, err := buildPolicy(cfg.Policy, plat)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(sim.Config{
+		Platform:     plat,
+		Manager:      mgr,
+		Workloads:    workloads,
+		Tick:         cfg.Tick,
+		SamplePeriod: cfg.SamplePeriod,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mobicore: %w", err)
+	}
+	return &Device{sim: s, plat: plat}, nil
+}
+
+// Run advances the simulation by d and returns the cumulative report.
+func (d *Device) Run(dur time.Duration) (*Report, error) { return d.sim.Run(dur) }
+
+// RunUntilDone advances until every workload finishes or maxDur elapses.
+func (d *Device) RunUntilDone(maxDur time.Duration) (*Report, bool, error) {
+	return d.sim.RunUntilDone(maxDur)
+}
+
+// Now returns the current simulated time.
+func (d *Device) Now() time.Duration { return d.sim.Now() }
+
+// WritePowerTraceCSV exports the sampled power-rail trace.
+func (d *Device) WritePowerTraceCSV(w io.Writer) error { return d.sim.Monitor().WriteCSV(w) }
+
+// WritePowerTraceJSON exports the trace and summary as JSON.
+func (d *Device) WritePowerTraceJSON(w io.Writer) error { return d.sim.Monitor().WriteJSON(w) }
+
+// PlatformName returns the device profile in use.
+func (d *Device) PlatformName() string { return d.plat.Name }
+
+// platformNames maps config names to profile constructors.
+func platformNames() map[string]func() platform.Platform {
+	return map[string]func() platform.Platform{
+		"nexus5":    platform.Nexus5,
+		"nexus-s":   platform.NexusS,
+		"mb810":     platform.MotorolaMB810,
+		"galaxy-s2": platform.GalaxyS2,
+		"nexus4":    platform.Nexus4,
+		"lg-g3":     platform.LGG3,
+	}
+}
+
+// Platforms lists the built-in device profiles.
+func Platforms() []string {
+	m := platformNames()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func lookupPlatform(name string) (platform.Platform, error) {
+	if name == "" {
+		name = "nexus5"
+	}
+	f, ok := platformNames()[name]
+	if !ok {
+		return platform.Platform{}, fmt.Errorf("mobicore: unknown platform %q (have %v)", name, Platforms())
+	}
+	return f(), nil
+}
+
+// Policies lists the accepted policy names (the composable
+// "<governor>+<hotplug>" forms are additional).
+func Policies() []string {
+	return []string{PolicyAndroidDefault, PolicyMobiCore, PolicyMobiCoreThreshold, PolicyOracle}
+}
+
+// buildPolicy resolves a policy name against a platform.
+func buildPolicy(name string, plat platform.Platform) (policy.Manager, error) {
+	if name == "" {
+		name = PolicyAndroidDefault
+	}
+	switch name {
+	case PolicyAndroidDefault:
+		return policy.AndroidDefault(plat.Table)
+	case PolicyMobiCore:
+		model, err := power.NewModel(plat.Power, plat.Table)
+		if err != nil {
+			return nil, fmt.Errorf("mobicore: %w", err)
+		}
+		return core.NewWithModel(plat.Table, core.DefaultTunables(), model)
+	case PolicyMobiCoreThreshold:
+		return core.New(plat.Table, core.DefaultTunables())
+	case PolicyOracle:
+		model, err := power.NewModel(plat.Power, plat.Table)
+		if err != nil {
+			return nil, fmt.Errorf("mobicore: %w", err)
+		}
+		return core.NewOracle(plat.Table, model, 0.15)
+	}
+	return composedPolicy(name, plat)
+}
+
+// composedPolicy parses "<governor>+<hotplug>".
+func composedPolicy(name string, plat platform.Platform) (policy.Manager, error) {
+	govName, plugName, ok := strings.Cut(name, "+")
+	if !ok || govName == "" || plugName == "" {
+		return nil, fmt.Errorf("mobicore: unknown policy %q (want one of %v or \"governor+hotplug\")",
+			name, Policies())
+	}
+	gov, err := cpufreq.New(govName, plat.Table)
+	if err != nil {
+		return nil, fmt.Errorf("mobicore: %w", err)
+	}
+	plug, err := buildHotplug(plugName)
+	if err != nil {
+		return nil, err
+	}
+	return policy.Compose(gov, plug)
+}
+
+func buildHotplug(name string) (hotplug.Policy, error) {
+	switch name {
+	case "load":
+		return hotplug.NewLoad(hotplug.DefaultLoadTunables())
+	case "mpdecision":
+		return hotplug.MPDecision{}, nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(name, "fixed-%d", &n); err == nil {
+		return hotplug.NewFixed(n)
+	}
+	return nil, fmt.Errorf("mobicore: unknown hotplug policy %q (want load, mpdecision, or fixed-N)", name)
+}
+
+// Governors lists the available cpufreq governors.
+func Governors() []string { return cpufreq.Names() }
+
+// ExperimentIDs lists every reproducible table/figure id.
+func ExperimentIDs() []string { return experiment.IDs() }
+
+// ExperimentResult is a regenerated table or figure.
+type ExperimentResult = experiment.Result
+
+// ExperimentOptions scale experiment sessions; Scale 1.0 matches the
+// paper's timings.
+type ExperimentOptions = experiment.Options
+
+// RunExperiment regenerates one paper item by id ("table1", "fig1" …
+// "fig13", "static").
+func RunExperiment(id string, opt ExperimentOptions) (ExperimentResult, error) {
+	return experiment.Run(id, opt)
+}
+
+// Hz re-exports the frequency unit for API users.
+type Hz = soc.Hz
+
+// Frequency units.
+const (
+	KHz = soc.KHz
+	MHz = soc.MHz
+	GHz = soc.GHz
+)

@@ -1,0 +1,212 @@
+package mobicore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPlatformsAndPolicies(t *testing.T) {
+	if len(Platforms()) != 6 {
+		t.Errorf("platforms = %v, want 6 profiles", Platforms())
+	}
+	if len(Policies()) != 4 {
+		t.Errorf("policies = %v, want 4 named policies", Policies())
+	}
+	if len(Governors()) < 6 {
+		t.Errorf("governors = %v, want at least the 6 stock ones", Governors())
+	}
+	if len(GameNames()) != 5 {
+		t.Errorf("games = %v, want the thesis' 5", GameNames())
+	}
+}
+
+func TestNewDeviceValidation(t *testing.T) {
+	wl := BusyLoop(0.5, 2)
+	if _, err := NewDevice(Config{}, nil...); err == nil {
+		t.Error("no workloads accepted")
+	}
+	if _, err := NewDevice(Config{Platform: "iphone"}, wl); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if _, err := NewDevice(Config{Policy: "warp-speed"}, wl); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := NewDevice(Config{Policy: "ondemand+bogus"}, wl); err == nil {
+		t.Error("unknown hotplug accepted")
+	}
+}
+
+func TestEveryNamedPolicyRuns(t *testing.T) {
+	for _, policy := range Policies() {
+		dev, err := NewDevice(Config{Policy: policy, Seed: 1}, BusyLoop(0.4, 4))
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		rep, err := dev.Run(2 * time.Second)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if rep.AvgPowerW <= 0 {
+			t.Errorf("%s: no power measured", policy)
+		}
+	}
+}
+
+func TestComposedPolicyRuns(t *testing.T) {
+	for _, policy := range []string{"interactive+load", "conservative+mpdecision", "userspace+fixed-2"} {
+		dev, err := NewDevice(Config{Policy: policy, Seed: 1}, BusyLoop(0.4, 4))
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if _, err := dev.Run(time.Second); err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+	}
+}
+
+func TestHeadlineClaim(t *testing.T) {
+	run := func(policy string) float64 {
+		dev, err := NewDevice(Config{Policy: policy, Seed: 9}, BusyLoop(0.3, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := dev.Run(10 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.AvgPowerW
+	}
+	def := run(PolicyAndroidDefault)
+	mob := run(PolicyMobiCore)
+	if mob >= def {
+		t.Errorf("MobiCore (%.1f mW) should beat the default (%.1f mW)", mob*1000, def*1000)
+	}
+}
+
+func TestGameWorkloadThroughFacade(t *testing.T) {
+	g, err := NewGame("Subway Surf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewDevice(Config{Policy: PolicyMobiCore, Seed: 42}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if g.AvgFPS() <= 0 {
+		t.Error("game rendered no frames")
+	}
+	if _, err := NewGame("Tetris"); err == nil {
+		t.Error("unknown game accepted")
+	}
+}
+
+func TestGeekBenchThroughFacade(t *testing.T) {
+	gb, err := NewGeekBenchRun(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewDevice(Config{Policy: PolicyAndroidDefault, Seed: 1}, gb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, done, err := dev.RunUntilDone(5 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("benchmark did not finish")
+	}
+	score, err := gb.ScoreAfter(rep.Duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score <= 0 {
+		t.Error("no score")
+	}
+}
+
+func TestTraceExport(t *testing.T) {
+	dev, err := NewDevice(Config{Seed: 1}, BusyLoop(0.5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var csv, js bytes.Buffer
+	if err := dev.WritePowerTraceCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "seconds,watts") {
+		t.Error("csv missing header")
+	}
+	if err := dev.WritePowerTraceJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), "average_watts") {
+		t.Error("json missing fields")
+	}
+}
+
+func TestRunExperimentThroughFacade(t *testing.T) {
+	res, err := RunExperiment("static", ExperimentOptions{Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "120") {
+		t.Errorf("static anchor output missing 120 mW: %s", buf.String())
+	}
+	if _, err := RunExperiment("fig99", ExperimentOptions{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if len(ExperimentIDs()) != 16 {
+		t.Errorf("experiment ids = %v, want 16", ExperimentIDs())
+	}
+}
+
+func TestDeterministicAcrossDevices(t *testing.T) {
+	run := func() float64 {
+		dev, err := NewDevice(Config{Policy: PolicyMobiCore, Seed: 77}, BusyLoop(0.6, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := dev.Run(3 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.EnergyJ
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed diverged: %v vs %v", a, b)
+	}
+}
+
+func TestDisableThermalThrottle(t *testing.T) {
+	dev, err := NewDevice(Config{
+		Policy:                 "performance+mpdecision",
+		DisableThermalThrottle: true,
+		Seed:                   1,
+	}, BusyLoop(1.0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := dev.Run(2 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ThermalCappedSec != 0 {
+		t.Errorf("throttle-disabled run capped for %.1f s", rep.ThermalCappedSec)
+	}
+	if rep.MaxTempC < 40 {
+		t.Errorf("unthrottled full blast peaked at %.1f C, want ≈42", rep.MaxTempC)
+	}
+}

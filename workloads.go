@@ -1,0 +1,109 @@
+package mobicore
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mobicore/internal/games"
+	"mobicore/internal/geekbench"
+	"mobicore/internal/metrics"
+	"mobicore/internal/platform"
+	"mobicore/internal/workload"
+)
+
+// BusyLoop builds the thesis' in-house kernel application (§3.1):
+// spin-for-a-budget / idle-40 ms duty cycles across the given number of
+// threads, sized so the duty at the Nexus 5's maximum frequency equals
+// targetUtil. It panics only on programmer error; invalid arguments return
+// an error from NewDevice instead via the Must-style wrapper below —
+// callers needing explicit errors should use NewBusyLoop.
+func BusyLoop(targetUtil float64, threads int) Workload {
+	w, err := NewBusyLoop(targetUtil, threads)
+	if err != nil {
+		// The only failure modes are out-of-range arguments; surface
+		// them as a deferred workload error through a nil-safe stub is
+		// worse than failing loudly at construction.
+		panic(fmt.Sprintf("mobicore.BusyLoop: %v", err))
+	}
+	return w
+}
+
+// NewBusyLoop is BusyLoop with an error return.
+func NewBusyLoop(targetUtil float64, threads int) (Workload, error) {
+	return workload.NewBusyLoop(workload.BusyLoopConfig{
+		TargetUtil: targetUtil,
+		Threads:    threads,
+		RefFreq:    platform.Nexus5().Table.Max().Freq,
+	})
+}
+
+// Scripted builds a piecewise-constant demand trace over nThreads threads.
+type ScriptedStep = workload.Step
+
+// NewScripted builds a scripted workload.
+func NewScripted(name string, nThreads int, steps []ScriptedStep) (Workload, error) {
+	return workload.NewScripted(name, nThreads, steps)
+}
+
+// ParseTraceCSV reads a "seconds,cycles_per_sec" demand trace (the
+// record-on-device / replay-in-simulation format) into scripted steps.
+func ParseTraceCSV(r io.Reader) ([]ScriptedStep, error) {
+	return workload.ParseTraceCSV(r)
+}
+
+// WriteTraceCSV writes steps in the format ParseTraceCSV reads.
+func WriteTraceCSV(w io.Writer, steps []ScriptedStep) error {
+	return workload.WriteTraceCSV(w, steps)
+}
+
+// NewSinusoid builds a smoothly oscillating workload: meanCyclesPerSec
+// demand ±amplitude with the given period, plus multiplicative noise.
+func NewSinusoid(name string, nThreads int, meanCyclesPerSec, amplitude float64, period time.Duration, noise float64) (Workload, error) {
+	return workload.NewSinusoid(name, nThreads, meanCyclesPerSec, amplitude, period, noise)
+}
+
+// Game is a frame-paced game workload with FPS accounting.
+type Game = games.Game
+
+// GameProfile describes a game's demand signature; see games.Profile.
+type GameProfile = games.Profile
+
+// GameNames lists the five evaluation titles of §6.
+func GameNames() []string {
+	profiles := games.All()
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// NewGame instantiates one of the five evaluation titles by name.
+func NewGame(name string) (*Game, error) {
+	for _, p := range games.All() {
+		if p.Name == name {
+			return games.New(p)
+		}
+	}
+	return nil, fmt.Errorf("mobicore: unknown game %q (have %v)", name, GameNames())
+}
+
+// NewCustomGame instantiates a game from a custom profile.
+func NewCustomGame(profile GameProfile) (*Game, error) { return games.New(profile) }
+
+// GeekBenchRun is the synthetic benchmark suite as a live workload; run it
+// with Device.RunUntilDone and read the score with ScoreAfter.
+type GeekBenchRun = geekbench.Run
+
+// NewGeekBenchRun builds a benchmark run over nThreads threads and the
+// given iteration count per thread.
+func NewGeekBenchRun(nThreads, iterations int) (*GeekBenchRun, error) {
+	return geekbench.NewRun(geekbench.StandardSuite(), platform.Nexus5().Table, nThreads, iterations)
+}
+
+// Summary re-exports the statistics accumulator used in reports.
+type Summary = metrics.Summary
+
+// Series re-exports the timestamped sample series used in reports.
+type Series = metrics.Series

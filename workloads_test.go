@@ -1,0 +1,115 @@
+package mobicore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBusyLoopPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("BusyLoop(-1, 0) should panic; use NewBusyLoop for errors")
+		}
+	}()
+	BusyLoop(-1, 0)
+}
+
+func TestNewBusyLoopErrors(t *testing.T) {
+	if _, err := NewBusyLoop(1.5, 4); err == nil {
+		t.Error("util > 1 accepted")
+	}
+	if _, err := NewBusyLoop(0.5, 0); err == nil {
+		t.Error("zero threads accepted")
+	}
+}
+
+func TestNewSinusoidThroughFacade(t *testing.T) {
+	wl, err := NewSinusoid("wave", 2, 1e9, 0.5, time.Second, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewDevice(Config{Policy: PolicyMobiCore, Seed: 5}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := dev.Run(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExecutedCycles == 0 {
+		t.Error("sinusoid executed nothing")
+	}
+}
+
+func TestNewCustomGameValidation(t *testing.T) {
+	if _, err := NewCustomGame(GameProfile{}); err == nil {
+		t.Error("zero-value profile accepted")
+	}
+	prof := GameProfile{
+		Name: "Test Title", TargetFPS: 30, FrameCycles: 1e8,
+		ParallelFrac: 0.5, Workers: 1, MaxQueue: 3,
+	}
+	g, err := NewCustomGame(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "Test Title" {
+		t.Errorf("name = %q", g.Name())
+	}
+}
+
+func TestTraceRoundTripThroughFacade(t *testing.T) {
+	steps := []ScriptedStep{
+		{Duration: 500 * time.Millisecond, CyclesPerSec: 2e9},
+		{Duration: time.Second, CyclesPerSec: 5e8},
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, steps); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseTraceCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(steps) {
+		t.Fatalf("round trip = %d steps, want %d", len(parsed), len(steps))
+	}
+	wl, err := NewScripted("replay", 2, parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewDevice(Config{Seed: 1}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, done, err := dev.RunUntilDone(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Error("replayed trace never finished")
+	}
+	// 2e9×0.5 + 5e8×1 = 1.5e9 cycles deposited and served.
+	if rep.ExecutedCycles < 1.4e9 || rep.ExecutedCycles > 1.6e9 {
+		t.Errorf("executed %.3g cycles, want ≈1.5e9", rep.ExecutedCycles)
+	}
+	if _, err := ParseTraceCSV(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage trace accepted")
+	}
+}
+
+func TestSchedutilThroughFacade(t *testing.T) {
+	dev, err := NewDevice(Config{Policy: "schedutil+load", Seed: 2}, BusyLoop(0.4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := dev.Run(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Policy, "schedutil") {
+		t.Errorf("policy = %q", rep.Policy)
+	}
+}
