@@ -1,0 +1,64 @@
+package mobicore
+
+import (
+	"testing"
+	"time"
+
+	"mobicore/internal/platform"
+)
+
+// TestPlatformAliasReconciliation locks the CLI aliases and the platform
+// display names to each other: both spellings must resolve through both
+// lookup paths (the root Config.Platform resolver and platform.ByName), so
+// the two name sets cannot drift apart again.
+func TestPlatformAliasReconciliation(t *testing.T) {
+	for _, alias := range Platforms() {
+		byAlias, err := lookupPlatform(alias)
+		if err != nil {
+			t.Errorf("lookupPlatform(%q): %v", alias, err)
+			continue
+		}
+		// The display name must work in the root resolver too.
+		byDisplay, err := lookupPlatform(byAlias.Name)
+		if err != nil {
+			t.Errorf("lookupPlatform(%q): %v", byAlias.Name, err)
+			continue
+		}
+		if byDisplay.Name != byAlias.Name {
+			t.Errorf("alias %q and display %q resolve to different profiles", alias, byAlias.Name)
+		}
+		// And the alias must work through platform.ByName.
+		if p, err := platform.ByName(alias); err != nil || p.Name != byAlias.Name {
+			t.Errorf("platform.ByName(%q) = %q, %v; want %q", alias, p.Name, err, byAlias.Name)
+		}
+		if got := platform.Alias(byAlias.Name); got != alias {
+			t.Errorf("platform.Alias(%q) = %q, want %q", byAlias.Name, got, alias)
+		}
+	}
+	// The root mapping is the platform package's mapping, verbatim.
+	if len(Platforms()) != len(platform.Profiles()) {
+		t.Errorf("root exposes %d platforms, platform package has %d", len(Platforms()), len(platform.Profiles()))
+	}
+}
+
+// TestNexus6PDevice drives the big.LITTLE profile through the public API
+// under each named policy that supports it.
+func TestNexus6PDevice(t *testing.T) {
+	for _, pol := range []string{PolicyMobiCore, PolicyMobiCoreThreshold, PolicyAndroidDefault, "schedutil+load"} {
+		dev, err := NewDevice(Config{Platform: "nexus6p", Policy: pol, Seed: 5}, BusyLoop(0.3, 4))
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		rep, err := dev.Run(time.Second)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if len(rep.ClusterNames) != 2 {
+			t.Errorf("%s: cluster names = %v, want 2 clusters", pol, rep.ClusterNames)
+		}
+	}
+	// The oracle is homogeneous-only for now and must say so.
+	if _, err := NewDevice(Config{Platform: "nexus6p", Policy: PolicyOracle}, BusyLoop(0.3, 4)); err == nil {
+		t.Error("oracle accepted a heterogeneous platform")
+	}
+}

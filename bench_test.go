@@ -398,6 +398,77 @@ func BenchmarkExtensionSchedutil(b *testing.B) {
 	b.ReportMetric(sutil*1000, "schedutil-mW")
 }
 
+// BenchmarkBigLittleGaming regenerates the big.LITTLE extension experiment:
+// MobiCore vs three stock governor stacks on the Snapdragon 810-class
+// profile under Real Racing 3.
+func BenchmarkBigLittleGaming(b *testing.B) {
+	runExperiment(b, "biglittle", func(r experiment.Result) (string, float64) {
+		rows := r.(*experiment.BigLittleResult).Rows
+		return "mobicore-mW", rows[0].AvgW * 1000
+	})
+}
+
+// perTick measures the steady-state cost of one simulation tick on a
+// platform — the hot path the cluster refactor must not slow down on
+// homogeneous profiles. ns/op is the evidence.
+func perTick(b *testing.B, plat platform.Platform, mgr policy.Manager, threads int) {
+	b.Helper()
+	ref := plat.ClusterSpecs()[0].Table.Max().Freq
+	wl, err := workload.NewBusyLoop(workload.BusyLoopConfig{
+		TargetUtil: 0.5, Threads: threads, RefFreq: ref,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sim.New(sim.Config{Platform: plat, Manager: mgr, Workloads: []workload.Workload{wl}, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm past the boot transient so b.N ticks measure steady state.
+	if _, err := s.Run(100 * time.Millisecond); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerTickNexus5 is the homogeneous per-tick baseline (4 cores,
+// single cluster) under the full MobiCore manager.
+func BenchmarkPerTickNexus5(b *testing.B) {
+	plat := platform.Nexus5()
+	mgr, err := core.NewWithModel(plat.Table, core.DefaultTunables(), nexus5Model(b, plat))
+	if err != nil {
+		b.Fatal(err)
+	}
+	perTick(b, plat, mgr, 4)
+}
+
+// BenchmarkPerTickNexus5Ondemand is the homogeneous per-tick baseline under
+// the stock governor stack.
+func BenchmarkPerTickNexus5Ondemand(b *testing.B) {
+	plat := platform.Nexus5()
+	mgr, err := policy.AndroidDefault(plat.Table)
+	if err != nil {
+		b.Fatal(err)
+	}
+	perTick(b, plat, mgr, 4)
+}
+
+// BenchmarkPerTickNexus6P measures the heterogeneous tick (8 cores, two
+// clusters) under the clustered MobiCore.
+func BenchmarkPerTickNexus6P(b *testing.B) {
+	plat := platform.Nexus6P()
+	mgr, err := core.NewClusteredForPlatform(plat, core.DefaultTunables(), core.DefaultClusterTunables(), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	perTick(b, plat, mgr, 4)
+}
+
 // BenchmarkSimulatorThroughput measures raw engine speed: simulated time
 // per wall second for a 4-core device under MobiCore and a game.
 func BenchmarkSimulatorThroughput(b *testing.B) {

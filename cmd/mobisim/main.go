@@ -3,10 +3,16 @@
 //	mobisim -platform nexus5 -policy mobicore -workload busyloop -util 0.3 -dur 30s
 //	mobisim -policy android-default -workload game -game "Subway Surf" -dur 2m
 //	mobisim -policy mobicore -workload geekbench -trace power.csv
+//	mobisim -platform nexus6p -policy mobicore -workload game -game "Real Racing 3"
 //
 // The -policy flag accepts mobicore, mobicore-threshold, android-default,
 // oracle, or any "<governor>+<hotplug>" pair such as "interactive+load" or
 // "userspace+fixed-2".
+//
+// The -platform flag accepts either spelling of a profile — the alias
+// ("nexus6p") or the display name ("Nexus 6P"). On big.LITTLE platforms
+// like nexus6p, MobiCore and the stock governors drive each cluster as its
+// own frequency domain, and the report gains per-cluster lines.
 package main
 
 import (

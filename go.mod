@@ -1,0 +1,3 @@
+module mobicore
+
+go 1.24

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mobicore/internal/platform"
+	"mobicore/internal/policy"
+	"mobicore/internal/power"
+	"mobicore/internal/soc"
+)
+
+// Domain describes one frequency domain for the clustered MobiCore
+// manager: the cluster's OPP table and, optionally, its calibrated power
+// model (enabling the §4.2 energy-model search within the domain).
+type Domain struct {
+	Name  string
+	Table *soc.OPPTable
+	Model *power.Model
+}
+
+// ClusterTunables govern the big-cluster gate of the clustered manager —
+// the energy-aware placement rule that keeps demand on the efficiency
+// (LITTLE) cluster until load or latency justifies waking big cores.
+type ClusterTunables struct {
+	// BigWake wakes a big cluster when the LITTLE cluster's served demand
+	// exceeds this fraction of its full-ladder capacity — the cluster is
+	// near its ceiling and the next burst would saturate it.
+	BigWake float64
+	// BigPark parks a big cluster when the SoC's total served demand
+	// would fit under this fraction of LITTLE capacity — comfortably
+	// below BigWake so the gate has hysteresis and does not flap.
+	BigPark float64
+}
+
+// DefaultClusterTunables mirror the load-hotplug thresholds: wake at 80%
+// of LITTLE capacity, park once everything fits in half of it.
+func DefaultClusterTunables() ClusterTunables {
+	return ClusterTunables{BigWake: 0.80, BigPark: 0.50}
+}
+
+// Validate rejects nonsensical cluster tunables.
+func (t ClusterTunables) Validate() error {
+	if t.BigWake <= 0 || t.BigWake > 1 {
+		return errors.New("core: BigWake must be in (0,1]")
+	}
+	if t.BigPark < 0 || t.BigPark >= t.BigWake {
+		return errors.New("core: BigPark must be in [0,BigWake)")
+	}
+	return nil
+}
+
+// Clustered runs one MobiCore instance per frequency domain and arbitrates
+// between them: the LITTLE cluster (lowest top frequency) always stays
+// managed, while big clusters are gated by ClusterTunables — parked (all
+// cores offline, domain clock at minimum) until the LITTLE cluster
+// approaches its capacity or pegs a core, then handed to their own
+// MobiCore instance. This is the thesis' unified DVFS+DCS+bandwidth
+// decision generalized to big.LITTLE.
+type Clustered struct {
+	domains []Domain
+	inner   []*MobiCore
+	tun     Tunables
+	ctun    ClusterTunables
+	little  int // index of the most efficient domain (lowest f_max)
+
+	bigOn []bool // gate state per domain; hysteresis lives here
+}
+
+var _ policy.Manager = (*Clustered)(nil)
+
+// NewClustered builds the clustered manager. Domains carrying a Model run
+// the §4.2 energy-model search within their cluster; model-free domains
+// fall back to the §5.2 threshold rule. With a single domain the manager
+// degenerates to plain MobiCore.
+func NewClustered(tun Tunables, ctun ClusterTunables, domains []Domain) (*Clustered, error) {
+	if len(domains) == 0 {
+		return nil, errors.New("core: NewClustered needs at least one domain")
+	}
+	if err := ctun.Validate(); err != nil {
+		return nil, err
+	}
+	ds := make([]Domain, len(domains))
+	copy(ds, domains)
+	inner := make([]*MobiCore, len(ds))
+	little := 0
+	for i, d := range ds {
+		if d.Table == nil || d.Table.Len() == 0 {
+			return nil, fmt.Errorf("core: domain %d (%s): %w", i, d.Name, soc.ErrEmptyTable)
+		}
+		m, err := build(d.Table, tun, d.Model)
+		if err != nil {
+			return nil, fmt.Errorf("core: domain %s: %w", d.Name, err)
+		}
+		inner[i] = m
+		if d.Table.Max().Freq < ds[little].Table.Max().Freq {
+			little = i
+		}
+	}
+	return &Clustered{
+		domains: ds,
+		inner:   inner,
+		tun:     tun,
+		ctun:    ctun,
+		little:  little,
+		bigOn:   make([]bool, len(ds)),
+	}, nil
+}
+
+// NewClusteredForPlatform builds the clustered manager from a platform
+// profile — the one construction path shared by the facade, experiments,
+// and benchmarks. withModel attaches each cluster's calibrated energy
+// model for the §4.2 search.
+func NewClusteredForPlatform(plat platform.Platform, tun Tunables, ctun ClusterTunables, withModel bool) (*Clustered, error) {
+	specs := plat.ClusterSpecs()
+	domains := make([]Domain, len(specs))
+	for i, cs := range specs {
+		d := Domain{Name: cs.Name, Table: cs.Table}
+		if withModel {
+			model, err := power.NewModel(cs.Power, cs.Table)
+			if err != nil {
+				return nil, fmt.Errorf("core: cluster %s: %w", cs.Name, err)
+			}
+			d.Model = model
+		}
+		domains[i] = d
+	}
+	return NewClustered(tun, ctun, domains)
+}
+
+// Name implements policy.Manager.
+func (c *Clustered) Name() string { return "mobicore" }
+
+// Decide implements policy.Manager: slice the observation per domain, gate
+// the big clusters, and run the per-domain MobiCore passes.
+func (c *Clustered) Decide(in policy.Input) (policy.Decision, error) {
+	if err := in.Validate(); err != nil {
+		return policy.Decision{}, err
+	}
+	views := in.ClusterViews()
+	if len(views) != len(c.domains) {
+		return policy.Decision{}, fmt.Errorf("core: clustered manager built for %d domains, input has %d",
+			len(c.domains), len(views))
+	}
+
+	// Demand per domain (served cycles/sec) and peg detection drive the
+	// gate; capacity is the domain's full ladder: every core at f_max.
+	demand := make([]float64, len(views))
+	pegged := make([]bool, len(views))
+	var totalDemand float64
+	for ci, v := range views {
+		for _, id := range v.CoreIDs {
+			if !in.Online[id] {
+				continue
+			}
+			demand[ci] += in.Util[id] * float64(in.CurFreq[id])
+			if in.Util[id] >= c.tun.PegThreshold {
+				pegged[ci] = true
+			}
+		}
+		totalDemand += demand[ci]
+	}
+	littleCap := float64(len(views[c.little].CoreIDs)) * float64(c.domains[c.little].Table.Max().Freq)
+
+	targets := make([]soc.Hz, len(in.Util))
+	onlineVec := make([]int, len(views))
+	quotaCores := 0.0 // Σ domain quota × domain cores: budget in core-units
+	for ci, v := range views {
+		if ci != c.little && !c.gateBig(ci, demand[c.little], totalDemand, littleCap, pegged[c.little]) {
+			// Parked: whole domain offline, clock at the floor so a
+			// later wake starts from the cheapest operating point. A
+			// parked domain contributes nothing to the bandwidth
+			// budget — its cores cannot execute anyway.
+			fmin := c.domains[ci].Table.Min().Freq
+			for _, id := range v.CoreIDs {
+				targets[id] = fmin
+			}
+			onlineVec[ci] = 0
+			continue
+		}
+		dec, err := c.decideDomain(ci, v, in)
+		if err != nil {
+			return policy.Decision{}, err
+		}
+		for j, id := range v.CoreIDs {
+			targets[id] = dec.TargetFreq[j]
+		}
+		onlineVec[ci] = dec.OnlineCores
+		quotaCores += dec.Quota * float64(len(v.CoreIDs))
+	}
+	// Each domain's quota is a fraction of its own capacity, but the sim's
+	// bandwidth pool is a fraction of the whole SoC (quota × n_total), so
+	// re-express the per-domain budgets in whole-SoC units. Taking a max
+	// or min instead would let one domain's slack erase another's
+	// throttle (or vice versa).
+	quota := quotaCores / float64(len(in.Util))
+	if quota <= 0 || quota > 1 {
+		quota = 1
+	}
+	return policy.Decision{
+		TargetFreq: targets,
+		OnlineVec:  onlineVec,
+		Quota:      quota,
+	}, nil
+}
+
+// gateBig decides whether big domain ci may run this period, updating the
+// hysteresis state. Waking is justified by LITTLE-cluster pressure or a
+// pegged LITTLE core (latency); parking requires the SoC's whole demand to
+// fit comfortably back on LITTLE.
+func (c *Clustered) gateBig(ci int, littleDemand, totalDemand, littleCap float64, littlePegged bool) bool {
+	if littleCap <= 0 {
+		return true
+	}
+	if c.bigOn[ci] {
+		if totalDemand <= c.ctun.BigPark*littleCap && !littlePegged {
+			c.bigOn[ci] = false
+			c.inner[ci].Reset() // stale burst history must not leak into the next wake
+		}
+	} else {
+		if littleDemand >= c.ctun.BigWake*littleCap || littlePegged {
+			c.bigOn[ci] = true
+		}
+	}
+	return c.bigOn[ci]
+}
+
+// decideDomain runs domain ci's MobiCore pass on the slice of the
+// observation it owns, with core indices local to the domain.
+func (c *Clustered) decideDomain(ci int, v policy.ClusterView, in policy.Input) (policy.Decision, error) {
+	sub := in.Slice(v)
+	allOffline := true
+	for _, on := range sub.Online {
+		if on {
+			allOffline = false
+			break
+		}
+	}
+	if allOffline {
+		// Freshly woken domain: no utilization history yet. Bring up one
+		// core at the domain minimum and let the next sample steer it.
+		return policy.Decision{
+			TargetFreq:  uniform(len(v.CoreIDs), v.Table.Min().Freq),
+			OnlineCores: 1,
+			Quota:       in.Quota,
+		}, nil
+	}
+	dec, err := c.inner[ci].Decide(sub)
+	if err != nil {
+		return policy.Decision{}, fmt.Errorf("core: domain %s: %w", c.domains[ci].Name, err)
+	}
+	return dec, nil
+}
+
+// Reset implements policy.Manager.
+func (c *Clustered) Reset() {
+	for i, m := range c.inner {
+		m.Reset()
+		c.bigOn[i] = false
+	}
+}

@@ -1,0 +1,176 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mobicore/internal/core"
+	"mobicore/internal/cpufreq"
+	"mobicore/internal/games"
+	"mobicore/internal/hotplug"
+	"mobicore/internal/metrics"
+	"mobicore/internal/platform"
+	"mobicore/internal/policy"
+	"mobicore/internal/soc"
+	"mobicore/internal/workload"
+)
+
+// BigLittleRow is one policy's session on the big.LITTLE platform.
+type BigLittleRow struct {
+	Policy   string
+	AvgW     float64
+	AvgFPS   float64
+	AvgUtil  float64
+	Clusters []BigLittleClusterRow
+}
+
+// BigLittleClusterRow is one cluster's share of a session.
+type BigLittleClusterRow struct {
+	Name       string
+	AvgFreqHz  float64
+	AvgCores   float64
+	FreqSeries metrics.Series
+	CoreSeries metrics.Series
+}
+
+// BigLittleResult extends the thesis' evaluation past its 2014-era
+// handsets: MobiCore against three stock governor stacks on a Snapdragon
+// 810-class 4×A57+4×A53 device under a gaming workload, with per-cluster
+// frequency and online-core traces.
+type BigLittleResult struct {
+	Game string
+	Rows []BigLittleRow
+}
+
+// ID implements Result.
+func (*BigLittleResult) ID() string { return "biglittle" }
+
+// Title implements Result.
+func (*BigLittleResult) Title() string {
+	return "big.LITTLE extension: MobiCore vs stock governors on a Snapdragon 810-class device"
+}
+
+// WriteText implements Result.
+func (r *BigLittleResult) WriteText(w io.Writer) error {
+	if len(r.Rows) == 0 {
+		return errNoData
+	}
+	fmt.Fprintf(w, "game: %s\n", r.Game)
+	fmt.Fprintf(w, "%-18s %10s %8s %8s", "policy", "avg mW", "fps", "util%")
+	for _, cl := range r.Rows[0].Clusters {
+		fmt.Fprintf(w, " %14s %10s", cl.Name+" freq", cl.Name+" cores")
+	}
+	fmt.Fprintln(w)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-18s %10.1f %8.1f %8.1f", row.Policy, row.AvgW*1000, row.AvgFPS, row.AvgUtil*100)
+		for _, cl := range row.Clusters {
+			fmt.Fprintf(w, " %14v %10.2f", soc.Hz(cl.AvgFreqHz), cl.AvgCores)
+		}
+		fmt.Fprintln(w)
+	}
+	// Per-cluster frequency/online traces, downsampled to ~12 points so
+	// the text output stays a figure rather than a dump.
+	for _, row := range r.Rows {
+		for _, cl := range row.Clusters {
+			fmt.Fprintf(w, "%s / %s: freq MHz %s | cores %s\n",
+				row.Policy, cl.Name,
+				sparkline(cl.FreqSeries, 1e6), sparkline(cl.CoreSeries, 1))
+		}
+	}
+	return nil
+}
+
+// sparkline renders up to 12 evenly spaced samples of a series, scaled.
+func sparkline(s metrics.Series, scale float64) string {
+	n := s.Len()
+	if n == 0 {
+		return "[]"
+	}
+	step := n / 12
+	if step < 1 {
+		step = 1
+	}
+	out := "["
+	for i := 0; i < n; i += step {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.0f", s.At(i).Value/scale)
+	}
+	return out + "]"
+}
+
+// bigLittlePolicies enumerates the compared stacks: the clustered MobiCore
+// and three stock governors, each run per cluster as an independent
+// cpufreq policy domain with the global load hotplug.
+func bigLittlePolicies(plat platform.Platform) (map[string]func() (policy.Manager, error), []string) {
+	builders := map[string]func() (policy.Manager, error){
+		"mobicore": func() (policy.Manager, error) { return clusteredMobicoreManager(plat) },
+	}
+	order := []string{"mobicore"}
+	for _, gov := range []string{"ondemand", "interactive", "schedutil"} {
+		gov := gov
+		builders[gov] = func() (policy.Manager, error) { return clusteredGovernorManager(plat, gov) }
+		order = append(order, gov)
+	}
+	return builders, order
+}
+
+// RunBigLittle plays a 2-minute Real Racing 3 session per policy on the
+// Nexus 6P profile and reports power, FPS, and per-cluster traces.
+func RunBigLittle(opt Options) (Result, error) {
+	plat := platform.Nexus6P()
+	prof := games.RealRacing3()
+	builders, order := bigLittlePolicies(plat)
+	res := &BigLittleResult{Game: prof.Name}
+	for _, name := range order {
+		mgr, err := builders[name]()
+		if err != nil {
+			return nil, fmt.Errorf("biglittle %s: %w", name, err)
+		}
+		g, err := games.New(prof)
+		if err != nil {
+			return nil, fmt.Errorf("biglittle %s: %w", name, err)
+		}
+		rep, err := session(plat, mgr, []workload.Workload{g}, opt.dur(120*time.Second), opt.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("biglittle %s: %w", name, err)
+		}
+		row := BigLittleRow{
+			Policy:  name,
+			AvgW:    rep.AvgPowerW,
+			AvgFPS:  g.AvgFPS(),
+			AvgUtil: rep.AvgUtil,
+		}
+		for ci, cn := range rep.ClusterNames {
+			row.Clusters = append(row.Clusters, BigLittleClusterRow{
+				Name:       cn,
+				AvgFreqHz:  rep.AvgClusterFreqHz[ci],
+				AvgCores:   rep.AvgClusterCores[ci],
+				FreqSeries: rep.ClusterFreqSeries[ci],
+				CoreSeries: rep.ClusterCoreSeries[ci],
+			})
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// clusteredMobicoreManager builds the per-cluster MobiCore with each
+// domain's calibrated energy model attached.
+func clusteredMobicoreManager(plat platform.Platform) (policy.Manager, error) {
+	return core.NewClusteredForPlatform(plat, core.DefaultTunables(), core.DefaultClusterTunables(), true)
+}
+
+// clusteredGovernorManager builds "<gov>+load" with one governor instance
+// per cluster.
+func clusteredGovernorManager(plat platform.Platform, gov string) (policy.Manager, error) {
+	plug, err := hotplug.NewLoad(hotplug.DefaultLoadTunables())
+	if err != nil {
+		return nil, err
+	}
+	return policy.ComposeClustered(gov,
+		func(t *soc.OPPTable) (cpufreq.Governor, error) { return cpufreq.New(gov, t) },
+		plug, plat.ClusterTables())
+}

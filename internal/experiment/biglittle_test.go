@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBigLittle(t *testing.T) {
+	res, err := Run("biglittle", Options{Scale: 0.05, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, ok := res.(*BigLittleResult)
+	if !ok {
+		t.Fatalf("result type %T", res)
+	}
+	if len(bl.Rows) != 4 {
+		t.Fatalf("rows = %d, want mobicore + 3 governors", len(bl.Rows))
+	}
+	if bl.Rows[0].Policy != "mobicore" {
+		t.Errorf("first row = %s, want mobicore", bl.Rows[0].Policy)
+	}
+	for _, row := range bl.Rows {
+		if len(row.Clusters) != 2 {
+			t.Fatalf("%s: clusters = %d, want 2", row.Policy, len(row.Clusters))
+		}
+		if row.AvgW <= 0 {
+			t.Errorf("%s: no power recorded", row.Policy)
+		}
+		for _, cl := range row.Clusters {
+			if cl.FreqSeries.Len() == 0 || cl.CoreSeries.Len() == 0 {
+				t.Errorf("%s/%s: empty per-cluster series", row.Policy, cl.Name)
+			}
+		}
+	}
+	var sb strings.Builder
+	if err := res.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"mobicore", "ondemand", "interactive", "schedutil", "LITTLE", "big"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBigLittleDeterministic: the experiment itself is a pure function of
+// its options.
+func TestBigLittleDeterministic(t *testing.T) {
+	opt := Options{Scale: 0.05, Seed: 7}
+	a, err := RunBigLittle(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBigLittle(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := a.(*BigLittleResult), b.(*BigLittleResult)
+	for i := range ra.Rows {
+		if ra.Rows[i].AvgW != rb.Rows[i].AvgW || ra.Rows[i].AvgFPS != rb.Rows[i].AvgFPS {
+			t.Errorf("%s: equal seeds diverged", ra.Rows[i].Policy)
+		}
+	}
+}

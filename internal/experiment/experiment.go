@@ -65,22 +65,23 @@ type Runner func(Options) (Result, error)
 // Runners(); ids follow the paper's numbering.
 func runners() map[string]Runner {
 	return map[string]Runner{
-		"table1": RunTable1,
-		"table2": RunTable2,
-		"static": RunStaticAnchor,
-		"fig1":   RunFig1,
-		"fig2":   RunFig2,
-		"fig3":   RunFig3,
-		"fig4":   RunFig4,
-		"fig5":   RunFig5,
-		"fig6":   RunFig6,
-		"fig7":   RunFig7,
-		"fig9a":  RunFig9a,
-		"fig9b":  RunFig9b,
-		"fig10":  RunFig10,
-		"fig11":  RunFig11,
-		"fig12":  RunFig12,
-		"fig13":  RunFig13,
+		"biglittle": RunBigLittle,
+		"table1":    RunTable1,
+		"table2":    RunTable2,
+		"static":    RunStaticAnchor,
+		"fig1":      RunFig1,
+		"fig2":      RunFig2,
+		"fig3":      RunFig3,
+		"fig4":      RunFig4,
+		"fig5":      RunFig5,
+		"fig6":      RunFig6,
+		"fig7":      RunFig7,
+		"fig9a":     RunFig9a,
+		"fig9b":     RunFig9b,
+		"fig10":     RunFig10,
+		"fig11":     RunFig11,
+		"fig12":     RunFig12,
+		"fig13":     RunFig13,
 	}
 }
 

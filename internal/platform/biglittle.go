@@ -1,0 +1,87 @@
+package platform
+
+import (
+	"time"
+
+	"mobicore/internal/power"
+	"mobicore/internal/soc"
+	"mobicore/internal/thermal"
+)
+
+// Nexus6P returns a Snapdragon 810-class big.LITTLE profile: 4× Cortex-A53
+// (LITTLE, 384 MHz – 1.555 GHz) plus 4× Cortex-A57 (big, 384 MHz –
+// 1.958 GHz), each cluster a separate frequency domain with its own power
+// calibration. The numbers follow the Nexus 5 methodology (§3.1/§4.1):
+// leakage curves fitted through two (voltage, watts) anchors per cluster
+// and C_eff set so each cluster's full-blast draw lands on published
+// device-level measurements:
+//
+//   - big cluster, 4 cores at f_max ≈ 3.2 W before throttling — the
+//     Snapdragon 810's well-documented thermal envelope problem,
+//   - LITTLE cluster, 4 cores at f_max ≈ 0.9 W — the efficiency island
+//     that lets the phone idle all big cores most of the day,
+//   - per-core leakage roughly 150/45 mW (big, f_max/f_min) and
+//     35/12 mW (LITTLE), the ~4× static-power gap between the 20 nm A57
+//     and A53 implementations.
+func Nexus6P() Platform {
+	littleLeakCoeff, littleLeakExp, err := power.FitLeak(1.0, 0.035, 0.8, 0.012)
+	if err != nil {
+		panic(err) // anchors are compile-time constants; cannot fail
+	}
+	bigLeakCoeff, bigLeakExp, err := power.FitLeak(1.165, 0.150, 0.85, 0.045)
+	if err != nil {
+		panic(err)
+	}
+	little := ClusterSpec{
+		Name:     "LITTLE",
+		NumCores: 4,
+		Table:    soc.MSM8994LittleTable(),
+		Power: power.Params{
+			// ~160 mW dynamic per A53 core flat out: 4×(160+35) mW
+			// + uncore ≈ 0.9 W cluster budget.
+			CeffFarads:      1.00e-10,
+			LeakCoeffWatts:  littleLeakCoeff,
+			LeakExponent:    littleLeakExp,
+			OfflineWatts:    0.001,
+			CacheBaseWatts:  0.025,
+			CacheSlopeWatts: 0.025,
+			BaseWatts:       0.110, // informational; the floor is paid once at platform level
+		},
+	}
+	big := ClusterSpec{
+		Name:     "big",
+		NumCores: 4,
+		Table:    soc.MSM8994BigTable(),
+		Power: power.Params{
+			// ~600 mW dynamic per A57 core at the 1.958 GHz / 1.165 V
+			// bin: 4×(600+150) mW + uncore ≈ 3.2 W cluster budget.
+			CeffFarads:      2.30e-10,
+			LeakCoeffWatts:  bigLeakCoeff,
+			LeakExponent:    bigLeakExp,
+			OfflineWatts:    0.002,
+			CacheBaseWatts:  0.060,
+			CacheSlopeWatts: 0.060,
+			BaseWatts:       0.110,
+		},
+	}
+	return Platform{
+		Name:     "Nexus 6P",
+		Year:     2015,
+		NumCores: little.NumCores + big.NumCores,
+		// Representative view for pre-cluster code paths: the
+		// performance cluster, as Linux exposes policy0's sibling.
+		Table: big.Table,
+		Power: big.Power,
+		Thermal: thermal.Params{
+			AmbientC: labAmbientC,
+			// The 810's skin-limited envelope: ~3.4 W sustained drives
+			// the zone to its 44 °C trip, R = 22/3.4 ≈ 6.5 K/W.
+			ResistanceKPerW: 6.5,
+			TimeConstant:    12 * time.Second,
+			TripC:           44,
+			ReleaseC:        41,
+			StepPeriod:      time.Second,
+		},
+		Clusters: []ClusterSpec{little, big},
+	}
+}

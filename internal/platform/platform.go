@@ -22,7 +22,41 @@ import (
 	"mobicore/internal/thermal"
 )
 
+// ClusterSpec describes one frequency domain of a device: a named group of
+// identical cores with their own OPP table and power calibration. big.LITTLE
+// parts carry one spec per cluster; homogeneous profiles leave
+// Platform.Clusters empty and the single-cluster view is synthesized from
+// the top-level fields.
+type ClusterSpec struct {
+	Name     string
+	NumCores int
+	Table    *soc.OPPTable
+	Power    power.Params
+}
+
+// Validate rejects malformed cluster specs.
+func (cs ClusterSpec) Validate() error {
+	if cs.Name == "" {
+		return errors.New("platform: cluster needs a name")
+	}
+	if cs.NumCores < 1 {
+		return fmt.Errorf("platform: cluster %s core count %d", cs.Name, cs.NumCores)
+	}
+	if cs.Table == nil || cs.Table.Len() == 0 {
+		return fmt.Errorf("platform: cluster %s missing OPP table", cs.Name)
+	}
+	if err := cs.Power.Validate(); err != nil {
+		return fmt.Errorf("platform: cluster %s: %w", cs.Name, err)
+	}
+	return nil
+}
+
 // Platform is one device profile. Treat values as immutable.
+//
+// On heterogeneous profiles (len(Clusters) > 1) the top-level Table and
+// Power fields hold the performance cluster's values as a representative
+// view for code paths that predate clusters; cluster-aware consumers must
+// go through ClusterSpecs.
 type Platform struct {
 	Name     string
 	Year     int
@@ -30,6 +64,10 @@ type Platform struct {
 	Table    *soc.OPPTable
 	Power    power.Params
 	Thermal  thermal.Params
+	// Clusters lists the frequency domains, efficiency cluster first (so
+	// its cores get the low ids and lowest-id-first hotplug prefers them).
+	// Empty means homogeneous: one implied cluster from the fields above.
+	Clusters []ClusterSpec
 }
 
 // Validate checks the profile for internal consistency.
@@ -49,7 +87,77 @@ func (p Platform) Validate() error {
 	if err := p.Thermal.Validate(); err != nil {
 		return fmt.Errorf("platform %s: %w", p.Name, err)
 	}
+	if len(p.Clusters) > 0 {
+		sum := 0
+		for _, cs := range p.Clusters {
+			if err := cs.Validate(); err != nil {
+				return fmt.Errorf("platform %s: %w", p.Name, err)
+			}
+			sum += cs.NumCores
+		}
+		if sum != p.NumCores {
+			return fmt.Errorf("platform %s: cluster cores sum to %d, NumCores is %d", p.Name, sum, p.NumCores)
+		}
+	}
 	return nil
+}
+
+// Heterogeneous reports whether the profile spans more than one frequency
+// domain.
+func (p Platform) Heterogeneous() bool { return len(p.Clusters) > 1 }
+
+// ClusterSpecs returns the profile's frequency domains. Homogeneous
+// profiles yield a single synthesized cluster named "cpu" carrying the
+// top-level table and power parameters, so every consumer can treat all
+// platforms uniformly.
+func (p Platform) ClusterSpecs() []ClusterSpec {
+	if len(p.Clusters) > 0 {
+		out := make([]ClusterSpec, len(p.Clusters))
+		copy(out, p.Clusters)
+		return out
+	}
+	return []ClusterSpec{{Name: "cpu", NumCores: p.NumCores, Table: p.Table, Power: p.Power}}
+}
+
+// SocClusters converts the profile's domains to the soc package's topology
+// type, ready for soc.NewClusteredCPU.
+func (p Platform) SocClusters() []soc.Cluster {
+	specs := p.ClusterSpecs()
+	out := make([]soc.Cluster, len(specs))
+	for i, cs := range specs {
+		out[i] = soc.Cluster{Name: cs.Name, NumCores: cs.NumCores, Table: cs.Table}
+	}
+	return out
+}
+
+// ClusterTables returns each domain's OPP table in cluster order — the
+// list a per-domain governor stack is built against.
+func (p Platform) ClusterTables() []*soc.OPPTable {
+	specs := p.ClusterSpecs()
+	out := make([]*soc.OPPTable, len(specs))
+	for i, cs := range specs {
+		out[i] = cs.Table
+	}
+	return out
+}
+
+// SystemModel builds the per-cluster power model for the profile, paying
+// the platform floor (top-level Power.BaseWatts) exactly once.
+func (p Platform) SystemModel() (*power.SystemModel, error) {
+	specs := p.ClusterSpecs()
+	models := make([]*power.Model, len(specs))
+	coreCluster := make([]int, 0, p.NumCores)
+	for i, cs := range specs {
+		m, err := power.NewModel(cs.Power, cs.Table)
+		if err != nil {
+			return nil, fmt.Errorf("platform %s: cluster %s: %w", p.Name, cs.Name, err)
+		}
+		models[i] = m
+		for c := 0; c < cs.NumCores; c++ {
+			coreCluster = append(coreCluster, i)
+		}
+	}
+	return power.NewSystemModel(p.Power.BaseWatts, models, coreCluster)
 }
 
 // WithoutThrottle returns a copy of the platform with thermal throttling
@@ -255,7 +363,8 @@ func Nexus5SharedRail() Platform {
 }
 
 // All returns the six Figure 1 handsets ordered as the paper plots them:
-// by release year, oldest first.
+// by release year, oldest first. The post-thesis big.LITTLE profile
+// (Nexus6P) is not part of the Figure 1 set; find it via Profiles/ByName.
 func All() []Platform {
 	return []Platform{
 		NexusS(),
@@ -267,10 +376,40 @@ func All() []Platform {
 	}
 }
 
-// ByName resolves a profile by its display name.
+// Profiles maps every canonical CLI alias to its profile constructor — the
+// single source of truth the root package and ByName both resolve against,
+// so the two spellings of each platform cannot drift apart.
+func Profiles() map[string]func() Platform {
+	return map[string]func() Platform{
+		"nexus5":    Nexus5,
+		"nexus-s":   NexusS,
+		"mb810":     MotorolaMB810,
+		"galaxy-s2": GalaxyS2,
+		"nexus4":    Nexus4,
+		"lg-g3":     LGG3,
+		"nexus6p":   Nexus6P,
+	}
+}
+
+// Alias returns the canonical CLI alias for a display name ("Nexus 5" ->
+// "nexus5"), or "" if the name is unknown.
+func Alias(displayName string) string {
+	for alias, f := range Profiles() {
+		if f().Name == displayName {
+			return alias
+		}
+	}
+	return ""
+}
+
+// ByName resolves a profile by display name ("Nexus 5") or CLI alias
+// ("nexus5") — both lookup paths accept both spellings.
 func ByName(name string) (Platform, error) {
-	for _, p := range All() {
-		if p.Name == name {
+	if f, ok := Profiles()[name]; ok {
+		return f(), nil
+	}
+	for _, f := range Profiles() {
+		if p := f(); p.Name == name {
 			return p, nil
 		}
 	}

@@ -18,6 +18,15 @@ import (
 	"mobicore/internal/soc"
 )
 
+// ClusterView describes one frequency domain of the platform as a Manager
+// sees it: the domain's OPP table and the core ids it owns. Homogeneous
+// platforms present a single view covering every core.
+type ClusterView struct {
+	Name    string
+	Table   *soc.OPPTable
+	CoreIDs []int
+}
+
 // Input is the unified observation a Manager receives every sampling
 // period. Slices are indexed by core id and must not be mutated.
 type Input struct {
@@ -33,8 +42,47 @@ type Input struct {
 	CurFreq []soc.Hz
 	// Quota is the currently programmed global CPU bandwidth in (0,1].
 	Quota float64
-	// Table is the platform OPP table.
+	// Table is the platform OPP table. On heterogeneous platforms it is
+	// the representative (performance-cluster) table; cluster-aware
+	// managers must resolve tables through Clusters.
 	Table *soc.OPPTable
+	// Clusters lists the platform's frequency domains. Nil means one
+	// domain: Table covering every core.
+	Clusters []ClusterView
+}
+
+// Slice returns the observation restricted to one frequency domain: core
+// indices local to the domain, the domain's table installed, and no nested
+// cluster views. Per-domain managers and governors both consume this shape.
+func (in Input) Slice(v ClusterView) Input {
+	sub := Input{
+		Now:     in.Now,
+		Period:  in.Period,
+		Util:    make([]float64, len(v.CoreIDs)),
+		Online:  make([]bool, len(v.CoreIDs)),
+		CurFreq: make([]soc.Hz, len(v.CoreIDs)),
+		Quota:   in.Quota,
+		Table:   v.Table,
+	}
+	for j, id := range v.CoreIDs {
+		sub.Util[j] = in.Util[id]
+		sub.Online[j] = in.Online[id]
+		sub.CurFreq[j] = in.CurFreq[id]
+	}
+	return sub
+}
+
+// ClusterViews returns the input's frequency domains, synthesizing the
+// single-domain view from Table when Clusters is nil.
+func (in Input) ClusterViews() []ClusterView {
+	if len(in.Clusters) > 0 {
+		return in.Clusters
+	}
+	ids := make([]int, len(in.Util))
+	for i := range ids {
+		ids[i] = i
+	}
+	return []ClusterView{{Name: "cpu", Table: in.Table, CoreIDs: ids}}
 }
 
 // Validate rejects malformed inputs.
@@ -76,26 +124,73 @@ func (in Input) OverallUtil() float64 {
 // Decision is a Manager's complete resource allocation for the next period.
 type Decision struct {
 	// TargetFreq is the desired frequency per core id; entries for cores
-	// that end up offline are ignored. Frequencies must be operating
-	// points of the platform table.
+	// that end up offline are ignored. Each frequency must be an
+	// operating point of the owning cluster's table.
 	TargetFreq []soc.Hz
-	// OnlineCores is the desired number of online cores in [1, numCores].
+	// OnlineCores is the desired number of online cores in [1, numCores],
+	// applied lowest-id first. Ignored when OnlineVec is set.
 	OnlineCores int
+	// OnlineVec is the desired online-core count per cluster, indexed
+	// like Input.Clusters. A cluster entry may be 0 (the whole domain
+	// parked) as long as the vector sums to at least one core. Nil means
+	// use the flat OnlineCores.
+	OnlineVec []int
 	// Quota is the CPU bandwidth for the next period in (0,1].
 	Quota float64
 }
 
-// Validate checks a decision against the table and core count.
+// Validate checks a decision against the table and core count — the
+// homogeneous single-domain check. Cluster-aware callers use
+// ValidateClustered.
 func (d Decision) Validate(table *soc.OPPTable, numCores int) error {
+	ids := make([]int, numCores)
+	for i := range ids {
+		ids[i] = i
+	}
+	return d.ValidateClustered([]ClusterView{{Name: "cpu", Table: table, CoreIDs: ids}}, numCores)
+}
+
+// ValidateClustered checks a decision against the platform's frequency
+// domains: every per-core target must be an operating point of the owning
+// cluster's table, and the online allocation (flat or per-cluster) must
+// keep at least one core up.
+func (d Decision) ValidateClustered(views []ClusterView, numCores int) error {
+	if len(views) == 0 {
+		return errors.New("policy: no cluster views to validate against")
+	}
 	if len(d.TargetFreq) != numCores {
 		return fmt.Errorf("policy: decision has %d frequencies for %d cores", len(d.TargetFreq), numCores)
 	}
-	for i, f := range d.TargetFreq {
-		if !table.Contains(f) {
-			return fmt.Errorf("policy: core %d target %v is not an operating point", i, f)
+	for ci, v := range views {
+		if v.Table == nil || v.Table.Len() == 0 {
+			return fmt.Errorf("policy: cluster %d has no OPP table", ci)
+		}
+		for _, id := range v.CoreIDs {
+			if id < 0 || id >= numCores {
+				return fmt.Errorf("policy: cluster %s core id %d outside [0,%d)", v.Name, id, numCores)
+			}
+			if !v.Table.Contains(d.TargetFreq[id]) {
+				return fmt.Errorf("policy: core %d target %v is not an operating point of cluster %s",
+					id, d.TargetFreq[id], v.Name)
+			}
 		}
 	}
-	if d.OnlineCores < 1 || d.OnlineCores > numCores {
+	if d.OnlineVec != nil {
+		if len(d.OnlineVec) != len(views) {
+			return fmt.Errorf("policy: online vector has %d entries for %d clusters", len(d.OnlineVec), len(views))
+		}
+		total := 0
+		for ci, n := range d.OnlineVec {
+			if n < 0 || n > len(views[ci].CoreIDs) {
+				return fmt.Errorf("policy: cluster %s online target %d outside [0,%d]",
+					views[ci].Name, n, len(views[ci].CoreIDs))
+			}
+			total += n
+		}
+		if total < 1 {
+			return errors.New("policy: online vector parks every core")
+		}
+	} else if d.OnlineCores < 1 || d.OnlineCores > numCores {
 		return fmt.Errorf("policy: online core target %d outside [1,%d]", d.OnlineCores, numCores)
 	}
 	if d.Quota <= 0 || d.Quota > 1 {
@@ -120,35 +215,65 @@ type Manager interface {
 // governor is consulted after the hotplug policy, but neither sees the
 // other's decision, reproducing the lack of coordination the thesis
 // criticizes. Quota is always 1: stock Android leaves bandwidth alone.
+//
+// On a multi-cluster platform (built via ComposeClustered) each cluster is
+// an independent cpufreq policy domain with its own governor instance, as
+// Linux runs one governor per policy; hotplug remains global.
 type Composite struct {
-	name     string
-	governor cpufreq.Governor
-	plug     hotplug.Policy
+	name       string
+	domainGovs []cpufreq.Governor // one per frequency domain; len 1 when single-domain
+	plug       hotplug.Policy
 }
 
 var _ Manager = (*Composite)(nil)
 
-// Compose builds a Composite manager.
+// Compose builds a single-domain Composite manager.
 func Compose(governor cpufreq.Governor, plug hotplug.Policy) (*Composite, error) {
 	if governor == nil || plug == nil {
 		return nil, errors.New("policy: Compose requires a governor and a hotplug policy")
 	}
 	return &Composite{
-		name:     governor.Name() + "+" + plug.Name(),
-		governor: governor,
-		plug:     plug,
+		name:       governor.Name() + "+" + plug.Name(),
+		domainGovs: []cpufreq.Governor{governor},
+		plug:       plug,
+	}, nil
+}
+
+// ComposeClustered builds a Composite manager with one governor instance
+// per frequency domain, constructed by newGov against each domain's table —
+// Linux's one-governor-per-cpufreq-policy arrangement on big.LITTLE.
+func ComposeClustered(govName string, newGov func(*soc.OPPTable) (cpufreq.Governor, error), plug hotplug.Policy, tables []*soc.OPPTable) (*Composite, error) {
+	if newGov == nil || plug == nil {
+		return nil, errors.New("policy: ComposeClustered requires a governor factory and a hotplug policy")
+	}
+	if len(tables) == 0 {
+		return nil, errors.New("policy: ComposeClustered requires at least one cluster table")
+	}
+	govs := make([]cpufreq.Governor, len(tables))
+	for i, t := range tables {
+		g, err := newGov(t)
+		if err != nil {
+			return nil, fmt.Errorf("policy: building %s for cluster %d: %w", govName, i, err)
+		}
+		govs[i] = g
+	}
+	return &Composite{
+		name:       govName + "+" + plug.Name(),
+		domainGovs: govs,
+		plug:       plug,
 	}, nil
 }
 
 // Name implements Manager.
 func (c *Composite) Name() string { return c.name }
 
-// Governor exposes the wrapped governor (used by experiments that need to
-// program a userspace speed).
-func (c *Composite) Governor() cpufreq.Governor { return c.governor }
+// Governor exposes the wrapped governor — the first domain's instance when
+// clustered (used by experiments that need to program a userspace speed).
+func (c *Composite) Governor() cpufreq.Governor { return c.domainGovs[0] }
 
 // Decide implements Manager: hotplug and governor each act on the same
-// observation without coordination.
+// observation without coordination. With per-domain governors installed,
+// each cluster's governor sees only its own cores and table.
 func (c *Composite) Decide(in Input) (Decision, error) {
 	if err := in.Validate(); err != nil {
 		return Decision{}, err
@@ -157,7 +282,15 @@ func (c *Composite) Decide(in Input) (Decision, error) {
 	if err != nil {
 		return Decision{}, fmt.Errorf("policy: hotplug %s: %w", c.plug.Name(), err)
 	}
-	freqs, err := c.governor.Target(cpufreq.Input{
+	if len(c.domainGovs) > 1 {
+		freqs, err := c.domainTargets(in)
+		if err != nil {
+			return Decision{}, err
+		}
+		return Decision{TargetFreq: freqs, OnlineCores: cores, Quota: 1}, nil
+	}
+	gov := c.domainGovs[0]
+	freqs, err := gov.Target(cpufreq.Input{
 		Now:     in.Now,
 		Period:  in.Period,
 		Util:    in.Util,
@@ -166,14 +299,46 @@ func (c *Composite) Decide(in Input) (Decision, error) {
 		Table:   in.Table,
 	})
 	if err != nil {
-		return Decision{}, fmt.Errorf("policy: governor %s: %w", c.governor.Name(), err)
+		return Decision{}, fmt.Errorf("policy: governor %s: %w", gov.Name(), err)
 	}
 	return Decision{TargetFreq: freqs, OnlineCores: cores, Quota: 1}, nil
 }
 
+// domainTargets runs each cluster's governor against the slice of the
+// observation it owns and scatters the per-domain targets back to global
+// core ids.
+func (c *Composite) domainTargets(in Input) ([]soc.Hz, error) {
+	views := in.ClusterViews()
+	if len(views) != len(c.domainGovs) {
+		return nil, fmt.Errorf("policy: %s built for %d clusters, input has %d",
+			c.name, len(c.domainGovs), len(views))
+	}
+	out := make([]soc.Hz, len(in.Util))
+	for ci, v := range views {
+		s := in.Slice(v)
+		freqs, err := c.domainGovs[ci].Target(cpufreq.Input{
+			Now:     s.Now,
+			Period:  s.Period,
+			Util:    s.Util,
+			Online:  s.Online,
+			CurFreq: s.CurFreq,
+			Table:   s.Table,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("policy: governor %s (cluster %s): %w", c.domainGovs[ci].Name(), v.Name, err)
+		}
+		for j, id := range v.CoreIDs {
+			out[id] = freqs[j]
+		}
+	}
+	return out, nil
+}
+
 // Reset implements Manager.
 func (c *Composite) Reset() {
-	c.governor.Reset()
+	for _, g := range c.domainGovs {
+		g.Reset()
+	}
 	c.plug.Reset()
 }
 

@@ -157,7 +157,14 @@ type CoreLoad struct {
 
 // SystemWatts evaluates Eq. 3/4: platform base + cache + per-core terms.
 func (m *Model) SystemWatts(cores []CoreLoad) float64 {
-	total := m.params.BaseWatts
+	return m.params.BaseWatts + m.ClusterWatts(cores)
+}
+
+// ClusterWatts evaluates the per-cluster share of Eq. 3/4 — cache plus
+// per-core terms, without the platform base. SystemModel sums this across
+// clusters so the floor is paid once, not once per cluster.
+func (m *Model) ClusterWatts(cores []CoreLoad) float64 {
+	total := 0.0
 	anyBusy := 0.0
 	var topFreq soc.Hz
 	for _, c := range cores {

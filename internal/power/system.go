@@ -1,0 +1,95 @@
+package power
+
+import (
+	"errors"
+	"fmt"
+
+	"mobicore/internal/soc"
+)
+
+// SystemModel prices a whole SoC that may span several clusters with
+// different silicon: each cluster has its own calibrated Model (C_eff,
+// leakage curve, uncore), and the platform floor (rails, PMIC, idle
+// peripherals) is paid exactly once. The homogeneous case is one cluster
+// and reproduces Model.SystemWatts bit for bit.
+type SystemModel struct {
+	baseWatts   float64
+	clusters    []*Model
+	coreCluster []int // core id -> cluster index
+}
+
+// NewSystemModel binds per-cluster models to a core->cluster mapping.
+// baseWatts is the platform floor shared by all clusters; the per-cluster
+// Params.BaseWatts fields are ignored here (ClusterWatts excludes them) so
+// a profile can reuse a single-cluster calibration unchanged.
+func NewSystemModel(baseWatts float64, clusters []*Model, coreCluster []int) (*SystemModel, error) {
+	if baseWatts < 0 {
+		return nil, errors.New("power: base watts must be non-negative")
+	}
+	if len(clusters) == 0 {
+		return nil, errors.New("power: system model needs at least one cluster model")
+	}
+	if len(coreCluster) == 0 {
+		return nil, errors.New("power: system model needs at least one core")
+	}
+	for id, ci := range coreCluster {
+		if ci < 0 || ci >= len(clusters) {
+			return nil, fmt.Errorf("power: core %d mapped to cluster %d outside [0,%d)", id, ci, len(clusters))
+		}
+		if clusters[ci] == nil {
+			return nil, fmt.Errorf("power: nil model for cluster %d", ci)
+		}
+	}
+	cs := make([]*Model, len(clusters))
+	copy(cs, clusters)
+	cc := make([]int, len(coreCluster))
+	copy(cc, coreCluster)
+	return &SystemModel{baseWatts: baseWatts, clusters: cs, coreCluster: cc}, nil
+}
+
+// NumCores returns the number of cores the model covers.
+func (m *SystemModel) NumCores() int { return len(m.coreCluster) }
+
+// Cluster returns the model of cluster ci, for policies that price one
+// domain at a time.
+func (m *SystemModel) Cluster(ci int) (*Model, error) {
+	if ci < 0 || ci >= len(m.clusters) {
+		return nil, fmt.Errorf("power: cluster %d outside [0,%d)", ci, len(m.clusters))
+	}
+	return m.clusters[ci], nil
+}
+
+// SystemWatts evaluates total SoC power for per-core loads indexed by core
+// id: platform base + Σ_clusters (cache + per-core terms).
+func (m *SystemModel) SystemWatts(loads []CoreLoad) float64 {
+	if len(m.clusters) == 1 {
+		// Homogeneous fast path: no per-cluster regrouping on the hot tick.
+		return m.baseWatts + m.clusters[0].ClusterWatts(loads)
+	}
+	// Single pass over cores with per-cluster accumulators; the per-core
+	// and cache terms stay behind Model.CoreWatts/CacheWatts so the
+	// multi-cluster path cannot drift from the homogeneous one.
+	coreSum := make([]float64, len(m.clusters))
+	anyBusy := make([]float64, len(m.clusters))
+	topFreq := make([]soc.Hz, len(m.clusters))
+	for id, ci := range m.coreCluster {
+		if id >= len(loads) {
+			break
+		}
+		c := loads[id]
+		coreSum[ci] += m.clusters[ci].CoreWatts(c.State, c.OPP, c.Util)
+		if c.State != soc.StateOffline {
+			if c.Util > anyBusy[ci] {
+				anyBusy[ci] = c.Util
+			}
+			if c.OPP.Freq > topFreq[ci] {
+				topFreq[ci] = c.OPP.Freq
+			}
+		}
+	}
+	total := m.baseWatts
+	for ci, cm := range m.clusters {
+		total += coreSum[ci] + cm.CacheWatts(anyBusy[ci], topFreq[ci])
+	}
+	return total
+}

@@ -83,6 +83,14 @@ func (s *Scheduler) Schedule(cpu *soc.CPU, threads []*Thread, dt time.Duration, 
 		}
 	}
 
+	// Efficiency ranks for cluster-aware placement: clusters ordered by
+	// ascending top frequency, so rank 0 is the LITTLE (cheapest) domain.
+	// Homogeneous CPUs collapse to a single rank (nil slice) and the
+	// placement below reduces exactly to the original most-budget greedy.
+	// The ranks are cached on the CPU at construction — this is the per-tick
+	// hot path.
+	rankOf, numRanks := cpu.ClusterRanks()
+
 	runnable := make([]*Thread, 0, len(threads))
 	for _, t := range threads {
 		if t != nil && t.Runnable() {
@@ -101,7 +109,7 @@ func (s *Scheduler) Schedule(cpu *soc.CPU, threads []*Thread, dt time.Duration, 
 		if limited && pool <= 0 {
 			break // bandwidth exhausted for this window
 		}
-		core := s.pickCore(t, online, budget)
+		core := s.pickCore(t, online, budget, freq, rankOf, numRanks)
 		if core < 0 {
 			continue // no core time anywhere
 		}
@@ -155,18 +163,40 @@ func (s *Scheduler) Schedule(cpu *soc.CPU, threads []*Thread, dt time.Duration, 
 	return res, nil
 }
 
-// pickCore returns the thread's previous core if it is online with budget,
-// otherwise the online core with the most remaining budget (lowest id wins
-// ties). Returns -1 when no core has budget.
-func (s *Scheduler) pickCore(t *Thread, online []bool, budget []float64) int {
+// pickCore returns the thread's previous core if it is online with budget
+// (soft affinity). Otherwise it walks clusters from most to least
+// efficient: within a rank it picks the core with the most remaining
+// budget (lowest id wins ties), and it escalates to a bigger cluster only
+// when the efficient candidate cannot fully serve the thread's pending
+// cycles and the bigger cluster offers strictly more capacity — the
+// "prefer LITTLE until demand justifies big" placement rule. Returns -1
+// when no core has budget.
+func (s *Scheduler) pickCore(t *Thread, online []bool, budget, freq []float64, rankOf []int, numRanks int) int {
 	const eps = 1e-12
 	if lc := t.lastCore; lc >= 0 && lc < len(online) && online[lc] && budget[lc] > eps {
 		return lc
 	}
-	best, bestBudget := -1, eps
-	for i := range online {
-		if online[i] && budget[i] > bestBudget {
-			best, bestBudget = i, budget[i]
+	best := -1
+	var bestCap float64
+	for r := 0; r < numRanks; r++ {
+		cand, candBudget := -1, eps
+		for i := range online {
+			if rankOf != nil && rankOf[i] != r {
+				continue
+			}
+			if online[i] && budget[i] > candBudget {
+				cand, candBudget = i, budget[i]
+			}
+		}
+		if cand < 0 {
+			continue
+		}
+		capCycles := budget[cand] * freq[cand]
+		if best < 0 || capCycles > bestCap {
+			best, bestCap = cand, capCycles
+		}
+		if bestCap >= t.pending {
+			break // efficient enough and fully serves the thread
 		}
 	}
 	return best

@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mobicore/internal/core"
+	"mobicore/internal/cpufreq"
+	"mobicore/internal/hotplug"
+	"mobicore/internal/metrics"
+	"mobicore/internal/platform"
+	"mobicore/internal/policy"
+	"mobicore/internal/soc"
+	"mobicore/internal/workload"
+)
+
+// clusteredMobi builds the per-cluster MobiCore manager for a platform.
+func clusteredMobi(t *testing.T, plat platform.Platform) policy.Manager {
+	t.Helper()
+	mgr, err := core.NewClusteredForPlatform(plat, core.DefaultTunables(), core.DefaultClusterTunables(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mgr
+}
+
+// clusteredGov builds "<gov>+load" with one governor instance per cluster.
+func clusteredGov(t *testing.T, plat platform.Platform, gov string) policy.Manager {
+	t.Helper()
+	plug, err := hotplug.NewLoad(hotplug.DefaultLoadTunables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := policy.ComposeClustered(gov,
+		func(tab *soc.OPPTable) (cpufreq.Governor, error) { return cpufreq.New(gov, tab) },
+		plug, plat.ClusterTables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mgr
+}
+
+func bigLittleRun(t *testing.T, mgr policy.Manager, seed int64) *Report {
+	t.Helper()
+	plat := platform.Nexus6P()
+	wl, err := workload.NewBusyLoop(workload.BusyLoopConfig{
+		TargetUtil: 0.35,
+		Threads:    4,
+		RefFreq:    plat.ClusterSpecs()[0].Table.Max().Freq,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Platform:  plat,
+		Manager:   mgr,
+		Workloads: []workload.Workload{wl},
+		Seed:      seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func sameSeries(a, b metrics.Series) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != b.At(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBigLittleDeterminism is the acceptance gate: equal seeds must produce
+// identical traces on the heterogeneous platform under MobiCore and at
+// least three stock governors.
+func TestBigLittleDeterminism(t *testing.T) {
+	plat := platform.Nexus6P()
+	builders := map[string]func() policy.Manager{
+		"mobicore":    func() policy.Manager { return clusteredMobi(t, plat) },
+		"ondemand":    func() policy.Manager { return clusteredGov(t, plat, "ondemand") },
+		"interactive": func() policy.Manager { return clusteredGov(t, plat, "interactive") },
+		"schedutil":   func() policy.Manager { return clusteredGov(t, plat, "schedutil") },
+	}
+	for name, build := range builders {
+		a := bigLittleRun(t, build(), 77)
+		b := bigLittleRun(t, build(), 77)
+		if a.AvgPowerW != b.AvgPowerW || a.ExecutedCycles != b.ExecutedCycles ||
+			a.AvgFreqHz != b.AvgFreqHz || a.AvgOnlineCores != b.AvgOnlineCores {
+			t.Errorf("%s: same seed diverged: %v/%v vs %v/%v",
+				name, a.AvgPowerW, a.ExecutedCycles, b.AvgPowerW, b.ExecutedCycles)
+		}
+		for ci := range a.ClusterNames {
+			if !sameSeries(a.ClusterFreqSeries[ci], b.ClusterFreqSeries[ci]) ||
+				!sameSeries(a.ClusterCoreSeries[ci], b.ClusterCoreSeries[ci]) {
+				t.Errorf("%s: cluster %s series diverged across identical seeds", name, a.ClusterNames[ci])
+			}
+		}
+	}
+}
+
+// TestBigLittleClusterSeries checks the per-cluster telemetry: two named
+// clusters, populated series, and the LITTLE-first placement keeping the
+// big cluster mostly parked under a light load.
+func TestBigLittleClusterSeries(t *testing.T) {
+	rep := bigLittleRun(t, clusteredMobi(t, platform.Nexus6P()), 7)
+	if len(rep.ClusterNames) != 2 || rep.ClusterNames[0] != "LITTLE" || rep.ClusterNames[1] != "big" {
+		t.Fatalf("cluster names = %v, want [LITTLE big]", rep.ClusterNames)
+	}
+	for ci, name := range rep.ClusterNames {
+		if rep.ClusterFreqSeries[ci].Len() == 0 || rep.ClusterCoreSeries[ci].Len() == 0 {
+			t.Errorf("cluster %s series empty", name)
+		}
+	}
+	if rep.AvgClusterCores[0] < 1 {
+		t.Errorf("LITTLE avg cores = %.2f, want >= 1", rep.AvgClusterCores[0])
+	}
+	// A 4-thread 35% load fits comfortably on the LITTLE cluster: MobiCore
+	// should keep the big cores parked nearly the whole session.
+	if rep.AvgClusterCores[1] > 0.5 {
+		t.Errorf("big avg cores = %.2f under light load, want mostly parked", rep.AvgClusterCores[1])
+	}
+	var sb strings.Builder
+	if err := rep.WriteSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "cluster LITTLE") || !strings.Contains(out, "cluster big") {
+		t.Errorf("summary missing per-cluster lines:\n%s", out)
+	}
+}
+
+// migrateManager moves every core to one cluster — the whole-SoC migration
+// that exercises the grow-before-shrink hotplug ordering.
+type migrateManager struct {
+	target int // cluster index that gets all the cores
+}
+
+func (m *migrateManager) Name() string { return "migrate" }
+func (m *migrateManager) Decide(in policy.Input) (policy.Decision, error) {
+	views := in.ClusterViews()
+	freqs := make([]soc.Hz, len(in.Util))
+	vec := make([]int, len(views))
+	for ci, v := range views {
+		for _, id := range v.CoreIDs {
+			freqs[id] = v.Table.Min().Freq
+		}
+		if ci == m.target {
+			vec[ci] = len(v.CoreIDs)
+		}
+	}
+	return policy.Decision{TargetFreq: freqs, OnlineVec: vec, Quota: 1}, nil
+}
+func (m *migrateManager) Reset() {}
+
+// TestOnlineVecClusterMigration: a valid decision may park the only
+// currently-online cluster while waking another; the sim must apply the
+// growth first instead of dying on the no-online-core invariant.
+func TestOnlineVecClusterMigration(t *testing.T) {
+	plat := platform.Nexus6P()
+	wl, err := workload.NewBusyLoop(workload.BusyLoopConfig{
+		TargetUtil: 0.3, Threads: 2, RefFreq: plat.ClusterSpecs()[0].Table.Max().Freq,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Platform:     plat,
+		Manager:      &migrateManager{target: 1},
+		Workloads:    []workload.Workload{wl},
+		InitialCores: 4, // LITTLE only: cores 0-3
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(200 * time.Millisecond); err != nil {
+		t.Fatalf("whole-SoC migration to the big cluster failed: %v", err)
+	}
+	little, _ := s.CPU().ClusterOnlineCount(0)
+	big, _ := s.CPU().ClusterOnlineCount(1)
+	if little != 0 || big != 4 {
+		t.Errorf("after migration LITTLE=%d big=%d, want 0/4", little, big)
+	}
+}
+
+// TestHeterogeneousInitialFreqRejected locks the per-cluster boot rule.
+func TestHeterogeneousInitialFreqRejected(t *testing.T) {
+	plat := platform.Nexus6P()
+	mgr := clusteredMobi(t, plat)
+	wl, err := workload.NewBusyLoop(workload.BusyLoopConfig{
+		TargetUtil: 0.3, Threads: 2, RefFreq: plat.ClusterSpecs()[0].Table.Max().Freq,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(Config{
+		Platform:    plat,
+		Manager:     mgr,
+		Workloads:   []workload.Workload{wl},
+		InitialFreq: plat.ClusterSpecs()[1].Table.Max().Freq,
+	})
+	if err == nil {
+		t.Error("explicit InitialFreq accepted on a heterogeneous platform")
+	}
+}

@@ -44,6 +44,14 @@ type Report struct {
 	UtilSeries  metrics.Series
 	QuotaSeries metrics.Series
 	TempSeries  metrics.Series
+
+	// Per-cluster views, indexed like the platform's ClusterSpecs.
+	// Homogeneous platforms carry a single entry mirroring the aggregate.
+	ClusterNames      []string
+	AvgClusterFreqHz  []float64
+	AvgClusterCores   []float64
+	ClusterFreqSeries []metrics.Series
+	ClusterCoreSeries []metrics.Series
 }
 
 // report builds the session report from the current accumulators.
@@ -71,6 +79,13 @@ func (s *Sim) report() *Report {
 		UtilSeries:         s.utilSeries,
 		QuotaSeries:        s.quotaSeries,
 		TempSeries:         s.tempSeries,
+		ClusterFreqSeries:  s.clusterFreqSeries,
+		ClusterCoreSeries:  s.clusterCoreSeries,
+	}
+	for ci, v := range s.views {
+		r.ClusterNames = append(r.ClusterNames, v.Name)
+		r.AvgClusterFreqHz = append(r.AvgClusterFreqHz, s.clusterFreqSum[ci].Mean())
+		r.AvgClusterCores = append(r.AvgClusterCores, s.clusterCoreSum[ci].Mean())
 	}
 	for _, w := range s.cfg.Workloads {
 		r.PerWorkloadCycles[w.Name()] += workload.ExecutedCycles(w)
@@ -107,6 +122,15 @@ thermal capped:  %.2f s
 	if err != nil {
 		return fmt.Errorf("sim: writing summary: %w", err)
 	}
+	if len(r.ClusterNames) > 1 {
+		for ci, name := range r.ClusterNames {
+			_, err := fmt.Fprintf(w, "cluster %-8s avg freq %s, avg cores %.2f\n",
+				name+":", soc.Hz(r.AvgClusterFreqHz[ci]), r.AvgClusterCores[ci])
+			if err != nil {
+				return fmt.Errorf("sim: writing summary: %w", err)
+			}
+		}
+	}
 	return nil
 }
 
@@ -127,7 +151,9 @@ func newThermalZone(p platform.Platform, table *soc.OPPTable) (*thermalZone, err
 func (t *thermalZone) step(watts float64, dt time.Duration) { t.zone.Step(watts, dt) }
 func (t *thermalZone) tempC() float64                       { return t.zone.TempC() }
 func (t *thermalZone) throttling() bool                     { return t.zone.Throttling() }
-func (t *thermalZone) clamp(f soc.Hz) soc.Hz                { return t.zone.Clamp(f) }
+func (t *thermalZone) clampOn(table *soc.OPPTable, req soc.Hz) soc.Hz {
+	return t.zone.ClampOn(table, req)
+}
 
 // Zone exposes the thermal zone for experiments that read temperature.
 func (s *Sim) Zone() *thermal.Zone { return s.zone.zone }

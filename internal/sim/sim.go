@@ -74,11 +74,19 @@ func (c *Config) fillDefaults() error {
 	if c.SamplePeriod < c.Tick {
 		return errors.New("sim: sample period must be >= tick")
 	}
-	if c.InitialFreq == 0 {
-		c.InitialFreq = c.Platform.Table.Max().Freq
-	}
-	if !c.Platform.Table.Contains(c.InitialFreq) {
-		return fmt.Errorf("sim: initial frequency %v is not an operating point", c.InitialFreq)
+	if c.Platform.Heterogeneous() {
+		// Each cluster boots at its own table maximum; a single initial
+		// frequency cannot name an operating point in every domain.
+		if c.InitialFreq != 0 {
+			return errors.New("sim: InitialFreq is per-cluster on heterogeneous platforms; leave it 0")
+		}
+	} else {
+		if c.InitialFreq == 0 {
+			c.InitialFreq = c.Platform.Table.Max().Freq
+		}
+		if !c.Platform.Table.Contains(c.InitialFreq) {
+			return fmt.Errorf("sim: initial frequency %v is not an operating point", c.InitialFreq)
+		}
 	}
 	if c.InitialCores == 0 {
 		c.InitialCores = c.Platform.NumCores
@@ -102,11 +110,14 @@ func (c *Config) fillDefaults() error {
 type Sim struct {
 	cfg   Config
 	cpu   *soc.CPU
-	model *power.Model
+	model *power.SystemModel
 	zone  *thermalZone
 	sch   sched.Scheduler
 	rng   *rand.Rand
 	mon   *monsoon.Monitor
+
+	views      []policy.ClusterView // per-cluster tables + core ids, built once
+	coreTables []*soc.OPPTable      // per-core cluster table for thermal clamping
 
 	now       time.Duration
 	quota     float64
@@ -128,11 +139,17 @@ type Sim struct {
 	throttledSec float64 // quota-denied core time
 	thermalSec   float64 // time spent with a thermal cap engaged
 
+	clusterFreqSum []metrics.Summary // per-cluster avg online frequency, sampled
+	clusterCoreSum []metrics.Summary // per-cluster online count, sampled
+
 	freqSeries  metrics.Series
 	coreSeries  metrics.Series
 	utilSeries  metrics.Series
 	quotaSeries metrics.Series
 	tempSeries  metrics.Series
+
+	clusterFreqSeries []metrics.Series
+	clusterCoreSeries []metrics.Series
 }
 
 // New builds a simulation from cfg.
@@ -140,11 +157,11 @@ func New(cfg Config) (*Sim, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
-	cpu, err := soc.NewCPU(cfg.Platform.NumCores, cfg.Platform.Table)
+	cpu, err := soc.NewClusteredCPU(cfg.Platform.SocClusters())
 	if err != nil {
 		return nil, fmt.Errorf("sim: building CPU: %w", err)
 	}
-	model, err := power.NewModel(cfg.Platform.Power, cfg.Platform.Table)
+	model, err := cfg.Platform.SystemModel()
 	if err != nil {
 		return nil, fmt.Errorf("sim: building power model: %w", err)
 	}
@@ -156,26 +173,55 @@ func New(cfg Config) (*Sim, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: building monitor: %w", err)
 	}
+	specs := cfg.Platform.ClusterSpecs()
+	views := make([]policy.ClusterView, len(specs))
+	coreTables := make([]*soc.OPPTable, 0, cfg.Platform.NumCores)
+	for ci, cs := range specs {
+		ids, err := cpu.ClusterCoreIDs(ci)
+		if err != nil {
+			return nil, fmt.Errorf("sim: cluster %s: %w", cs.Name, err)
+		}
+		views[ci] = policy.ClusterView{Name: cs.Name, Table: cs.Table, CoreIDs: ids}
+		for range ids {
+			coreTables = append(coreTables, cs.Table)
+		}
+	}
 	s := &Sim{
-		cfg:        cfg,
-		cpu:        cpu,
-		model:      model,
-		zone:       zone,
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		mon:        mon,
-		quota:      cfg.InitialQuota,
-		requested:  make([]soc.Hz, cfg.Platform.NumCores),
-		winBusySec: make([]float64, cfg.Platform.NumCores),
+		cfg:               cfg,
+		cpu:               cpu,
+		model:             model,
+		zone:              zone,
+		rng:               rand.New(rand.NewSource(cfg.Seed)),
+		mon:               mon,
+		views:             views,
+		coreTables:        coreTables,
+		quota:             cfg.InitialQuota,
+		requested:         make([]soc.Hz, cfg.Platform.NumCores),
+		winBusySec:        make([]float64, cfg.Platform.NumCores),
+		clusterFreqSum:    make([]metrics.Summary, len(specs)),
+		clusterCoreSum:    make([]metrics.Summary, len(specs)),
+		clusterFreqSeries: make([]metrics.Series, len(specs)),
+		clusterCoreSeries: make([]metrics.Series, len(specs)),
 	}
 	s.refillQuota()
 	if err := cpu.SetOnlineCount(cfg.InitialCores); err != nil {
 		return nil, fmt.Errorf("sim: initial hotplug: %w", err)
 	}
-	if err := cpu.SetFreqAll(cfg.InitialFreq); err != nil {
-		return nil, fmt.Errorf("sim: initial frequency: %w", err)
-	}
-	for i := range s.requested {
-		s.requested[i] = cfg.InitialFreq
+	// Boot frequency: the configured operating point on homogeneous
+	// platforms, each cluster's own maximum on heterogeneous ones (the
+	// kernel boots every policy domain at its top bin before a governor
+	// takes over).
+	for ci, v := range views {
+		boot := cfg.InitialFreq
+		if cfg.Platform.Heterogeneous() || boot == 0 {
+			boot = v.Table.Max().Freq
+		}
+		if err := cpu.SetClusterFreq(ci, boot); err != nil {
+			return nil, fmt.Errorf("sim: initial frequency: %w", err)
+		}
+		for _, id := range v.CoreIDs {
+			s.requested[id] = boot
+		}
 	}
 	return s, nil
 }
@@ -280,13 +326,14 @@ func (s *Sim) samplePolicy() error {
 
 	snap := s.cpu.Snapshot()
 	in := policy.Input{
-		Now:     s.now,
-		Period:  period,
-		Util:    make([]float64, len(snap)),
-		Online:  make([]bool, len(snap)),
-		CurFreq: make([]soc.Hz, len(snap)),
-		Quota:   s.quota,
-		Table:   s.cfg.Platform.Table,
+		Now:      s.now,
+		Period:   period,
+		Util:     make([]float64, len(snap)),
+		Online:   make([]bool, len(snap)),
+		CurFreq:  make([]soc.Hz, len(snap)),
+		Quota:    s.quota,
+		Table:    s.cfg.Platform.Table,
+		Clusters: s.views,
 	}
 	winSec := s.winElapsed.Seconds()
 	for i, c := range snap {
@@ -305,11 +352,30 @@ func (s *Sim) samplePolicy() error {
 	if err != nil {
 		return fmt.Errorf("sim: policy %s at %v: %w", s.cfg.Manager.Name(), s.now, err)
 	}
-	if err := dec.Validate(s.cfg.Platform.Table, len(snap)); err != nil {
+	if err := dec.ValidateClustered(s.views, len(snap)); err != nil {
 		return fmt.Errorf("sim: policy %s produced invalid decision: %w", s.cfg.Manager.Name(), err)
 	}
 
-	if err := s.cpu.SetOnlineCount(dec.OnlineCores); err != nil {
+	if dec.OnlineVec != nil {
+		// Online-increasing clusters first: a valid vector may migrate
+		// every core to another cluster (e.g. [0,4] while only cluster 0
+		// is up), and shrinking first would momentarily leave the SoC
+		// with no online core, which soc rejects.
+		for _, grow := range []bool{true, false} {
+			for ci, n := range dec.OnlineVec {
+				cur, err := s.cpu.ClusterOnlineCount(ci)
+				if err != nil {
+					return fmt.Errorf("sim: reading cluster %d online count: %w", ci, err)
+				}
+				if (n > cur) != grow {
+					continue
+				}
+				if err := s.cpu.SetClusterOnlineCount(ci, n); err != nil {
+					return fmt.Errorf("sim: applying cluster %d hotplug decision: %w", ci, err)
+				}
+			}
+		}
+	} else if err := s.cpu.SetOnlineCount(dec.OnlineCores); err != nil {
 		return fmt.Errorf("sim: applying hotplug decision: %w", err)
 	}
 	copy(s.requested, dec.TargetFreq)
@@ -319,14 +385,18 @@ func (s *Sim) samplePolicy() error {
 	s.quota = dec.Quota
 	s.refillQuota()
 
-	// Record the sampled series.
+	// Record the sampled series, aggregate and per-cluster.
 	snap = s.cpu.Snapshot()
 	var freqAcc float64
 	online := 0
+	clFreq := make([]float64, len(s.views))
+	clOnline := make([]int, len(s.views))
 	for _, c := range snap {
 		if c.State != soc.StateOffline {
 			freqAcc += float64(c.Freq)
 			online++
+			clFreq[c.Cluster] += float64(c.Freq)
+			clOnline[c.Cluster]++
 		}
 	}
 	if online > 0 {
@@ -336,6 +406,16 @@ func (s *Sim) samplePolicy() error {
 	s.utilSeries.Append(s.now, in.OverallUtil())
 	s.quotaSeries.Append(s.now, s.quota)
 	s.tempSeries.Append(s.now, s.zone.tempC())
+	for ci := range s.views {
+		avg := 0.0
+		if clOnline[ci] > 0 {
+			avg = clFreq[ci] / float64(clOnline[ci])
+		}
+		s.clusterFreqSeries[ci].Append(s.now, avg)
+		s.clusterCoreSeries[ci].Append(s.now, float64(clOnline[ci]))
+		s.clusterFreqSum[ci].Add(avg)
+		s.clusterCoreSum[ci].Add(float64(clOnline[ci]))
+	}
 
 	// Reset the window.
 	for i := range s.winBusySec {
@@ -354,10 +434,10 @@ func (s *Sim) refillQuota() {
 }
 
 // applyFrequencies programs each online core to its requested frequency,
-// clamped by the thermal cap.
+// clamped by the thermal cap resolved onto the owning cluster's table.
 func (s *Sim) applyFrequencies() error {
 	for i, want := range s.requested {
-		f := s.zone.clamp(want)
+		f := s.zone.clampOn(s.coreTables[i], want)
 		cur, err := s.cpu.Freq(i)
 		if err != nil {
 			return fmt.Errorf("sim: reading core %d frequency: %w", i, err)

@@ -1,0 +1,251 @@
+package soc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Cluster describes one frequency domain of a CPU: a group of identical
+// cores sharing an OPP table, as in a big.LITTLE SoC where the A53 and A57
+// clusters each have their own frequency ladder. A homogeneous CPU is the
+// degenerate single-cluster case.
+type Cluster struct {
+	// Name identifies the cluster in reports, e.g. "LITTLE" or "big".
+	Name string
+	// NumCores is the number of cores in the cluster.
+	NumCores int
+	// Table is the cluster's private OPP table.
+	Table *OPPTable
+}
+
+// Validate rejects malformed cluster definitions.
+func (cl Cluster) Validate() error {
+	if cl.Name == "" {
+		return errors.New("soc: cluster needs a name")
+	}
+	if cl.NumCores < 1 {
+		return fmt.Errorf("soc: cluster %s core count %d", cl.Name, cl.NumCores)
+	}
+	if cl.Table == nil || cl.Table.Len() == 0 {
+		return fmt.Errorf("soc: cluster %s: %w", cl.Name, ErrEmptyTable)
+	}
+	return nil
+}
+
+// Errors specific to cluster operations.
+var (
+	ErrInvalidCluster = errors.New("soc: invalid cluster index")
+	ErrNoOnlineCore   = errors.New("soc: at least one core must stay online")
+)
+
+// NewClusteredCPU builds a CPU from an ordered list of clusters. Core ids
+// are assigned contiguously in cluster order, so listing the LITTLE cluster
+// first gives it the low core ids — the msm8994-style numbering that makes
+// lowest-id-first hotplug prefer the efficient cores. All cores start
+// online (idle) at their cluster's minimum frequency.
+func NewClusteredCPU(clusters []Cluster) (*CPU, error) {
+	if len(clusters) == 0 {
+		return nil, errors.New("soc: need at least one cluster")
+	}
+	total := 0
+	for _, cl := range clusters {
+		if err := cl.Validate(); err != nil {
+			return nil, err
+		}
+		total += cl.NumCores
+	}
+	cs := make([]Cluster, len(clusters))
+	copy(cs, clusters)
+	cores := make([]*Core, 0, total)
+	coreCluster := make([]int, 0, total)
+	for ci, cl := range cs {
+		for i := 0; i < cl.NumCores; i++ {
+			cores = append(cores, newCore(len(cores), cl.Table))
+			coreCluster = append(coreCluster, ci)
+		}
+	}
+	c := &CPU{cores: cores, table: cs[0].Table, clusters: cs, coreCluster: coreCluster}
+	c.computeRanks()
+	return c, nil
+}
+
+// computeRanks caches the efficiency rank of every core: clusters ordered
+// by ascending top frequency (ties keep cluster-id order), rank 0 the most
+// efficient. The topology is fixed at construction, so schedulers can read
+// the ranks every window without re-deriving them.
+func (c *CPU) computeRanks() {
+	if len(c.clusters) == 1 {
+		c.coreRank = nil // homogeneous: callers treat nil as all-rank-0
+		c.numRanks = 1
+		return
+	}
+	order := make([]int, len(c.clusters))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return c.clusters[order[a]].Table.Max().Freq < c.clusters[order[b]].Table.Max().Freq
+	})
+	rankOfCluster := make([]int, len(c.clusters))
+	for rank, ci := range order {
+		rankOfCluster[ci] = rank
+	}
+	c.coreRank = make([]int, len(c.cores))
+	for id, ci := range c.coreCluster {
+		c.coreRank[id] = rankOfCluster[ci]
+	}
+	c.numRanks = len(c.clusters)
+}
+
+// ClusterRanks returns the per-core efficiency ranks (nil on homogeneous
+// CPUs, meaning every core is rank 0) and the number of ranks. The slice
+// is shared and must not be mutated.
+func (c *CPU) ClusterRanks() ([]int, int) { return c.coreRank, c.numRanks }
+
+// NumClusters returns the number of frequency domains.
+func (c *CPU) NumClusters() int { return len(c.clusters) }
+
+// Clusters returns a copy of the cluster definitions in id order.
+func (c *CPU) Clusters() []Cluster {
+	out := make([]Cluster, len(c.clusters))
+	copy(out, c.clusters)
+	return out
+}
+
+// ClusterOf returns the cluster index owning core id, or -1 for an invalid
+// id.
+func (c *CPU) ClusterOf(id int) int {
+	if id < 0 || id >= len(c.coreCluster) {
+		return -1
+	}
+	return c.coreCluster[id]
+}
+
+// ClusterTable returns cluster ci's OPP table.
+func (c *CPU) ClusterTable(ci int) (*OPPTable, error) {
+	if ci < 0 || ci >= len(c.clusters) {
+		return nil, fmt.Errorf("%w: %d (have %d clusters)", ErrInvalidCluster, ci, len(c.clusters))
+	}
+	return c.clusters[ci].Table, nil
+}
+
+// ClusterCoreIDs returns the core ids belonging to cluster ci in ascending
+// order.
+func (c *CPU) ClusterCoreIDs(ci int) ([]int, error) {
+	if ci < 0 || ci >= len(c.clusters) {
+		return nil, fmt.Errorf("%w: %d (have %d clusters)", ErrInvalidCluster, ci, len(c.clusters))
+	}
+	ids := make([]int, 0, c.clusters[ci].NumCores)
+	for id, owner := range c.coreCluster {
+		if owner == ci {
+			ids = append(ids, id)
+		}
+	}
+	return ids, nil
+}
+
+// ClusterOnlineCount returns the number of online cores in cluster ci.
+func (c *CPU) ClusterOnlineCount(ci int) (int, error) {
+	if ci < 0 || ci >= len(c.clusters) {
+		return 0, fmt.Errorf("%w: %d (have %d clusters)", ErrInvalidCluster, ci, len(c.clusters))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for id, owner := range c.coreCluster {
+		if owner == ci && c.cores[id].Online() {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// SetClusterFreq programs every core of cluster ci to freq — the
+// one-clock-per-cluster arrangement of real big.LITTLE parts (each cluster
+// is one cpufreq policy domain). Offline cores are programmed too, so they
+// resume at the domain frequency. freq must be an operating point of the
+// cluster's table.
+func (c *CPU) SetClusterFreq(ci int, freq Hz) error {
+	if ci < 0 || ci >= len(c.clusters) {
+		return fmt.Errorf("%w: %d (have %d clusters)", ErrInvalidCluster, ci, len(c.clusters))
+	}
+	if c.clusters[ci].Table.IndexOf(freq) < 0 {
+		return fmt.Errorf("%w: %v (cluster %s)", ErrBadFrequency, freq, c.clusters[ci].Name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, owner := range c.coreCluster {
+		if owner != ci {
+			continue
+		}
+		if err := c.cores[id].setFreq(freq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetClusterOnlineCount onlines/offlines cores within cluster ci so that
+// exactly n of its cores are online. Unlike the flat SetOnlineCount, n may
+// be 0: a whole cluster can be parked (big cores gated while the LITTLE
+// cluster carries the phone), as long as at least one core somewhere on the
+// SoC stays online. Cores are onlined lowest-id first and offlined
+// highest-id first within the cluster.
+func (c *CPU) SetClusterOnlineCount(ci, n int) error {
+	if ci < 0 || ci >= len(c.clusters) {
+		return fmt.Errorf("%w: %d (have %d clusters)", ErrInvalidCluster, ci, len(c.clusters))
+	}
+	if n < 0 {
+		n = 0
+	}
+	if n > c.clusters[ci].NumCores {
+		n = c.clusters[ci].NumCores
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	onlineIn, onlineElsewhere := 0, 0
+	for id, owner := range c.coreCluster {
+		if !c.cores[id].Online() {
+			continue
+		}
+		if owner == ci {
+			onlineIn++
+		} else {
+			onlineElsewhere++
+		}
+	}
+	if n == 0 && onlineElsewhere == 0 {
+		return ErrNoOnlineCore
+	}
+	ids := c.clusterCoreIDsLocked(ci)
+	for _, id := range ids { // online from the lowest id
+		if onlineIn >= n {
+			break
+		}
+		if !c.cores[id].Online() {
+			c.cores[id].state = StateIdle
+			onlineIn++
+		}
+	}
+	for i := len(ids) - 1; i >= 0 && onlineIn > n; i-- { // offline from the highest
+		if c.cores[ids[i]].Online() {
+			c.cores[ids[i]].state = StateOffline
+			onlineIn--
+		}
+	}
+	return nil
+}
+
+// clusterCoreIDsLocked is ClusterCoreIDs without locking or index
+// validation (the caller has already checked ci), for use while c.mu is
+// held.
+func (c *CPU) clusterCoreIDsLocked(ci int) []int {
+	ids := make([]int, 0, c.clusters[ci].NumCores)
+	for id, owner := range c.coreCluster {
+		if owner == ci {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}

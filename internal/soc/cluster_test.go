@@ -1,0 +1,184 @@
+package soc
+
+import (
+	"errors"
+	"testing"
+)
+
+func testClusters(t *testing.T) []Cluster {
+	t.Helper()
+	little, err := UniformTable(4, 200*MHz, 1000*MHz, 0.80, 1.00)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := UniformTable(5, 300*MHz, 2000*MHz, 0.85, 1.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Cluster{
+		{Name: "LITTLE", NumCores: 4, Table: little},
+		{Name: "big", NumCores: 2, Table: big},
+	}
+}
+
+func TestNewClusteredCPUTopology(t *testing.T) {
+	cpu, err := NewClusteredCPU(testClusters(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu.NumCores() != 6 {
+		t.Fatalf("NumCores = %d, want 6", cpu.NumCores())
+	}
+	if cpu.NumClusters() != 2 {
+		t.Fatalf("NumClusters = %d, want 2", cpu.NumClusters())
+	}
+	for id := 0; id < 4; id++ {
+		if cpu.ClusterOf(id) != 0 {
+			t.Errorf("core %d cluster = %d, want 0 (LITTLE first)", id, cpu.ClusterOf(id))
+		}
+	}
+	for id := 4; id < 6; id++ {
+		if cpu.ClusterOf(id) != 1 {
+			t.Errorf("core %d cluster = %d, want 1", id, cpu.ClusterOf(id))
+		}
+	}
+	if cpu.ClusterOf(6) != -1 || cpu.ClusterOf(-1) != -1 {
+		t.Error("out-of-range core ids should map to cluster -1")
+	}
+	ids, err := cpu.ClusterCoreIDs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 4 || ids[1] != 5 {
+		t.Errorf("big cluster core ids = %v, want [4 5]", ids)
+	}
+	for _, c := range cpu.Snapshot() {
+		if c.Cluster != cpu.ClusterOf(c.ID) {
+			t.Errorf("snapshot core %d cluster = %d, want %d", c.ID, c.Cluster, cpu.ClusterOf(c.ID))
+		}
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewClusteredCPU(nil); err == nil {
+		t.Error("empty cluster list accepted")
+	}
+	cls := testClusters(t)
+	cls[0].NumCores = 0
+	if _, err := NewClusteredCPU(cls); err == nil {
+		t.Error("zero-core cluster accepted")
+	}
+	cls = testClusters(t)
+	cls[1].Table = nil
+	if _, err := NewClusteredCPU(cls); err == nil {
+		t.Error("nil cluster table accepted")
+	}
+	cls = testClusters(t)
+	cls[0].Name = ""
+	if _, err := NewClusteredCPU(cls); err == nil {
+		t.Error("unnamed cluster accepted")
+	}
+}
+
+func TestSetClusterFreqValidatesOwnTable(t *testing.T) {
+	cls := testClusters(t)
+	cpu, err := NewClusteredCPU(cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigMax := cls[1].Table.Max().Freq
+	if err := cpu.SetClusterFreq(1, bigMax); err != nil {
+		t.Fatalf("big cluster rejects its own max: %v", err)
+	}
+	// The big max is not a LITTLE operating point.
+	if err := cpu.SetClusterFreq(0, bigMax); !errors.Is(err, ErrBadFrequency) {
+		t.Errorf("LITTLE accepted a big-only frequency: %v", err)
+	}
+	if err := cpu.SetClusterFreq(2, bigMax); !errors.Is(err, ErrInvalidCluster) {
+		t.Errorf("invalid cluster index: %v", err)
+	}
+	// Per-core SetFreq validates against the owning cluster too.
+	if err := cpu.SetFreq(0, bigMax); err == nil {
+		t.Error("core 0 (LITTLE) accepted a big-only frequency")
+	}
+	if err := cpu.SetFreq(4, bigMax); err != nil {
+		t.Errorf("core 4 (big) rejected its own max: %v", err)
+	}
+	// Offline cores are programmed too, so they resume at the domain clock.
+	if err := cpu.SetClusterOnlineCount(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cpu.SetClusterFreq(1, bigMax); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := cpu.Freq(5); err != nil || f != bigMax {
+		t.Errorf("offline big core freq = %v (%v), want %v", f, err, bigMax)
+	}
+}
+
+func TestSetClusterOnlineCount(t *testing.T) {
+	cpu, err := NewClusteredCPU(testClusters(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park the whole big cluster.
+	if err := cpu.SetClusterOnlineCount(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := cpu.ClusterOnlineCount(1); n != 0 {
+		t.Errorf("big online = %d, want 0", n)
+	}
+	if cpu.OnlineCount() != 4 {
+		t.Errorf("total online = %d, want 4", cpu.OnlineCount())
+	}
+	// Shrink LITTLE to one core; lowest ids stay up.
+	if err := cpu.SetClusterOnlineCount(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	ids := cpu.OnlineIDs()
+	if len(ids) != 1 || ids[0] != 0 {
+		t.Errorf("online ids = %v, want [0]", ids)
+	}
+	// The last online core on the SoC cannot be parked.
+	if err := cpu.SetClusterOnlineCount(0, 0); !errors.Is(err, ErrNoOnlineCore) {
+		t.Errorf("parked the last online core: %v", err)
+	}
+	// Clamping: requests beyond the cluster size saturate.
+	if err := cpu.SetClusterOnlineCount(1, 99); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := cpu.ClusterOnlineCount(1); n != 2 {
+		t.Errorf("big online = %d, want 2 after clamped request", n)
+	}
+}
+
+func TestSetFreqAllHeterogeneous(t *testing.T) {
+	cls := testClusters(t)
+	cpu, err := NewClusteredCPU(cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A frequency in only one cluster's table is rejected outright.
+	if err := cpu.SetFreqAll(cls[1].Table.Max().Freq); !errors.Is(err, ErrBadFrequency) {
+		t.Errorf("SetFreqAll accepted a non-shared operating point: %v", err)
+	}
+}
+
+func TestNewCPUSingleCluster(t *testing.T) {
+	table := MSM8974Table()
+	cpu, err := NewCPU(4, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu.NumClusters() != 1 {
+		t.Fatalf("homogeneous CPU clusters = %d, want 1", cpu.NumClusters())
+	}
+	if cpu.Table() != table {
+		t.Error("Table() should return the single cluster's table")
+	}
+	for id := 0; id < 4; id++ {
+		if cpu.ClusterOf(id) != 0 {
+			t.Errorf("core %d cluster = %d, want 0", id, cpu.ClusterOf(id))
+		}
+	}
+}

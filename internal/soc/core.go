@@ -95,16 +95,21 @@ func (c *Core) setFreq(freq Hz) error {
 }
 
 // CPU is a multi-core processor with per-core DVFS (each core has its own
-// rail, as on the MSM8974) and hotplug. CPU is safe for concurrent use.
+// rail, as on the MSM8974) and hotplug, organized as one or more clusters
+// (frequency domains). CPU is safe for concurrent use.
 type CPU struct {
-	mu    sync.Mutex
-	cores []*Core
-	table *OPPTable
+	mu          sync.Mutex
+	cores       []*Core
+	table       *OPPTable // first cluster's table, the homogeneous view
+	clusters    []Cluster
+	coreCluster []int // core id -> cluster index
+	coreRank    []int // core id -> efficiency rank; nil when homogeneous
+	numRanks    int
 }
 
-// NewCPU builds a CPU with n identical cores sharing one OPP table. All
-// cores start online (idle) at the minimum frequency, which is where a
-// freshly booted kernel leaves them.
+// NewCPU builds a homogeneous CPU with n identical cores sharing one OPP
+// table — a single-cluster SoC. All cores start online (idle) at the
+// minimum frequency, which is where a freshly booted kernel leaves them.
 func NewCPU(n int, table *OPPTable) (*CPU, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("soc: core count must be positive, got %d", n)
@@ -112,17 +117,15 @@ func NewCPU(n int, table *OPPTable) (*CPU, error) {
 	if table == nil || table.Len() == 0 {
 		return nil, ErrEmptyTable
 	}
-	cores := make([]*Core, n)
-	for i := range cores {
-		cores[i] = newCore(i, table)
-	}
-	return &CPU{cores: cores, table: table}, nil
+	return NewClusteredCPU([]Cluster{{Name: "cpu", NumCores: n, Table: table}})
 }
 
 // NumCores returns the total number of cores, online or not.
 func (c *CPU) NumCores() int { return len(c.cores) }
 
-// Table returns the shared OPP table.
+// Table returns the first cluster's OPP table. On a homogeneous CPU this is
+// the shared table; heterogeneous callers should resolve tables per cluster
+// via ClusterTable.
 func (c *CPU) Table() *OPPTable { return c.table }
 
 // OnlineCount returns the number of online cores.
@@ -154,6 +157,7 @@ func (c *CPU) OnlineIDs() []int {
 // CoreSnapshot is an immutable view of one core, safe to hold across ticks.
 type CoreSnapshot struct {
 	ID         int
+	Cluster    int // owning cluster index; 0 on homogeneous CPUs
 	State      CoreState
 	Freq       Hz
 	Volt       Volt
@@ -168,6 +172,7 @@ func (c *CPU) Snapshot() []CoreSnapshot {
 	for i, core := range c.cores {
 		out[i] = CoreSnapshot{
 			ID:         core.id,
+			Cluster:    c.coreCluster[i],
 			State:      core.state,
 			Freq:       core.opp.Freq,
 			Volt:       core.opp.Volt,
@@ -188,12 +193,16 @@ func (c *CPU) SetFreq(id int, freq Hz) error {
 	return core.setFreq(freq)
 }
 
-// SetFreqAll programs every online core to freq (global DVFS).
+// SetFreqAll programs every online core to freq (global DVFS). freq must be
+// an operating point of every cluster's table, so on heterogeneous CPUs use
+// SetClusterFreq per domain instead.
 func (c *CPU) SetFreqAll(freq Hz) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.table.IndexOf(freq) < 0 {
-		return fmt.Errorf("%w: %v", ErrBadFrequency, freq)
+	for _, cl := range c.clusters {
+		if cl.Table.IndexOf(freq) < 0 {
+			return fmt.Errorf("%w: %v (cluster %s)", ErrBadFrequency, freq, cl.Name)
+		}
 	}
 	for _, core := range c.cores {
 		if core.Online() {

@@ -23,6 +23,42 @@ func MSM8974Table() *OPPTable {
 	})
 }
 
+// MSM8994LittleTable returns the A53 (LITTLE) cluster OPP ladder of a
+// Snapdragon 810-class part: 384 MHz to 1.5552 GHz. Voltages follow the
+// same mildly convex shape as the calibrated MSM8974 ladder, shifted down
+// for the efficiency-tuned 20 nm A53 implementation.
+func MSM8994LittleTable() *OPPTable {
+	return MustOPPTable([]OPP{
+		{Freq: 384_000 * KHz, Volt: 0.800},
+		{Freq: 460_800 * KHz, Volt: 0.810},
+		{Freq: 600_000 * KHz, Volt: 0.825},
+		{Freq: 787_200 * KHz, Volt: 0.850},
+		{Freq: 960_000 * KHz, Volt: 0.875},
+		{Freq: 1_113_600 * KHz, Volt: 0.900},
+		{Freq: 1_248_000 * KHz, Volt: 0.930},
+		{Freq: 1_440_000 * KHz, Volt: 0.975},
+		{Freq: 1_555_200 * KHz, Volt: 1.000},
+	})
+}
+
+// MSM8994BigTable returns the A57 (big) cluster OPP ladder of a Snapdragon
+// 810-class part: 384 MHz to 1.958 GHz with a steeper voltage ramp — the
+// performance cluster pays for its top bins.
+func MSM8994BigTable() *OPPTable {
+	return MustOPPTable([]OPP{
+		{Freq: 384_000 * KHz, Volt: 0.850},
+		{Freq: 480_000 * KHz, Volt: 0.865},
+		{Freq: 633_600 * KHz, Volt: 0.885},
+		{Freq: 768_000 * KHz, Volt: 0.905},
+		{Freq: 960_000 * KHz, Volt: 0.935},
+		{Freq: 1_248_000 * KHz, Volt: 0.985},
+		{Freq: 1_440_000 * KHz, Volt: 1.025},
+		{Freq: 1_632_000 * KHz, Volt: 1.070},
+		{Freq: 1_824_000 * KHz, Volt: 1.125},
+		{Freq: 1_958_400 * KHz, Volt: 1.165},
+	})
+}
+
 // UniformTable builds a synthetic table of n evenly spaced frequencies
 // between lo and hi with linearly interpolated voltages — useful for the
 // older single/dual-core platform profiles of Figure 1 and for tests.

@@ -129,11 +129,18 @@ func (z *Zone) Step(watts float64, dt time.Duration) {
 // Clamp applies the current cap to a requested frequency, returning the
 // highest allowed operating point at or below the request.
 func (z *Zone) Clamp(req soc.Hz) soc.Hz {
+	return z.ClampOn(z.table, req)
+}
+
+// ClampOn applies the current cap to a request, resolving the capped value
+// onto table — on a big.LITTLE part one skin sensor caps every frequency
+// domain, but each domain snaps to its own ladder.
+func (z *Zone) ClampOn(table *soc.OPPTable, req soc.Hz) soc.Hz {
 	cap := z.CapFreq()
 	if req <= cap {
 		return req
 	}
-	return z.table.FloorFreq(cap).Freq
+	return table.FloorFreq(cap).Freq
 }
 
 // Reset returns the zone to ambient with no cap.

@@ -9,6 +9,15 @@
 // paper's contribution: the MobiCore unified CPU manager, which decides
 // frequency, online core count, and CPU bandwidth quota in one step.
 //
+// Beyond the thesis' homogeneous handsets, the simulator models
+// heterogeneous (big.LITTLE) SoCs: a platform may declare multiple
+// clusters, each its own frequency domain with a private OPP table and
+// power calibration. The "nexus6p" profile is a Snapdragon 810-class
+// 4×A53 + 4×A57 device; on such platforms MobiCore runs per cluster with
+// an energy-aware gate that parks the big cores until the LITTLE cluster
+// runs out of headroom, and stock governors run one instance per cluster,
+// as Linux does. See README.md for the cluster model.
+//
 // Quick start:
 //
 //	dev, err := mobicore.NewDevice(mobicore.Config{
@@ -147,19 +156,14 @@ func (d *Device) WritePowerTraceJSON(w io.Writer) error { return d.sim.Monitor()
 // PlatformName returns the device profile in use.
 func (d *Device) PlatformName() string { return d.plat.Name }
 
-// platformNames maps config names to profile constructors.
+// platformNames maps config names to profile constructors. The mapping is
+// owned by the platform package (platform.Profiles) so the CLI aliases and
+// platform.ByName display names cannot drift apart.
 func platformNames() map[string]func() platform.Platform {
-	return map[string]func() platform.Platform{
-		"nexus5":    platform.Nexus5,
-		"nexus-s":   platform.NexusS,
-		"mb810":     platform.MotorolaMB810,
-		"galaxy-s2": platform.GalaxyS2,
-		"nexus4":    platform.Nexus4,
-		"lg-g3":     platform.LGG3,
-	}
+	return platform.Profiles()
 }
 
-// Platforms lists the built-in device profiles.
+// Platforms lists the built-in device profiles by canonical alias.
 func Platforms() []string {
 	m := platformNames()
 	names := make([]string, 0, len(m))
@@ -170,15 +174,17 @@ func Platforms() []string {
 	return names
 }
 
+// lookupPlatform accepts both spellings of a profile: the CLI alias
+// ("nexus5") and the display name ("Nexus 5").
 func lookupPlatform(name string) (platform.Platform, error) {
 	if name == "" {
 		name = "nexus5"
 	}
-	f, ok := platformNames()[name]
-	if !ok {
+	p, err := platform.ByName(name)
+	if err != nil {
 		return platform.Platform{}, fmt.Errorf("mobicore: unknown platform %q (have %v)", name, Platforms())
 	}
-	return f(), nil
+	return p, nil
 }
 
 // Policies lists the accepted policy names (the composable
@@ -187,23 +193,38 @@ func Policies() []string {
 	return []string{PolicyAndroidDefault, PolicyMobiCore, PolicyMobiCoreThreshold, PolicyOracle}
 }
 
-// buildPolicy resolves a policy name against a platform.
+// buildPolicy resolves a policy name against a platform. On heterogeneous
+// (big.LITTLE) platforms MobiCore runs one instance per cluster with an
+// energy-aware gate, and stock governors run one instance per cluster as
+// independent cpufreq policy domains.
 func buildPolicy(name string, plat platform.Platform) (policy.Manager, error) {
 	if name == "" {
 		name = PolicyAndroidDefault
 	}
 	switch name {
 	case PolicyAndroidDefault:
+		if plat.Heterogeneous() {
+			return composedPolicy("ondemand+load", plat)
+		}
 		return policy.AndroidDefault(plat.Table)
 	case PolicyMobiCore:
+		if plat.Heterogeneous() {
+			return clusteredMobiCore(plat, true)
+		}
 		model, err := power.NewModel(plat.Power, plat.Table)
 		if err != nil {
 			return nil, fmt.Errorf("mobicore: %w", err)
 		}
 		return core.NewWithModel(plat.Table, core.DefaultTunables(), model)
 	case PolicyMobiCoreThreshold:
+		if plat.Heterogeneous() {
+			return clusteredMobiCore(plat, false)
+		}
 		return core.New(plat.Table, core.DefaultTunables())
 	case PolicyOracle:
+		if plat.Heterogeneous() {
+			return nil, fmt.Errorf("mobicore: policy %q does not support heterogeneous platform %q yet", name, plat.Name)
+		}
 		model, err := power.NewModel(plat.Power, plat.Table)
 		if err != nil {
 			return nil, fmt.Errorf("mobicore: %w", err)
@@ -213,6 +234,16 @@ func buildPolicy(name string, plat platform.Platform) (policy.Manager, error) {
 	return composedPolicy(name, plat)
 }
 
+// clusteredMobiCore builds the per-cluster MobiCore manager; withModel
+// attaches each cluster's calibrated energy model for the §4.2 search.
+func clusteredMobiCore(plat platform.Platform, withModel bool) (policy.Manager, error) {
+	mgr, err := core.NewClusteredForPlatform(plat, core.DefaultTunables(), core.DefaultClusterTunables(), withModel)
+	if err != nil {
+		return nil, fmt.Errorf("mobicore: %w", err)
+	}
+	return mgr, nil
+}
+
 // composedPolicy parses "<governor>+<hotplug>".
 func composedPolicy(name string, plat platform.Platform) (policy.Manager, error) {
 	govName, plugName, ok := strings.Cut(name, "+")
@@ -220,13 +251,22 @@ func composedPolicy(name string, plat platform.Platform) (policy.Manager, error)
 		return nil, fmt.Errorf("mobicore: unknown policy %q (want one of %v or \"governor+hotplug\")",
 			name, Policies())
 	}
-	gov, err := cpufreq.New(govName, plat.Table)
-	if err != nil {
-		return nil, fmt.Errorf("mobicore: %w", err)
-	}
 	plug, err := buildHotplug(plugName)
 	if err != nil {
 		return nil, err
+	}
+	if plat.Heterogeneous() {
+		mgr, err := policy.ComposeClustered(govName,
+			func(t *soc.OPPTable) (cpufreq.Governor, error) { return cpufreq.New(govName, t) },
+			plug, plat.ClusterTables())
+		if err != nil {
+			return nil, fmt.Errorf("mobicore: %w", err)
+		}
+		return mgr, nil
+	}
+	gov, err := cpufreq.New(govName, plat.Table)
+	if err != nil {
+		return nil, fmt.Errorf("mobicore: %w", err)
 	}
 	return policy.Compose(gov, plug)
 }
