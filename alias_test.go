@@ -44,7 +44,7 @@ func TestPlatformAliasReconciliation(t *testing.T) {
 // TestNexus6PDevice drives the big.LITTLE profile through the public API
 // under each named policy that supports it.
 func TestNexus6PDevice(t *testing.T) {
-	for _, pol := range []string{PolicyMobiCore, PolicyMobiCoreThreshold, PolicyAndroidDefault, "schedutil+load"} {
+	for _, pol := range []string{PolicyMobiCore, PolicyMobiCoreThreshold, PolicyAndroidDefault, PolicyOracle, "schedutil+load"} {
 		dev, err := NewDevice(Config{Platform: "nexus6p", Policy: pol, Seed: 5}, BusyLoop(0.3, 4))
 		if err != nil {
 			t.Fatalf("%s: %v", pol, err)
@@ -56,9 +56,5 @@ func TestNexus6PDevice(t *testing.T) {
 		if len(rep.ClusterNames) != 2 {
 			t.Errorf("%s: cluster names = %v, want 2 clusters", pol, rep.ClusterNames)
 		}
-	}
-	// The oracle is homogeneous-only for now and must say so.
-	if _, err := NewDevice(Config{Platform: "nexus6p", Policy: PolicyOracle}, BusyLoop(0.3, 4)); err == nil {
-		t.Error("oracle accepted a heterogeneous platform")
 	}
 }

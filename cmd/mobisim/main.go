@@ -12,7 +12,9 @@
 // The -platform flag accepts either spelling of a profile — the alias
 // ("nexus6p") or the display name ("Nexus 6P"). On big.LITTLE platforms
 // like nexus6p, MobiCore and the stock governors drive each cluster as its
-// own frequency domain, and the report gains per-cluster lines.
+// own frequency domain, each cluster has its own thermal zone (the big
+// cluster throttles long before the LITTLE one), and the report gains
+// per-cluster frequency/core/temperature/throttle-residency lines.
 package main
 
 import (

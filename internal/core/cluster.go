@@ -166,7 +166,7 @@ func (c *Clustered) Decide(in policy.Input) (policy.Decision, error) {
 	onlineVec := make([]int, len(views))
 	quotaCores := 0.0 // Σ domain quota × domain cores: budget in core-units
 	for ci, v := range views {
-		if ci != c.little && !c.gateBig(ci, demand[c.little], totalDemand, littleCap, pegged[c.little]) {
+		if ci != c.little && !c.gateBig(ci, demand[c.little], totalDemand, littleCap, pegged[c.little], domainHot(in, ci)) {
 			// Parked: whole domain offline, clock at the floor so a
 			// later wake starts from the cheapest operating point. A
 			// parked domain contributes nothing to the bandwidth
@@ -207,8 +207,13 @@ func (c *Clustered) Decide(in policy.Input) (policy.Decision, error) {
 // gateBig decides whether big domain ci may run this period, updating the
 // hysteresis state. Waking is justified by LITTLE-cluster pressure or a
 // pegged LITTLE core (latency); parking requires the SoC's whole demand to
-// fit comfortably back on LITTLE.
-func (c *Clustered) gateBig(ci int, littleDemand, totalDemand, littleCap float64, littlePegged bool) bool {
+// fit comfortably back on LITTLE. A thermally pressured big domain (cap
+// engaged or zone above trip) is never woken: the thermal driver would
+// immediately clamp the fresh cores to the bottom of the ladder, so waking
+// buys leakage and heat, not capacity — demand stays on the cool LITTLE
+// cluster until the zone recovers. An already-running hot domain is left to
+// its own MobiCore pass under the thermal clamp.
+func (c *Clustered) gateBig(ci int, littleDemand, totalDemand, littleCap float64, littlePegged, hot bool) bool {
 	if littleCap <= 0 {
 		return true
 	}
@@ -218,11 +223,22 @@ func (c *Clustered) gateBig(ci int, littleDemand, totalDemand, littleCap float64
 			c.inner[ci].Reset() // stale burst history must not leak into the next wake
 		}
 	} else {
-		if littleDemand >= c.ctun.BigWake*littleCap || littlePegged {
+		if (littleDemand >= c.ctun.BigWake*littleCap || littlePegged) && !hot {
 			c.bigOn[ci] = true
 		}
 	}
 	return c.bigOn[ci]
+}
+
+// domainHot reads the thermal-pressure signal for domain ci: true when its
+// zone has a cap engaged or has exhausted its trip headroom. Inputs without
+// thermal telemetry report cool (unbounded headroom).
+func domainHot(in policy.Input, ci int) bool {
+	if ci >= len(in.Thermal) {
+		return false
+	}
+	t := in.Thermal[ci]
+	return t.Throttling || t.HeadroomC <= 0
 }
 
 // decideDomain runs domain ci's MobiCore pass on the slice of the

@@ -172,3 +172,82 @@ func TestClusteredTunablesValidate(t *testing.T) {
 		t.Error("empty domain list accepted")
 	}
 }
+
+// TestClusteredGateRespectsThermalPressure: the same pegged-LITTLE input
+// that normally wakes the big cluster must leave it parked when the big
+// domain's thermal zone reports a cap engaged or exhausted headroom — the
+// thermal driver would clamp fresh cores to the ladder floor anyway.
+func TestClusteredGateRespectsThermalPressure(t *testing.T) {
+	domains, views := clusterDomains(t)
+	hotSignals := [][]policy.ThermalSignal{
+		{
+			{TempC: 30, HeadroomC: 40, Throttling: false, CapFreq: views[0].Table.Max().Freq},
+			{TempC: 46, HeadroomC: -1, Throttling: true, CapFreq: views[1].Table.Min().Freq},
+		},
+		{ // above trip but the cap has not stepped yet
+			{TempC: 30, HeadroomC: 40, Throttling: false, CapFreq: views[0].Table.Max().Freq},
+			{TempC: 45.5, HeadroomC: -0.5, Throttling: false, CapFreq: views[1].Table.Max().Freq},
+		},
+	}
+	for i, therm := range hotSignals {
+		mgr, err := NewClustered(DefaultTunables(), DefaultClusterTunables(), domains)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := clusterInput(views, 1.0, 0, false)
+		in.Thermal = therm
+		dec, err := mgr.Decide(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.OnlineVec[1] != 0 {
+			t.Errorf("case %d: big cluster woken with %d cores while thermally pressured", i, dec.OnlineVec[1])
+		}
+	}
+	// Once the zone recovers, the same pressure wakes it again.
+	mgr, err := NewClustered(DefaultTunables(), DefaultClusterTunables(), domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := clusterInput(views, 1.0, 0, false)
+	in.Thermal = []policy.ThermalSignal{
+		{TempC: 30, HeadroomC: 40, CapFreq: views[0].Table.Max().Freq},
+		{TempC: 35, HeadroomC: 10, CapFreq: views[1].Table.Max().Freq},
+	}
+	dec, err := mgr.Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.OnlineVec[1] < 1 {
+		t.Errorf("big cluster online = %d with cool zone and pegged LITTLE, want >= 1", dec.OnlineVec[1])
+	}
+}
+
+// TestClusteredRunningDomainSurvivesHeat: thermal pressure gates only the
+// wake path; an already-running big domain keeps running (the sim's clamp
+// and the domain's own MobiCore handle the cap).
+func TestClusteredRunningDomainSurvivesHeat(t *testing.T) {
+	domains, views := clusterDomains(t)
+	mgr, err := NewClustered(DefaultTunables(), DefaultClusterTunables(), domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wake it with a cool zone first.
+	in := clusterInput(views, 1.0, 0, false)
+	if _, err := mgr.Decide(in); err != nil {
+		t.Fatal(err)
+	}
+	// Now hot and busy: demand still needs it, so it stays managed.
+	in = clusterInput(views, 1.0, 0.9, true)
+	in.Thermal = []policy.ThermalSignal{
+		{TempC: 30, HeadroomC: 40, CapFreq: views[0].Table.Max().Freq},
+		{TempC: 46, HeadroomC: -1, Throttling: true, CapFreq: views[1].Table.Min().Freq},
+	}
+	dec, err := mgr.Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.OnlineVec[1] < 1 {
+		t.Errorf("running hot big domain parked by the gate, want it left managed")
+	}
+}

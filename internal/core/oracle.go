@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"mobicore/internal/platform"
 	"mobicore/internal/policy"
 	"mobicore/internal/power"
 	"mobicore/internal/soc"
@@ -141,3 +142,196 @@ func (o *Oracle) Decide(in policy.Input) (policy.Decision, error) {
 
 // Reset implements policy.Manager.
 func (o *Oracle) Reset() {}
+
+// ClusterOperatingPoint is one cluster's share of a joint heterogeneous
+// operating point: how many of its cores run and at which OPP. Cores == 0
+// parks the whole domain (OPP is then the domain floor).
+type ClusterOperatingPoint struct {
+	Cores int
+	OPP   soc.OPP
+}
+
+// ChooseClusterOperatingPoints generalizes the §4.2 exhaustive search to a
+// heterogeneous SoC: it jointly minimizes predicted power over every
+// per-cluster (cores, frequency) combination whose aggregate capacity
+// serves the demand, pricing each candidate with the per-cluster models
+// (demand split proportional to capacity — the balanced-scheduler
+// assumption of §3.2) plus the platform floor paid once. Any cluster may
+// park entirely as long as at least one core stays online somewhere. Ties
+// break towards fewer total cores, then lower aggregate capacity. When even
+// the whole SoC flat out cannot serve the demand it returns the full-blast
+// configuration, mirroring the homogeneous fallback.
+func ChooseClusterOperatingPoints(baseWatts float64, models []*power.Model, tables []*soc.OPPTable, clusterCores []int, demandCyclesPerSec float64) ([]ClusterOperatingPoint, float64, error) {
+	n := len(models)
+	if n == 0 || len(tables) != n || len(clusterCores) != n {
+		return nil, 0, fmt.Errorf("core: cluster oracle needs parallel models/tables/cores, got %d/%d/%d",
+			len(models), len(tables), len(clusterCores))
+	}
+	if baseWatts < 0 {
+		return nil, 0, errors.New("core: negative base watts")
+	}
+	if demandCyclesPerSec < 0 {
+		return nil, 0, errors.New("core: negative demand")
+	}
+	for ci := 0; ci < n; ci++ {
+		if models[ci] == nil || tables[ci] == nil || tables[ci].Len() == 0 {
+			return nil, 0, fmt.Errorf("core: cluster %d missing model or table", ci)
+		}
+		if clusterCores[ci] < 1 {
+			return nil, 0, fmt.Errorf("core: cluster %d core count %d", ci, clusterCores[ci])
+		}
+	}
+
+	var (
+		bestChoice []ClusterOperatingPoint
+		bestWatts  = math.Inf(1)
+		bestCores  = math.MaxInt
+		bestCap    = math.Inf(1)
+		cur        = make([]ClusterOperatingPoint, n)
+	)
+	price := func(choice []ClusterOperatingPoint, totalCap float64) float64 {
+		watts := baseWatts
+		for ci, ch := range choice {
+			share := 0.0
+			if totalCap > 0 && ch.Cores > 0 {
+				share = demandCyclesPerSec * (float64(ch.Cores) * float64(ch.OPP.Freq)) / totalCap
+			}
+			watts += clusterPredictWatts(models[ci], ch.Cores, ch.OPP, share, clusterCores[ci])
+		}
+		return watts
+	}
+	var walk func(ci, cores int, capacity float64)
+	walk = func(ci, cores int, capacity float64) {
+		if ci == n {
+			if cores < 1 || capacity < demandCyclesPerSec {
+				return
+			}
+			watts := price(cur, capacity)
+			if watts < bestWatts ||
+				(watts == bestWatts && cores < bestCores) ||
+				(watts == bestWatts && cores == bestCores && capacity < bestCap) {
+				bestChoice = append(bestChoice[:0], cur...)
+				bestWatts, bestCores, bestCap = watts, cores, capacity
+			}
+			return
+		}
+		cur[ci] = ClusterOperatingPoint{Cores: 0, OPP: tables[ci].Min()}
+		walk(ci+1, cores, capacity)
+		for c := 1; c <= clusterCores[ci]; c++ {
+			for _, opp := range tables[ci].Points() {
+				cur[ci] = ClusterOperatingPoint{Cores: c, OPP: opp}
+				walk(ci+1, cores+c, capacity+float64(c)*float64(opp.Freq))
+			}
+		}
+	}
+	walk(0, 0, 0)
+
+	if bestChoice == nil {
+		// Demand exceeds the whole SoC: run everything flat out.
+		full := make([]ClusterOperatingPoint, n)
+		totalCap := 0.0
+		for ci := 0; ci < n; ci++ {
+			full[ci] = ClusterOperatingPoint{Cores: clusterCores[ci], OPP: tables[ci].Max()}
+			totalCap += float64(clusterCores[ci]) * float64(tables[ci].Max().Freq)
+		}
+		return full, price(full, totalCap), nil
+	}
+	return bestChoice, bestWatts, nil
+}
+
+// clusterPredictWatts prices one cluster serving shareCyclesPerSec on
+// cores active cores at opp, the rest power-gated — Model.PredictWatts
+// without the per-cluster base (the platform floor is paid once by the
+// caller) and without slice allocation in the search's hot loop.
+func clusterPredictWatts(m *power.Model, cores int, opp soc.OPP, shareCyclesPerSec float64, totalCores int) float64 {
+	off := float64(totalCores-cores) * m.Params().OfflineWatts
+	if cores == 0 {
+		return off
+	}
+	util := shareCyclesPerSec / (float64(cores) * float64(opp.Freq))
+	util = clamp(util, 0, 1)
+	return float64(cores)*m.CoreWatts(soc.StateActive, opp, util) + off + m.CacheWatts(util, opp.Freq)
+}
+
+// ClusteredOracle is the model-driven reference manager for heterogeneous
+// SoCs: each period it measures served demand, adds headroom, and programs
+// the joint per-cluster optimum from ChooseClusterOperatingPoints. The
+// homogeneous Oracle is the single-cluster special case.
+type ClusteredOracle struct {
+	baseWatts float64
+	models    []*power.Model
+	tables    []*soc.OPPTable
+	counts    []int
+	headroom  float64
+}
+
+var _ policy.Manager = (*ClusteredOracle)(nil)
+
+// NewClusteredOracleForPlatform builds the cluster-aware oracle from a
+// platform profile, one calibrated model per frequency domain. headroom
+// inflates measured demand to leave room for growth between samples.
+func NewClusteredOracleForPlatform(plat platform.Platform, headroom float64) (*ClusteredOracle, error) {
+	if headroom < 0 || headroom > 1 {
+		return nil, errors.New("core: oracle headroom must be in [0,1]")
+	}
+	specs := plat.ClusterSpecs()
+	o := &ClusteredOracle{
+		baseWatts: plat.Power.BaseWatts,
+		models:    make([]*power.Model, len(specs)),
+		tables:    make([]*soc.OPPTable, len(specs)),
+		counts:    make([]int, len(specs)),
+		headroom:  headroom,
+	}
+	for ci, cs := range specs {
+		m, err := power.NewModel(cs.Power, cs.Table)
+		if err != nil {
+			return nil, fmt.Errorf("core: cluster %s: %w", cs.Name, err)
+		}
+		o.models[ci] = m
+		o.tables[ci] = cs.Table
+		o.counts[ci] = cs.NumCores
+	}
+	return o, nil
+}
+
+// Name implements policy.Manager.
+func (o *ClusteredOracle) Name() string { return "oracle" }
+
+// Decide implements policy.Manager.
+func (o *ClusteredOracle) Decide(in policy.Input) (policy.Decision, error) {
+	if err := in.Validate(); err != nil {
+		return policy.Decision{}, err
+	}
+	views := in.ClusterViews()
+	if len(views) != len(o.models) {
+		return policy.Decision{}, fmt.Errorf("core: cluster oracle built for %d domains, input has %d",
+			len(o.models), len(views))
+	}
+	var demand float64
+	for i := range in.Util {
+		if in.Online[i] {
+			demand += in.Util[i] * float64(in.CurFreq[i])
+		}
+	}
+	demand *= 1 + o.headroom
+	choice, _, err := ChooseClusterOperatingPoints(o.baseWatts, o.models, o.tables, o.counts, demand)
+	if err != nil {
+		return policy.Decision{}, err
+	}
+	targets := make([]soc.Hz, len(in.Util))
+	vec := make([]int, len(views))
+	for ci, v := range views {
+		vec[ci] = choice[ci].Cores
+		f := choice[ci].OPP.Freq
+		if choice[ci].Cores == 0 {
+			f = v.Table.Min().Freq // parked domain clocks at its floor
+		}
+		for _, id := range v.CoreIDs {
+			targets[id] = f
+		}
+	}
+	return policy.Decision{TargetFreq: targets, OnlineVec: vec, Quota: 1}, nil
+}
+
+// Reset implements policy.Manager.
+func (o *ClusteredOracle) Reset() {}

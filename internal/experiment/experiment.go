@@ -66,6 +66,7 @@ type Runner func(Options) (Result, error)
 func runners() map[string]Runner {
 	return map[string]Runner{
 		"biglittle": RunBigLittle,
+		"sustained": RunSustained,
 		"table1":    RunTable1,
 		"table2":    RunTable2,
 		"static":    RunStaticAnchor,

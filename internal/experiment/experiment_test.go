@@ -20,7 +20,7 @@ var mid = Options{Scale: 0.25, Seed: 42}
 func TestIDsStableAndComplete(t *testing.T) {
 	ids := IDs()
 	want := []string{"biglittle", "fig1", "fig10", "fig11", "fig12", "fig13", "fig2", "fig3",
-		"fig4", "fig5", "fig6", "fig7", "fig9a", "fig9b", "static", "table1", "table2"}
+		"fig4", "fig5", "fig6", "fig7", "fig9a", "fig9b", "static", "sustained", "table1", "table2"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v, want %v", ids, want)
 	}

@@ -1,0 +1,136 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mobicore/internal/games"
+	"mobicore/internal/metrics"
+	"mobicore/internal/platform"
+	"mobicore/internal/workload"
+)
+
+// SustainedClusterRow is one cluster's thermal story across a session.
+type SustainedClusterRow struct {
+	Name        string
+	AvgTempC    float64
+	MaxTempC    float64
+	ThrottleSec float64 // residency with the cluster's own cap engaged
+	TempSeries  metrics.Series
+}
+
+// SustainedRow is one policy's long session on the big.LITTLE platform.
+type SustainedRow struct {
+	Policy   string
+	AvgW     float64
+	AvgFPS   float64
+	DropRate float64
+	Clusters []SustainedClusterRow
+}
+
+// SustainedResult is the asymmetric-throttling experiment: a long gaming
+// session on the Snapdragon 810-class profile, where the A57 cluster's
+// thermal zone reaches its trip while the A53 zone never does. It extends
+// the thesis' thermal argument (Figure 2's IR contrast, Figure 4's
+// sub-linear core scaling) to the per-cluster regime: the interesting
+// question is no longer whether the die throttles but which cluster
+// throttles first and what each governor does about it.
+type SustainedResult struct {
+	Game     string
+	Duration time.Duration
+	Rows     []SustainedRow
+}
+
+// ID implements Result.
+func (*SustainedResult) ID() string { return "sustained" }
+
+// Title implements Result.
+func (*SustainedResult) Title() string {
+	return "sustained session: per-cluster thermal throttling on a Snapdragon 810-class device"
+}
+
+// WriteText implements Result.
+func (r *SustainedResult) WriteText(w io.Writer) error {
+	if len(r.Rows) == 0 {
+		return errNoData
+	}
+	fmt.Fprintf(w, "game: %s, session: %v\n", r.Game, r.Duration)
+	fmt.Fprintf(w, "%-18s %10s %8s %8s", "policy", "avg mW", "fps", "drop%")
+	for _, cl := range r.Rows[0].Clusters {
+		fmt.Fprintf(w, " %18s %14s", cl.Name+" temp C (max)", cl.Name+" capped s")
+	}
+	fmt.Fprintln(w)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-18s %10.1f %8.1f %8.1f", row.Policy, row.AvgW*1000, row.AvgFPS, row.DropRate*100)
+		for _, cl := range row.Clusters {
+			fmt.Fprintf(w, " %11.1f (%4.1f) %14.2f", cl.AvgTempC, cl.MaxTempC, cl.ThrottleSec)
+		}
+		fmt.Fprintln(w)
+	}
+	// Per-cluster temperature traces: the figure this experiment exists
+	// for — the big zone climbing to its trip and sawtoothing under the
+	// throttle while the LITTLE zone plateaus far below its own.
+	for _, row := range r.Rows {
+		for _, cl := range row.Clusters {
+			fmt.Fprintf(w, "%s / %s: temp C %s\n", row.Policy, cl.Name, sparkline(cl.TempSeries, 1))
+		}
+	}
+	return nil
+}
+
+// sustainedRacing is Real Racing 3 at the asset tier a 2015 flagship is
+// served: twice the per-frame CPU cost of the 2013 calibration and a wider
+// worker fan-out, so the workload genuinely spans both clusters instead of
+// fitting inside the LITTLE island. This is the demand class that made the
+// Snapdragon 810's sustained-performance problem famous.
+func sustainedRacing() games.Profile {
+	p := games.RealRacing3()
+	p.Name = p.Name + " (sustained, 2015 assets)"
+	p.FrameCycles *= 2.0
+	p.ParallelFrac = 0.75
+	p.Workers = 6
+	return p
+}
+
+// RunSustained plays a long (paper timing: 5-minute) sustained gaming
+// session per policy on the Nexus 6P profile and reports power, FPS, frame
+// drops, and each cluster's temperature trace and throttle residency.
+func RunSustained(opt Options) (Result, error) {
+	plat := platform.Nexus6P()
+	prof := sustainedRacing()
+	builders, order := bigLittlePolicies(plat)
+	dur := opt.dur(5 * time.Minute)
+	res := &SustainedResult{Game: prof.Name, Duration: dur}
+	for _, name := range order {
+		mgr, err := builders[name]()
+		if err != nil {
+			return nil, fmt.Errorf("sustained %s: %w", name, err)
+		}
+		g, err := games.New(prof)
+		if err != nil {
+			return nil, fmt.Errorf("sustained %s: %w", name, err)
+		}
+		rep, err := session(plat, mgr, []workload.Workload{g}, dur, opt.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("sustained %s: %w", name, err)
+		}
+		row := SustainedRow{
+			Policy:   name,
+			AvgW:     rep.AvgPowerW,
+			AvgFPS:   g.AvgFPS(),
+			DropRate: g.DropRate(),
+		}
+		for ci, cn := range rep.ClusterNames {
+			row.Clusters = append(row.Clusters, SustainedClusterRow{
+				Name:        cn,
+				AvgTempC:    rep.AvgClusterTempC[ci],
+				MaxTempC:    rep.MaxClusterTempC[ci],
+				ThrottleSec: rep.ClusterThermalSec[ci],
+				TempSeries:  rep.ClusterTempSeries[ci],
+			})
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSustainedAsymmetricThrottle runs the sustained session at 1/5 scale
+// (60 s simulated — several big-zone time constants) and asserts the
+// experiment's reason to exist: under the stock governors the big cluster
+// engages its throttle while the LITTLE cluster never does.
+func TestSustainedAsymmetricThrottle(t *testing.T) {
+	res, err := Run("sustained", Options{Scale: 0.2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sus, ok := res.(*SustainedResult)
+	if !ok {
+		t.Fatalf("sustained returned %T", res)
+	}
+	if len(sus.Rows) != 4 {
+		t.Fatalf("rows = %d, want mobicore + 3 stock governors", len(sus.Rows))
+	}
+	var stockThrottled bool
+	for _, row := range sus.Rows {
+		if len(row.Clusters) != 2 {
+			t.Fatalf("%s: %d cluster rows, want 2", row.Policy, len(row.Clusters))
+		}
+		little, big := row.Clusters[0], row.Clusters[1]
+		if little.ThrottleSec != 0 {
+			t.Errorf("%s: LITTLE cluster capped %.2f s, want 0", row.Policy, little.ThrottleSec)
+		}
+		if big.MaxTempC <= little.MaxTempC {
+			t.Errorf("%s: big max %.1f C not above LITTLE %.1f C", row.Policy, big.MaxTempC, little.MaxTempC)
+		}
+		if big.TempSeries.Len() == 0 || little.TempSeries.Len() == 0 {
+			t.Errorf("%s: empty temperature series", row.Policy)
+		}
+		if row.Policy != "mobicore" && big.ThrottleSec > 0 {
+			stockThrottled = true
+		}
+	}
+	if !stockThrottled {
+		t.Error("no stock governor ever engaged the big cluster's throttle")
+	}
+	var buf bytes.Buffer
+	if err := sus.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"big capped s", "temp C", "mobicore"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSustainedEmptyRender guards the no-data path.
+func TestSustainedEmptyRender(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&SustainedResult{}).WriteText(&buf); err == nil {
+		t.Error("empty result rendered without error")
+	}
+}

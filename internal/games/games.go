@@ -194,3 +194,6 @@ func (g *Game) EmittedFrames() int { return g.pipeline.EmittedFrames() }
 
 // LatencySummary returns frame emit-to-completion latency statistics.
 func (g *Game) LatencySummary() metrics.Summary { return g.pipeline.LatencySummary() }
+
+// DropRate returns the fraction of paced frames skipped under backpressure.
+func (g *Game) DropRate() float64 { return g.pipeline.DropRate() }

@@ -64,6 +64,36 @@ func Nexus6P() Platform {
 			BaseWatts:       0.110,
 		},
 	}
+	// Per-cluster junction-temperature zones. The A57 cluster sits on a
+	// hotter corner of the die with ~3.5× the power density: its zone
+	// reaches trip under any sustained multi-core load, while the A53
+	// zone's steady state stays tens of degrees below its own trip even
+	// with full coupling from a flat-out big cluster — the asymmetric
+	// throttling the Snapdragon 810 is infamous for.
+	little.Thermal = thermal.Params{
+		AmbientC: labAmbientC,
+		// 0.9 W full blast → 22 + 8.1 ≈ 30 °C own heating; coupling from
+		// a 3.2 W big cluster adds ≈ 13 °C. Trip far above both.
+		ResistanceKPerW: 9.0,
+		TimeConstant:    10 * time.Second,
+		TripC:           70,
+		ReleaseC:        66,
+		StepPeriod:      time.Second,
+	}
+	big.Thermal = thermal.Params{
+		AmbientC: labAmbientC,
+		// 3.2 W full blast → 22 + 45 ≈ 67 °C own heating before the
+		// LITTLE cluster's contribution, and even a realistic sustained
+		// game (~1.7 W on the A57s) settles near 50 °C — both far above
+		// the 45 °C trip, so sustained load always clips while short
+		// bursts ride the thermal mass — the mechanism behind the 810's
+		// throttle-to-1.5GHz behaviour in long gaming sessions.
+		ResistanceKPerW: 14.0,
+		TimeConstant:    8 * time.Second,
+		TripC:           45,
+		ReleaseC:        41,
+		StepPeriod:      time.Second,
+	}
 	return Platform{
 		Name:     "Nexus 6P",
 		Year:     2015,
@@ -82,6 +112,9 @@ func Nexus6P() Platform {
 			ReleaseC:        41,
 			StepPeriod:      time.Second,
 		},
-		Clusters: []ClusterSpec{little, big},
+		// Lateral heat spread through the shared 20 nm die: each cluster's
+		// zone sees ~30% of its neighbor's dissipation.
+		ThermalCoupling: 0.30,
+		Clusters:        []ClusterSpec{little, big},
 	}
 }

@@ -32,7 +32,17 @@ type ClusterSpec struct {
 	NumCores int
 	Table    *soc.OPPTable
 	Power    power.Params
+	// Thermal holds the cluster's own zone parameters (trip, release, RC
+	// constants) for the per-cluster thermal network. The zero value means
+	// "inherit the platform-level Thermal params" so homogeneous profiles
+	// and pre-existing cluster specs need not repeat them.
+	Thermal thermal.Params
 }
+
+// HasThermal reports whether the spec carries its own zone parameters
+// (ResistanceKPerW is mandatory for any valid Params, so it doubles as the
+// presence flag).
+func (cs ClusterSpec) HasThermal() bool { return cs.Thermal.ResistanceKPerW != 0 }
 
 // Validate rejects malformed cluster specs.
 func (cs ClusterSpec) Validate() error {
@@ -47,6 +57,11 @@ func (cs ClusterSpec) Validate() error {
 	}
 	if err := cs.Power.Validate(); err != nil {
 		return fmt.Errorf("platform: cluster %s: %w", cs.Name, err)
+	}
+	if cs.HasThermal() {
+		if err := cs.Thermal.Validate(); err != nil {
+			return fmt.Errorf("platform: cluster %s: %w", cs.Name, err)
+		}
 	}
 	return nil
 }
@@ -64,6 +79,11 @@ type Platform struct {
 	Table    *soc.OPPTable
 	Power    power.Params
 	Thermal  thermal.Params
+	// ThermalCoupling is the shared-die coupling fraction of the thermal
+	// network: each cluster's zone integrates its own power plus this
+	// fraction of its neighbors'. Irrelevant (and conventionally zero) on
+	// single-cluster profiles.
+	ThermalCoupling float64
 	// Clusters lists the frequency domains, efficiency cluster first (so
 	// its cores get the low ids and lowest-id-first hotplug prefers them).
 	// Empty means homogeneous: one implied cluster from the fields above.
@@ -86,6 +106,9 @@ func (p Platform) Validate() error {
 	}
 	if err := p.Thermal.Validate(); err != nil {
 		return fmt.Errorf("platform %s: %w", p.Name, err)
+	}
+	if p.ThermalCoupling < 0 || p.ThermalCoupling > 1 {
+		return fmt.Errorf("platform %s: thermal coupling %v outside [0,1]", p.Name, p.ThermalCoupling)
 	}
 	if len(p.Clusters) > 0 {
 		sum := 0
@@ -141,6 +164,37 @@ func (p Platform) ClusterTables() []*soc.OPPTable {
 	return out
 }
 
+// ClusterThermalParams returns each domain's zone parameters in cluster
+// order, resolving the inherit-from-platform default: a spec without its
+// own Thermal block (including the synthesized homogeneous cluster) uses
+// the platform-level params.
+func (p Platform) ClusterThermalParams() []thermal.Params {
+	specs := p.ClusterSpecs()
+	out := make([]thermal.Params, len(specs))
+	for i, cs := range specs {
+		if cs.HasThermal() {
+			out[i] = cs.Thermal
+		} else {
+			out[i] = p.Thermal
+		}
+	}
+	return out
+}
+
+// ThermalNetwork builds the profile's per-cluster thermal network: one zone
+// per frequency domain on the domain's own ladder, joined by the platform's
+// shared-die coupling. Homogeneous profiles yield a single-zone network
+// that reproduces the flat Zone model bit for bit.
+func (p Platform) ThermalNetwork() (*thermal.Network, error) {
+	params := p.ClusterThermalParams()
+	tables := p.ClusterTables()
+	net, err := thermal.NewNetwork(params, tables, p.ThermalCoupling)
+	if err != nil {
+		return nil, fmt.Errorf("platform %s: %w", p.Name, err)
+	}
+	return net, nil
+}
+
 // SystemModel builds the per-cluster power model for the profile, paying
 // the platform floor (top-level Power.BaseWatts) exactly once.
 func (p Platform) SystemModel() (*power.SystemModel, error) {
@@ -166,6 +220,17 @@ func (p Platform) SystemModel() (*power.SystemModel, error) {
 func (p Platform) WithoutThrottle() Platform {
 	p.Thermal.TripC = 0
 	p.Thermal.ReleaseC = 0
+	if len(p.Clusters) > 0 {
+		// Copy before clearing: the receiver is a value but the cluster
+		// slice shares its backing array with the original profile.
+		cl := make([]ClusterSpec, len(p.Clusters))
+		copy(cl, p.Clusters)
+		for i := range cl {
+			cl[i].Thermal.TripC = 0
+			cl[i].Thermal.ReleaseC = 0
+		}
+		p.Clusters = cl
+	}
 	return p
 }
 

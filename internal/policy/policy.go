@@ -27,6 +27,25 @@ type ClusterView struct {
 	CoreIDs []int
 }
 
+// ThermalSignal is one frequency domain's thermal-pressure view: where its
+// zone sits relative to its trip point and what cap, if any, the thermal
+// driver currently enforces. Managers use it to avoid decisions the
+// thermal driver would immediately claw back — e.g. waking a big cluster
+// whose zone is already above trip.
+type ThermalSignal struct {
+	// TempC is the zone's current temperature.
+	TempC float64
+	// HeadroomC is the margin to the trip point in °C: positive while
+	// cool, negative above trip, +Inf when the zone's throttle is
+	// disabled.
+	HeadroomC float64
+	// Throttling reports whether the zone's frequency cap is engaged.
+	Throttling bool
+	// CapFreq is the highest frequency the thermal driver currently
+	// allows on the domain's own ladder.
+	CapFreq soc.Hz
+}
+
 // Input is the unified observation a Manager receives every sampling
 // period. Slices are indexed by core id and must not be mutated.
 type Input struct {
@@ -49,11 +68,17 @@ type Input struct {
 	// Clusters lists the platform's frequency domains. Nil means one
 	// domain: Table covering every core.
 	Clusters []ClusterView
+	// Thermal lists per-domain thermal pressure, indexed like the views
+	// ClusterViews returns. Nil means no thermal telemetry is available
+	// (managers must then assume unbounded headroom).
+	Thermal []ThermalSignal
 }
 
 // Slice returns the observation restricted to one frequency domain: core
-// indices local to the domain, the domain's table installed, and no nested
-// cluster views. Per-domain managers and governors both consume this shape.
+// indices local to the domain, the domain's table installed, no nested
+// cluster views, and — when the input carries thermal telemetry — the
+// domain's own ThermalSignal as the slice's single entry, so per-domain
+// managers see their cluster's thermal pressure.
 func (in Input) Slice(v ClusterView) Input {
 	sub := Input{
 		Now:     in.Now,
@@ -69,7 +94,26 @@ func (in Input) Slice(v ClusterView) Input {
 		sub.Online[j] = in.Online[id]
 		sub.CurFreq[j] = in.CurFreq[id]
 	}
+	if in.Thermal != nil {
+		if ci := in.domainIndex(v); ci >= 0 && ci < len(in.Thermal) {
+			sub.Thermal = []ThermalSignal{in.Thermal[ci]}
+		}
+	}
 	return sub
+}
+
+// domainIndex locates v among the input's frequency domains. Core ids are
+// disjoint across domains, so the first id identifies the owner uniquely.
+func (in Input) domainIndex(v ClusterView) int {
+	if len(v.CoreIDs) == 0 {
+		return -1
+	}
+	for ci, w := range in.ClusterViews() {
+		if len(w.CoreIDs) > 0 && w.CoreIDs[0] == v.CoreIDs[0] {
+			return ci
+		}
+	}
+	return -1
 }
 
 // ClusterViews returns the input's frequency domains, synthesizing the
@@ -101,6 +145,20 @@ func (in Input) Validate() error {
 	for i, u := range in.Util {
 		if u < 0 || u > 1 {
 			return fmt.Errorf("policy: core %d utilization %v outside [0,1]", i, u)
+		}
+	}
+	if in.Thermal != nil {
+		if want := len(in.ClusterViews()); len(in.Thermal) != want {
+			return fmt.Errorf("policy: %d thermal signals for %d domains", len(in.Thermal), want)
+		}
+		for ci, ts := range in.Thermal {
+			// Every zone cap names an operating point, so CapFreq == 0 can
+			// only mean the entry was never filled in — reject it loudly
+			// rather than letting a zero-valued signal (headroom 0) read
+			// as "thermally pressured" and silently park big clusters.
+			if ts.CapFreq == 0 {
+				return fmt.Errorf("policy: thermal signal for domain %d is unfilled (zero CapFreq)", ci)
+			}
 		}
 	}
 	return nil

@@ -191,3 +191,74 @@ func TestCompositeReset(t *testing.T) {
 		t.Fatalf("post-reset decide failed: %v", err)
 	}
 }
+
+// TestInputValidateThermal: a thermal-signal slice must match the domain
+// count; nil means no telemetry and is always acceptable.
+func TestInputValidateThermal(t *testing.T) {
+	in := goodInput(t)
+	if err := in.Validate(); err != nil {
+		t.Fatalf("input without thermal telemetry rejected: %v", err)
+	}
+	fill := func(n int) []ThermalSignal {
+		out := make([]ThermalSignal, n)
+		for i := range out {
+			out[i] = ThermalSignal{TempC: 30, HeadroomC: 10, CapFreq: in.Table.Max().Freq}
+		}
+		return out
+	}
+	in.Thermal = fill(len(in.ClusterViews()))
+	if err := in.Validate(); err != nil {
+		t.Fatalf("matching thermal telemetry rejected: %v", err)
+	}
+	in.Thermal = fill(len(in.ClusterViews()) + 1)
+	if err := in.Validate(); err == nil {
+		t.Error("mismatched thermal telemetry accepted")
+	}
+}
+
+// TestInputValidateRejectsUnfilledThermal: a zero-valued signal (which
+// would read as "zero headroom" and park big clusters) must be rejected.
+func TestInputValidateRejectsUnfilledThermal(t *testing.T) {
+	in := goodInput(t)
+	in.Thermal = make([]ThermalSignal, len(in.ClusterViews())) // never filled
+	if err := in.Validate(); err == nil {
+		t.Error("unfilled thermal signals accepted")
+	}
+}
+
+// TestSlicePropagatesThermal: a sliced domain input carries its own
+// cluster's thermal signal, so per-domain managers see thermal pressure.
+func TestSlicePropagatesThermal(t *testing.T) {
+	tbl := table(t)
+	views := []ClusterView{
+		{Name: "LITTLE", Table: tbl, CoreIDs: []int{0, 1}},
+		{Name: "big", Table: tbl, CoreIDs: []int{2, 3}},
+	}
+	in := Input{
+		Now:      time.Second,
+		Period:   50 * time.Millisecond,
+		Util:     make([]float64, 4),
+		Online:   []bool{true, true, true, true},
+		CurFreq:  make([]soc.Hz, 4),
+		Quota:    1,
+		Table:    tbl,
+		Clusters: views,
+		Thermal: []ThermalSignal{
+			{TempC: 30, HeadroomC: 40, CapFreq: tbl.Max().Freq},
+			{TempC: 46, HeadroomC: -1, Throttling: true, CapFreq: tbl.Min().Freq},
+		},
+	}
+	sub := in.Slice(views[1])
+	if len(sub.Thermal) != 1 || !sub.Thermal[0].Throttling {
+		t.Fatalf("sliced big domain thermal = %+v, want the big cluster's signal", sub.Thermal)
+	}
+	sub = in.Slice(views[0])
+	if len(sub.Thermal) != 1 || sub.Thermal[0].Throttling {
+		t.Fatalf("sliced LITTLE domain thermal = %+v, want the LITTLE cluster's signal", sub.Thermal)
+	}
+	// No telemetry on the parent: none on the slice either.
+	in.Thermal = nil
+	if sub := in.Slice(views[0]); sub.Thermal != nil {
+		t.Error("slice invented thermal telemetry")
+	}
+}

@@ -11,11 +11,19 @@ import (
 // different silicon: each cluster has its own calibrated Model (C_eff,
 // leakage curve, uncore), and the platform floor (rails, PMIC, idle
 // peripherals) is paid exactly once. The homogeneous case is one cluster
-// and reproduces Model.SystemWatts bit for bit.
+// and reproduces Model.SystemWatts bit for bit. Evaluation reuses internal
+// scratch buffers, so a SystemModel is not safe for concurrent use; each
+// Sim owns its own instance.
 type SystemModel struct {
 	baseWatts   float64
 	clusters    []*Model
 	coreCluster []int // core id -> cluster index
+
+	// per-call scratch for SystemWattsByCluster and SystemWatts (the
+	// per-tick hot path)
+	anyBusy    []float64
+	topFreq    []soc.Hz
+	scratchPer []float64
 }
 
 // NewSystemModel binds per-cluster models to a core->cluster mapping.
@@ -44,7 +52,14 @@ func NewSystemModel(baseWatts float64, clusters []*Model, coreCluster []int) (*S
 	copy(cs, clusters)
 	cc := make([]int, len(coreCluster))
 	copy(cc, coreCluster)
-	return &SystemModel{baseWatts: baseWatts, clusters: cs, coreCluster: cc}, nil
+	return &SystemModel{
+		baseWatts:   baseWatts,
+		clusters:    cs,
+		coreCluster: cc,
+		anyBusy:     make([]float64, len(cs)),
+		topFreq:     make([]soc.Hz, len(cs)),
+		scratchPer:  make([]float64, len(cs)),
+	}, nil
 }
 
 // NumCores returns the number of cores the model covers.
@@ -63,21 +78,48 @@ func (m *SystemModel) Cluster(ci int) (*Model, error) {
 // id: platform base + Σ_clusters (cache + per-core terms).
 func (m *SystemModel) SystemWatts(loads []CoreLoad) float64 {
 	if len(m.clusters) == 1 {
-		// Homogeneous fast path: no per-cluster regrouping on the hot tick.
+		// Homogeneous fast path: no buffer traffic on the hot tick.
 		return m.baseWatts + m.clusters[0].ClusterWatts(loads)
+	}
+	base, per := m.SystemWattsByCluster(loads, m.scratchPer)
+	total := base
+	for _, w := range per {
+		total += w
+	}
+	return total
+}
+
+// SystemWattsByCluster evaluates the same sum as SystemWatts but keeps the
+// terms separate: the platform floor and each cluster's share (per-core +
+// cache terms, no floor), indexed like the cluster models. The per-cluster
+// thermal network integrates these shares into its zones; summing
+// base + Σ perCluster reproduces SystemWatts bit for bit. perCluster is
+// reused as the output buffer when it has the right length (the per-tick
+// hot path allocates nothing).
+func (m *SystemModel) SystemWattsByCluster(loads []CoreLoad, perCluster []float64) (base float64, out []float64) {
+	if len(perCluster) != len(m.clusters) {
+		perCluster = make([]float64, len(m.clusters))
+	}
+	if len(m.clusters) == 1 {
+		// Homogeneous fast path: no per-cluster regrouping on the hot tick.
+		perCluster[0] = m.clusters[0].ClusterWatts(loads)
+		return m.baseWatts, perCluster
 	}
 	// Single pass over cores with per-cluster accumulators; the per-core
 	// and cache terms stay behind Model.CoreWatts/CacheWatts so the
 	// multi-cluster path cannot drift from the homogeneous one.
-	coreSum := make([]float64, len(m.clusters))
-	anyBusy := make([]float64, len(m.clusters))
-	topFreq := make([]soc.Hz, len(m.clusters))
+	anyBusy, topFreq := m.anyBusy, m.topFreq
+	for i := range perCluster {
+		perCluster[i] = 0
+		anyBusy[i] = 0
+		topFreq[i] = 0
+	}
 	for id, ci := range m.coreCluster {
 		if id >= len(loads) {
 			break
 		}
 		c := loads[id]
-		coreSum[ci] += m.clusters[ci].CoreWatts(c.State, c.OPP, c.Util)
+		perCluster[ci] += m.clusters[ci].CoreWatts(c.State, c.OPP, c.Util)
 		if c.State != soc.StateOffline {
 			if c.Util > anyBusy[ci] {
 				anyBusy[ci] = c.Util
@@ -87,9 +129,8 @@ func (m *SystemModel) SystemWatts(loads []CoreLoad) float64 {
 			}
 		}
 	}
-	total := m.baseWatts
 	for ci, cm := range m.clusters {
-		total += coreSum[ci] + cm.CacheWatts(anyBusy[ci], topFreq[ci])
+		perCluster[ci] += cm.CacheWatts(anyBusy[ci], topFreq[ci])
 	}
-	return total
+	return m.baseWatts, perCluster
 }

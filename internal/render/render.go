@@ -194,6 +194,17 @@ func (p *Pipeline) DroppedFrames() int { return p.dropped }
 // EmittedFrames returns frames submitted to the pipeline.
 func (p *Pipeline) EmittedFrames() int { return p.emitted }
 
+// DropRate returns the fraction of paced frames the engine skipped because
+// the CPU fell behind — the user-visible cost of sustained throttling in a
+// long session. Zero when nothing was paced yet.
+func (p *Pipeline) DropRate() float64 {
+	paced := p.emitted + p.dropped
+	if paced == 0 {
+		return 0
+	}
+	return float64(p.dropped) / float64(paced)
+}
+
 // AvgFPS returns completed frames per second over the elapsed session.
 func (p *Pipeline) AvgFPS(elapsed time.Duration) float64 {
 	if elapsed <= 0 {

@@ -255,3 +255,130 @@ func TestWorkConservationProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// thermalTestCPU builds a 2+2 big.LITTLE CPU with the big cluster's ladder
+// strictly faster, for the thermal-pressure placement tests.
+func thermalTestCPU(t *testing.T) *soc.CPU {
+	t.Helper()
+	little, err := soc.UniformTable(3, 400*soc.MHz, 1000*soc.MHz, 0.80, 1.00)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := soc.UniformTable(3, 500*soc.MHz, 1200*soc.MHz, 0.85, 1.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := soc.NewClusteredCPU([]soc.Cluster{
+		{Name: "LITTLE", NumCores: 2, Table: little},
+		{Name: "big", NumCores: 2, Table: big},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, f := range []soc.Hz{1000 * soc.MHz, 1200 * soc.MHz} {
+		if err := cpu.SetClusterFreq(ci, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cpu
+}
+
+// TestThermalPressureSteersToCoolCluster: a backlog thread that would
+// normally escalate onto the faster big cluster stays on the cool LITTLE
+// cluster when the big cores are flagged thermally capped — the derated
+// big capacity (1200 MHz × 0.75 = 900 MHz) no longer beats LITTLE's 1000.
+func TestThermalPressureSteersToCoolCluster(t *testing.T) {
+	var s Scheduler
+	dt := 10 * time.Millisecond
+
+	// Without pressure the huge thread escalates to a big core.
+	cpu := thermalTestCPU(t)
+	th := NewThread("hog")
+	th.AddWork(1e12)
+	if _, err := s.ScheduleWithPressure(cpu, []*Thread{th}, dt, Unlimited, nil); err != nil {
+		t.Fatal(err)
+	}
+	if lc := th.LastCore(); lc < 2 {
+		t.Fatalf("uncapped: hog placed on core %d, want a big core (2-3)", lc)
+	}
+
+	// With the big cluster capped, placement prefers the cool LITTLE one.
+	cpu = thermalTestCPU(t)
+	th = NewThread("hog")
+	th.AddWork(1e12)
+	capped := []bool{false, false, true, true}
+	if _, err := s.ScheduleWithPressure(cpu, []*Thread{th}, dt, Unlimited, capped); err != nil {
+		t.Fatal(err)
+	}
+	if lc := th.LastCore(); lc >= 2 {
+		t.Fatalf("capped: hog placed on big core %d, want a LITTLE core", lc)
+	}
+}
+
+// TestScheduleMatchesScheduleWithNilPressure locks the compatibility
+// contract: Schedule is exactly ScheduleWithPressure with no flags.
+func TestScheduleMatchesScheduleWithNilPressure(t *testing.T) {
+	var s Scheduler
+	dt := 10 * time.Millisecond
+	run := func(viaPlain bool) []float64 {
+		cpu := thermalTestCPU(t)
+		threads := []*Thread{NewThread("a"), NewThread("b"), NewThread("c")}
+		for _, th := range threads {
+			th.AddWork(5e6)
+		}
+		var res Result
+		var err error
+		if viaPlain {
+			res, err = s.Schedule(cpu, threads, dt, Unlimited)
+		} else {
+			res, err = s.ScheduleWithPressure(cpu, threads, dt, Unlimited, nil)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BusySeconds
+	}
+	a, b := run(true), run(false)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("core %d busy diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestThermalPressureBreaksAffinity: a persistent thread pinned to a big
+// core by soft affinity must migrate once that cluster caps while a cool
+// cluster exists — otherwise a game's render loop rides the throttled
+// cluster for the whole session.
+func TestThermalPressureBreaksAffinity(t *testing.T) {
+	var s Scheduler
+	dt := 10 * time.Millisecond
+	cpu := thermalTestCPU(t)
+	th := NewThread("render")
+	th.AddWork(1e12)
+	if _, err := s.ScheduleWithPressure(cpu, []*Thread{th}, dt, Unlimited, nil); err != nil {
+		t.Fatal(err)
+	}
+	if lc := th.LastCore(); lc < 2 {
+		t.Fatalf("setup: thread on core %d, want a big core", lc)
+	}
+	// Big cluster caps: the next window must move the thread to LITTLE.
+	th.AddWork(1e12)
+	capped := []bool{false, false, true, true}
+	if _, err := s.ScheduleWithPressure(cpu, []*Thread{th}, dt, Unlimited, capped); err != nil {
+		t.Fatal(err)
+	}
+	if lc := th.LastCore(); lc >= 2 {
+		t.Errorf("thread stayed on capped big core %d, want migration to LITTLE", lc)
+	}
+	// With every cluster capped there is nowhere cooler: affinity holds.
+	th.AddWork(1e12)
+	lcBefore := th.LastCore()
+	allCapped := []bool{true, true, true, true}
+	if _, err := s.ScheduleWithPressure(cpu, []*Thread{th}, dt, Unlimited, allCapped); err != nil {
+		t.Fatal(err)
+	}
+	if th.LastCore() != lcBefore {
+		t.Errorf("uniformly capped SoC broke affinity: %d -> %d", lcBefore, th.LastCore())
+	}
+}

@@ -50,6 +50,13 @@ var ErrBadQuota = errors.New("sched: invalid bandwidth budget")
 // Unlimited disables the bandwidth pool for a scheduling window.
 const Unlimited = -1.0
 
+// thermalDerate scales the advertised capacity of a thermally capped core
+// during placement. A capped cluster is not just slower now — its throttle
+// is still stepping down, so capacity claimed at placement time is likely
+// gone by the end of the window. Derating steers escalation and spillover
+// toward the cool cluster at near-equal nominal capacity.
+const thermalDerate = 0.75
+
 // Schedule executes up to one window dt of work from threads on cpu's
 // online cores. poolSec is the shared CPU bandwidth remaining this
 // enforcement period (CFS group-quota semantics, the §4.1.1 global CPU
@@ -59,6 +66,16 @@ const Unlimited = -1.0
 // updates cpu cycle accounting via soc.CPU.Run and returns per-core busy
 // time plus the pool time actually consumed.
 func (s *Scheduler) Schedule(cpu *soc.CPU, threads []*Thread, dt time.Duration, poolSec float64) (Result, error) {
+	return s.ScheduleWithPressure(cpu, threads, dt, poolSec, nil)
+}
+
+// ScheduleWithPressure is Schedule with a per-core thermal-pressure view:
+// capped[i] true means core i's cluster currently has a thermal frequency
+// cap engaged, so placement treats its effective capacity as reduced
+// (thermalDerate) and steers backlog toward cool clusters. nil capped (or
+// a homogeneous platform, where derating is uniform) reproduces Schedule
+// exactly.
+func (s *Scheduler) ScheduleWithPressure(cpu *soc.CPU, threads []*Thread, dt time.Duration, poolSec float64, capped []bool) (Result, error) {
 	if cpu == nil {
 		return Result{}, errors.New("sched: nil cpu")
 	}
@@ -91,6 +108,21 @@ func (s *Scheduler) Schedule(cpu *soc.CPU, threads []*Thread, dt time.Duration, 
 	// hot path.
 	rankOf, numRanks := cpu.ClusterRanks()
 
+	// Soft affinity is suspended for threads whose last core is capped
+	// while a cool online core exists: a persistent thread (a game's
+	// render loop) would otherwise stay pinned to the throttled cluster
+	// for the whole session and the derate below would never apply. On a
+	// homogeneous platform the clusters cap together, so anyCool is false
+	// whenever the last core is capped and affinity behaves exactly as
+	// before.
+	anyCool := false
+	for i := range online {
+		if online[i] && (i >= len(capped) || !capped[i]) {
+			anyCool = true
+			break
+		}
+	}
+
 	runnable := make([]*Thread, 0, len(threads))
 	for _, t := range threads {
 		if t != nil && t.Runnable() {
@@ -109,7 +141,7 @@ func (s *Scheduler) Schedule(cpu *soc.CPU, threads []*Thread, dt time.Duration, 
 		if limited && pool <= 0 {
 			break // bandwidth exhausted for this window
 		}
-		core := s.pickCore(t, online, budget, freq, rankOf, numRanks)
+		core := s.pickCore(t, online, budget, freq, rankOf, numRanks, capped, anyCool)
 		if core < 0 {
 			continue // no core time anywhere
 		}
@@ -169,12 +201,17 @@ func (s *Scheduler) Schedule(cpu *soc.CPU, threads []*Thread, dt time.Duration, 
 // budget (lowest id wins ties), and it escalates to a bigger cluster only
 // when the efficient candidate cannot fully serve the thread's pending
 // cycles and the bigger cluster offers strictly more capacity — the
-// "prefer LITTLE until demand justifies big" placement rule. Returns -1
-// when no core has budget.
-func (s *Scheduler) pickCore(t *Thread, online []bool, budget, freq []float64, rankOf []int, numRanks int) int {
+// "prefer LITTLE until demand justifies big" placement rule. A thermally
+// capped candidate's capacity is derated, so escalation onto a throttling
+// big cluster must clear a higher bar than onto a cool one, and affinity
+// to a capped core is suspended while a cool core exists (anyCool).
+// Returns -1 when no core has budget.
+func (s *Scheduler) pickCore(t *Thread, online []bool, budget, freq []float64, rankOf []int, numRanks int, capped []bool, anyCool bool) int {
 	const eps = 1e-12
 	if lc := t.lastCore; lc >= 0 && lc < len(online) && online[lc] && budget[lc] > eps {
-		return lc
+		if !(anyCool && lc < len(capped) && capped[lc]) {
+			return lc
+		}
 	}
 	best := -1
 	var bestCap float64
@@ -192,6 +229,9 @@ func (s *Scheduler) pickCore(t *Thread, online []bool, budget, freq []float64, r
 			continue
 		}
 		capCycles := budget[cand] * freq[cand]
+		if cand < len(capped) && capped[cand] {
+			capCycles *= thermalDerate
+		}
 		if best < 0 || capCycles > bestCap {
 			best, bestCap = cand, capCycles
 		}

@@ -213,3 +213,106 @@ func TestHeterogeneousInitialFreqRejected(t *testing.T) {
 		t.Error("explicit InitialFreq accepted on a heterogeneous platform")
 	}
 }
+
+// TestPerClusterThermalResidency is the asymmetric-throttling acceptance
+// test: under sustained full blast on the Nexus 6P profile the big
+// cluster's zone engages its cap while the LITTLE cluster never does, the
+// report carries per-cluster residency and temperature series, and the
+// aggregate ThermalCappedSec remains the sum of the per-cluster figures.
+func TestPerClusterThermalResidency(t *testing.T) {
+	plat := platform.Nexus6P()
+	wl, err := workload.NewBusyLoop(workload.BusyLoopConfig{
+		TargetUtil: 1.0,
+		Threads:    8,
+		RefFreq:    plat.ClusterSpecs()[1].Table.Max().Freq,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Platform:  plat,
+		Manager:   clusteredGov(t, plat, "performance"),
+		Workloads: []workload.Workload{wl},
+		Seed:      11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(40 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ClusterThermalSec[1] <= 0 {
+		t.Fatalf("big cluster never thermally capped (max temp %.1f C)", rep.MaxClusterTempC[1])
+	}
+	if rep.ClusterThermalSec[0] != 0 {
+		t.Errorf("LITTLE cluster capped for %.2f s, want 0 (max temp %.1f C)",
+			rep.ClusterThermalSec[0], rep.MaxClusterTempC[0])
+	}
+	sum := 0.0
+	for _, v := range rep.ClusterThermalSec {
+		sum += v
+	}
+	if rep.ThermalCappedSec != sum {
+		t.Errorf("aggregate residency %.4f != per-cluster sum %.4f", rep.ThermalCappedSec, sum)
+	}
+	if rep.MaxClusterTempC[1] <= rep.MaxClusterTempC[0] {
+		t.Errorf("big max temp %.1f C not above LITTLE's %.1f C", rep.MaxClusterTempC[1], rep.MaxClusterTempC[0])
+	}
+	for ci, name := range rep.ClusterNames {
+		if rep.ClusterTempSeries[ci].Len() == 0 {
+			t.Errorf("cluster %s temperature series empty", name)
+		}
+	}
+	var sb strings.Builder
+	if err := rep.WriteSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "thermal capped") {
+		t.Errorf("summary missing per-cluster thermal lines:\n%s", sb.String())
+	}
+}
+
+// TestHomogeneousSingleZoneAggregates locks the backward-compatibility
+// contract on a single-cluster platform: one thermal zone, per-cluster
+// residency equal to the aggregate, temperature series mirroring TempSeries.
+func TestHomogeneousSingleZoneAggregates(t *testing.T) {
+	plat := platform.Nexus5()
+	mgr, err := policy.AndroidDefault(plat.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.NewBusyLoop(workload.BusyLoopConfig{
+		TargetUtil: 1.0,
+		Threads:    4,
+		RefFreq:    plat.Table.Max().Freq,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Platform:  plat,
+		Manager:   mgr,
+		Workloads: []workload.Workload{wl},
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ClusterThermalSec) != 1 {
+		t.Fatalf("homogeneous platform carries %d thermal residencies, want 1", len(rep.ClusterThermalSec))
+	}
+	if rep.ClusterThermalSec[0] != rep.ThermalCappedSec {
+		t.Errorf("cluster residency %.4f != aggregate %.4f", rep.ClusterThermalSec[0], rep.ThermalCappedSec)
+	}
+	if rep.ThermalCappedSec <= 0 {
+		t.Error("sustained full blast on Nexus 5 should engage the throttle")
+	}
+	if !sameSeries(rep.ClusterTempSeries[0], rep.TempSeries) {
+		t.Error("single-zone cluster temp series should mirror the aggregate TempSeries")
+	}
+}

@@ -7,7 +7,6 @@ import (
 
 	"mobicore/internal/metrics"
 	"mobicore/internal/monsoon"
-	"mobicore/internal/platform"
 	"mobicore/internal/soc"
 	"mobicore/internal/thermal"
 	"mobicore/internal/workload"
@@ -33,8 +32,12 @@ type Report struct {
 	AvgTempC float64
 	MaxTempC float64
 
-	ExecutedCycles     float64
-	QuotaThrottledSec  float64
+	ExecutedCycles    float64
+	QuotaThrottledSec float64
+	// ThermalCappedSec is the aggregate thermal residency: the sum of
+	// per-cluster capped time (a single-zone platform reports exactly the
+	// old single-zone figure; on big.LITTLE two simultaneously capped
+	// clusters both count).
 	ThermalCappedSec   float64
 	PerWorkloadCycles  map[string]float64
 	PerWorkloadPending map[string]float64
@@ -43,15 +46,21 @@ type Report struct {
 	CoreSeries  metrics.Series
 	UtilSeries  metrics.Series
 	QuotaSeries metrics.Series
-	TempSeries  metrics.Series
+	// TempSeries tracks the hottest zone — the die-wide view the flat
+	// thermal model used to report.
+	TempSeries metrics.Series
 
 	// Per-cluster views, indexed like the platform's ClusterSpecs.
 	// Homogeneous platforms carry a single entry mirroring the aggregate.
 	ClusterNames      []string
 	AvgClusterFreqHz  []float64
 	AvgClusterCores   []float64
+	AvgClusterTempC   []float64
+	MaxClusterTempC   []float64
+	ClusterThermalSec []float64 // per-cluster thermal-cap residency
 	ClusterFreqSeries []metrics.Series
 	ClusterCoreSeries []metrics.Series
+	ClusterTempSeries []metrics.Series
 }
 
 // report builds the session report from the current accumulators.
@@ -79,13 +88,17 @@ func (s *Sim) report() *Report {
 		UtilSeries:         s.utilSeries,
 		QuotaSeries:        s.quotaSeries,
 		TempSeries:         s.tempSeries,
+		ClusterThermalSec:  append([]float64(nil), s.clusterThermalSec...),
 		ClusterFreqSeries:  s.clusterFreqSeries,
 		ClusterCoreSeries:  s.clusterCoreSeries,
+		ClusterTempSeries:  s.clusterTempSeries,
 	}
 	for ci, v := range s.views {
 		r.ClusterNames = append(r.ClusterNames, v.Name)
 		r.AvgClusterFreqHz = append(r.AvgClusterFreqHz, s.clusterFreqSum[ci].Mean())
 		r.AvgClusterCores = append(r.AvgClusterCores, s.clusterCoreSum[ci].Mean())
+		r.AvgClusterTempC = append(r.AvgClusterTempC, s.clusterTempSum[ci].Mean())
+		r.MaxClusterTempC = append(r.MaxClusterTempC, s.clusterTempSum[ci].Max())
 	}
 	for _, w := range s.cfg.Workloads {
 		r.PerWorkloadCycles[w.Name()] += workload.ExecutedCycles(w)
@@ -124,8 +137,9 @@ thermal capped:  %.2f s
 	}
 	if len(r.ClusterNames) > 1 {
 		for ci, name := range r.ClusterNames {
-			_, err := fmt.Fprintf(w, "cluster %-8s avg freq %s, avg cores %.2f\n",
-				name+":", soc.Hz(r.AvgClusterFreqHz[ci]), r.AvgClusterCores[ci])
+			_, err := fmt.Fprintf(w, "cluster %-8s avg freq %s, avg cores %.2f, avg temp %.1f C (max %.1f C), thermal capped %.2f s\n",
+				name+":", soc.Hz(r.AvgClusterFreqHz[ci]), r.AvgClusterCores[ci],
+				r.AvgClusterTempC[ci], r.MaxClusterTempC[ci], r.ClusterThermalSec[ci])
 			if err != nil {
 				return fmt.Errorf("sim: writing summary: %w", err)
 			}
@@ -134,26 +148,20 @@ thermal capped:  %.2f s
 	return nil
 }
 
-// thermalZone adapts thermal.Zone so sim can treat "no thermal model" and
-// "thermal model" uniformly.
-type thermalZone struct {
-	zone *thermal.Zone
-}
+// Network exposes the per-cluster thermal network for experiments that read
+// zone temperatures and caps mid-run.
+func (s *Sim) Network() *thermal.Network { return s.net }
 
-func newThermalZone(p platform.Platform, table *soc.OPPTable) (*thermalZone, error) {
-	z, err := thermal.NewZone(p.Thermal, table)
-	if err != nil {
-		return nil, err
+// Zone exposes the currently hottest thermal zone — on a single-zone
+// platform the whole die, on big.LITTLE the cluster that dominates the
+// die's thermal story — for experiments that predate the per-cluster
+// network.
+func (s *Sim) Zone() *thermal.Zone {
+	hottest := 0
+	for i := 1; i < s.net.Zones(); i++ {
+		if s.net.TempC(i) > s.net.TempC(hottest) {
+			hottest = i
+		}
 	}
-	return &thermalZone{zone: z}, nil
+	return s.net.ZoneAt(hottest)
 }
-
-func (t *thermalZone) step(watts float64, dt time.Duration) { t.zone.Step(watts, dt) }
-func (t *thermalZone) tempC() float64                       { return t.zone.TempC() }
-func (t *thermalZone) throttling() bool                     { return t.zone.Throttling() }
-func (t *thermalZone) clampOn(table *soc.OPPTable, req soc.Hz) soc.Hz {
-	return t.zone.ClampOn(table, req)
-}
-
-// Zone exposes the thermal zone for experiments that read temperature.
-func (s *Sim) Zone() *thermal.Zone { return s.zone.zone }

@@ -1,9 +1,10 @@
 // Package sim is the discrete-time engine that wires the substrates
 // together: workloads deposit cycle demand, the scheduler places it on the
 // SoC's online cores under the bandwidth quota, the power model integrates
-// the rail, the thermal zone integrates temperature (and may cap frequency
-// like msm_thermal), and every sampling period the installed policy.Manager
-// observes utilization and reprograms frequency, core count, and quota —
+// the rail, the per-cluster thermal network integrates each zone's
+// temperature (and may cap its cluster's frequency like msm_thermal), and
+// every sampling period the installed policy.Manager observes utilization
+// and thermal pressure and reprograms frequency, core count, and quota —
 // exactly the control loop a governor lives in on the real device.
 package sim
 
@@ -20,6 +21,7 @@ import (
 	"mobicore/internal/power"
 	"mobicore/internal/sched"
 	"mobicore/internal/soc"
+	"mobicore/internal/thermal"
 	"mobicore/internal/workload"
 )
 
@@ -111,18 +113,23 @@ type Sim struct {
 	cfg   Config
 	cpu   *soc.CPU
 	model *power.SystemModel
-	zone  *thermalZone
+	net   *thermal.Network
 	sch   sched.Scheduler
 	rng   *rand.Rand
 	mon   *monsoon.Monitor
 
-	views      []policy.ClusterView // per-cluster tables + core ids, built once
-	coreTables []*soc.OPPTable      // per-core cluster table for thermal clamping
+	views       []policy.ClusterView // per-cluster tables + core ids, built once
+	coreCluster []int                // core id -> cluster index for thermal clamping
 
 	now       time.Duration
 	quota     float64
 	quotaPool float64  // shared bandwidth pool (seconds) remaining this period
 	requested []soc.Hz // manager-requested per-core frequency, pre thermal clamp
+
+	// per-tick scratch, reused to keep the hot loop allocation-free
+	clusterWatts []float64 // per-cluster power share from the system model
+	zoneWatts    []float64 // per-zone watts fed to the thermal network
+	capped       []bool    // per-core thermal-cap flags for the scheduler
 
 	// window accumulators between manager samples
 	winBusySec []float64
@@ -134,13 +141,15 @@ type Sim struct {
 	coreSum      metrics.Summary // online core count
 	utilSum      metrics.Summary // overall (online-core average) utilization
 	quotaSum     metrics.Summary
-	tempSum      metrics.Summary
+	tempSum      metrics.Summary // hottest-zone temperature, tick-weighted
 	executed     float64
 	throttledSec float64 // quota-denied core time
-	thermalSec   float64 // time spent with a thermal cap engaged
+	thermalSec   float64 // Σ per-cluster capped time (aggregate residency)
 
-	clusterFreqSum []metrics.Summary // per-cluster avg online frequency, sampled
-	clusterCoreSum []metrics.Summary // per-cluster online count, sampled
+	clusterFreqSum    []metrics.Summary // per-cluster avg online frequency, sampled
+	clusterCoreSum    []metrics.Summary // per-cluster online count, sampled
+	clusterTempSum    []metrics.Summary // per-cluster zone temperature, tick-weighted
+	clusterThermalSec []float64         // per-cluster capped residency (seconds)
 
 	freqSeries  metrics.Series
 	coreSeries  metrics.Series
@@ -150,6 +159,7 @@ type Sim struct {
 
 	clusterFreqSeries []metrics.Series
 	clusterCoreSeries []metrics.Series
+	clusterTempSeries []metrics.Series
 }
 
 // New builds a simulation from cfg.
@@ -165,9 +175,9 @@ func New(cfg Config) (*Sim, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: building power model: %w", err)
 	}
-	zone, err := newThermalZone(cfg.Platform, cfg.Platform.Table)
+	net, err := cfg.Platform.ThermalNetwork()
 	if err != nil {
-		return nil, fmt.Errorf("sim: building thermal zone: %w", err)
+		return nil, fmt.Errorf("sim: building thermal network: %w", err)
 	}
 	mon, err := monsoon.New(cfg.Monitor)
 	if err != nil {
@@ -175,7 +185,7 @@ func New(cfg Config) (*Sim, error) {
 	}
 	specs := cfg.Platform.ClusterSpecs()
 	views := make([]policy.ClusterView, len(specs))
-	coreTables := make([]*soc.OPPTable, 0, cfg.Platform.NumCores)
+	coreCluster := make([]int, 0, cfg.Platform.NumCores)
 	for ci, cs := range specs {
 		ids, err := cpu.ClusterCoreIDs(ci)
 		if err != nil {
@@ -183,25 +193,31 @@ func New(cfg Config) (*Sim, error) {
 		}
 		views[ci] = policy.ClusterView{Name: cs.Name, Table: cs.Table, CoreIDs: ids}
 		for range ids {
-			coreTables = append(coreTables, cs.Table)
+			coreCluster = append(coreCluster, ci)
 		}
 	}
 	s := &Sim{
 		cfg:               cfg,
 		cpu:               cpu,
 		model:             model,
-		zone:              zone,
+		net:               net,
 		rng:               rand.New(rand.NewSource(cfg.Seed)),
 		mon:               mon,
 		views:             views,
-		coreTables:        coreTables,
+		coreCluster:       coreCluster,
 		quota:             cfg.InitialQuota,
 		requested:         make([]soc.Hz, cfg.Platform.NumCores),
+		clusterWatts:      make([]float64, len(specs)),
+		zoneWatts:         make([]float64, len(specs)),
+		capped:            make([]bool, cfg.Platform.NumCores),
 		winBusySec:        make([]float64, cfg.Platform.NumCores),
 		clusterFreqSum:    make([]metrics.Summary, len(specs)),
 		clusterCoreSum:    make([]metrics.Summary, len(specs)),
+		clusterTempSum:    make([]metrics.Summary, len(specs)),
+		clusterThermalSec: make([]float64, len(specs)),
 		clusterFreqSeries: make([]metrics.Series, len(specs)),
 		clusterCoreSeries: make([]metrics.Series, len(specs)),
+		clusterTempSeries: make([]metrics.Series, len(specs)),
 	}
 	s.refillQuota()
 	if err := cpu.SetOnlineCount(cfg.InitialCores); err != nil {
@@ -248,12 +264,16 @@ func (s *Sim) Step() error {
 
 	// 2. Scheduling and execution under the remaining bandwidth pool
 	// (CFS group-quota semantics: full speed until the period's shared
-	// budget drains).
+	// budget drains). The scheduler sees which clusters are thermally
+	// capped so placement steers backlog toward the cool ones.
+	for i, ci := range s.coreCluster {
+		s.capped[i] = s.net.Throttling(ci)
+	}
 	pool := sched.Unlimited
 	if s.quota < 1 {
 		pool = s.quotaPool
 	}
-	res, err := s.sch.Schedule(s.cpu, threads, dt, pool)
+	res, err := s.sch.ScheduleWithPressure(s.cpu, threads, dt, pool, s.capped)
 	if err != nil {
 		return fmt.Errorf("sim: scheduling at %v: %w", s.now, err)
 	}
@@ -284,13 +304,29 @@ func (s *Sim) Step() error {
 			s.winBusySec[i] += util[i] * dt.Seconds()
 		}
 	}
-	watts := s.model.SystemWatts(loads)
+	base, per := s.model.SystemWattsByCluster(loads, s.clusterWatts)
+	watts := base
+	for _, w := range per {
+		watts += w
+	}
 	if err := s.mon.Observe(s.now, watts, dt); err != nil {
 		return fmt.Errorf("sim: power observation: %w", err)
 	}
-	s.zone.step(watts, dt)
-	if s.zone.throttling() {
-		s.thermalSec += dt.Seconds()
+	// Each zone integrates its own cluster's share plus an even split of
+	// the platform floor; the network adds the shared-die coupling.
+	floorShare := base / float64(len(per))
+	for ci := range per {
+		s.zoneWatts[ci] = per[ci] + floorShare
+	}
+	if err := s.net.Step(s.zoneWatts, dt); err != nil {
+		return fmt.Errorf("sim: thermal integration: %w", err)
+	}
+	for ci := range per {
+		if s.net.Throttling(ci) {
+			s.clusterThermalSec[ci] += dt.Seconds()
+			s.thermalSec += dt.Seconds()
+		}
+		s.clusterTempSum[ci].Add(s.net.TempC(ci))
 	}
 	// Thermal driver acts between governor samples: re-clamp requests.
 	if err := s.applyFrequencies(); err != nil {
@@ -304,7 +340,7 @@ func (s *Sim) Step() error {
 	}
 	s.coreSum.Add(float64(onlineCount))
 	s.quotaSum.Add(s.quota)
-	s.tempSum.Add(s.zone.tempC())
+	s.tempSum.Add(s.net.MaxTempC())
 
 	s.now += dt
 	s.winElapsed += dt
@@ -334,6 +370,15 @@ func (s *Sim) samplePolicy() error {
 		Quota:    s.quota,
 		Table:    s.cfg.Platform.Table,
 		Clusters: s.views,
+		Thermal:  make([]policy.ThermalSignal, len(s.views)),
+	}
+	for ci := range s.views {
+		in.Thermal[ci] = policy.ThermalSignal{
+			TempC:      s.net.TempC(ci),
+			HeadroomC:  s.net.HeadroomC(ci),
+			Throttling: s.net.Throttling(ci),
+			CapFreq:    s.net.CapFreq(ci),
+		}
 	}
 	winSec := s.winElapsed.Seconds()
 	for i, c := range snap {
@@ -405,7 +450,7 @@ func (s *Sim) samplePolicy() error {
 	s.coreSeries.Append(s.now, float64(online))
 	s.utilSeries.Append(s.now, in.OverallUtil())
 	s.quotaSeries.Append(s.now, s.quota)
-	s.tempSeries.Append(s.now, s.zone.tempC())
+	s.tempSeries.Append(s.now, s.net.MaxTempC())
 	for ci := range s.views {
 		avg := 0.0
 		if clOnline[ci] > 0 {
@@ -413,6 +458,7 @@ func (s *Sim) samplePolicy() error {
 		}
 		s.clusterFreqSeries[ci].Append(s.now, avg)
 		s.clusterCoreSeries[ci].Append(s.now, float64(clOnline[ci]))
+		s.clusterTempSeries[ci].Append(s.now, s.net.TempC(ci))
 		s.clusterFreqSum[ci].Add(avg)
 		s.clusterCoreSum[ci].Add(float64(clOnline[ci]))
 	}
@@ -434,10 +480,10 @@ func (s *Sim) refillQuota() {
 }
 
 // applyFrequencies programs each online core to its requested frequency,
-// clamped by the thermal cap resolved onto the owning cluster's table.
+// clamped by the owning cluster's own thermal zone on its own ladder.
 func (s *Sim) applyFrequencies() error {
 	for i, want := range s.requested {
-		f := s.zone.clampOn(s.coreTables[i], want)
+		f := s.net.Clamp(s.coreCluster[i], want)
 		cur, err := s.cpu.Freq(i)
 		if err != nil {
 			return fmt.Errorf("sim: reading core %d frequency: %w", i, err)

@@ -92,6 +92,16 @@ func (z *Zone) SteadyStateC(watts float64) float64 {
 	return z.params.AmbientC + watts*z.params.ResistanceKPerW
 }
 
+// HeadroomC returns the margin to the trip point in °C: positive while the
+// zone is cool, negative above trip, +Inf when throttling is disabled. This
+// is the thermal-pressure signal governors consume.
+func (z *Zone) HeadroomC() float64 {
+	if z.params.TripC == 0 {
+		return math.Inf(1)
+	}
+	return z.params.TripC - z.tempC
+}
+
 // Step advances the model by dt under a dissipation of watts and updates
 // the throttle cap. dT/dt = (T_ss − T)/τ, integrated exactly.
 func (z *Zone) Step(watts float64, dt time.Duration) {

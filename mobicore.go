@@ -223,7 +223,11 @@ func buildPolicy(name string, plat platform.Platform) (policy.Manager, error) {
 		return core.New(plat.Table, core.DefaultTunables())
 	case PolicyOracle:
 		if plat.Heterogeneous() {
-			return nil, fmt.Errorf("mobicore: policy %q does not support heterogeneous platform %q yet", name, plat.Name)
+			o, err := core.NewClusteredOracleForPlatform(plat, 0.15)
+			if err != nil {
+				return nil, fmt.Errorf("mobicore: %w", err)
+			}
+			return o, nil
 		}
 		model, err := power.NewModel(plat.Power, plat.Table)
 		if err != nil {

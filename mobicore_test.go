@@ -168,8 +168,8 @@ func TestRunExperimentThroughFacade(t *testing.T) {
 	if _, err := RunExperiment("fig99", ExperimentOptions{}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if len(ExperimentIDs()) != 17 {
-		t.Errorf("experiment ids = %v, want 17 (16 paper items + biglittle)", ExperimentIDs())
+	if len(ExperimentIDs()) != 18 {
+		t.Errorf("experiment ids = %v, want 18 (16 paper items + biglittle + sustained)", ExperimentIDs())
 	}
 }
 
