@@ -41,6 +41,51 @@ func TestPlatformAliasReconciliation(t *testing.T) {
 	}
 }
 
+// TestSD855AliasLock pins the three-cluster profile's two spellings to
+// each other explicitly (the loop above covers it generically; this entry
+// keeps the pair from being renamed without notice).
+func TestSD855AliasLock(t *testing.T) {
+	p, err := platform.ByName("sd855")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "Snapdragon 855" {
+		t.Errorf(`ByName("sd855").Name = %q, want "Snapdragon 855"`, p.Name)
+	}
+	if got := platform.Alias("Snapdragon 855"); got != "sd855" {
+		t.Errorf(`Alias("Snapdragon 855") = %q, want "sd855"`, got)
+	}
+	if len(p.Clusters) != 3 {
+		t.Errorf("sd855 clusters = %d, want 3 (silver/gold/prime)", len(p.Clusters))
+	}
+}
+
+// TestSD855Device drives the three-cluster profile through the public API
+// under each named policy and both placement rules.
+func TestSD855Device(t *testing.T) {
+	for _, pol := range []string{PolicyMobiCore, PolicyMobiCoreThreshold, PolicyAndroidDefault, PolicyOracle, "schedutil+load"} {
+		for _, sched := range []string{SchedGreedy, SchedEAS} {
+			dev, err := NewDevice(Config{Platform: "sd855", Policy: pol, Sched: sched, Seed: 5}, BusyLoop(0.3, 4))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", pol, sched, err)
+			}
+			rep, err := dev.Run(time.Second)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", pol, sched, err)
+			}
+			if len(rep.ClusterNames) != 3 {
+				t.Errorf("%s/%s: cluster names = %v, want 3 clusters", pol, sched, rep.ClusterNames)
+			}
+			if rep.Placer != sched {
+				t.Errorf("%s/%s: report placer = %q", pol, sched, rep.Placer)
+			}
+		}
+	}
+	if _, err := NewDevice(Config{Platform: "sd855", Sched: "warp"}, BusyLoop(0.3, 1)); err == nil {
+		t.Error("unknown sched accepted")
+	}
+}
+
 // TestNexus6PDevice drives the big.LITTLE profile through the public API
 // under each named policy that supports it.
 func TestNexus6PDevice(t *testing.T) {

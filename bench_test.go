@@ -413,6 +413,12 @@ func BenchmarkBigLittleGaming(b *testing.B) {
 // homogeneous profiles. ns/op is the evidence.
 func perTick(b *testing.B, plat platform.Platform, mgr policy.Manager, threads int) {
 	b.Helper()
+	perTickPlaced(b, plat, mgr, threads, "")
+}
+
+// perTickPlaced is perTick with an explicit scheduler placement rule.
+func perTickPlaced(b *testing.B, plat platform.Platform, mgr policy.Manager, threads int, placer string) {
+	b.Helper()
 	ref := plat.ClusterSpecs()[0].Table.Max().Freq
 	wl, err := workload.NewBusyLoop(workload.BusyLoopConfig{
 		TargetUtil: 0.5, Threads: threads, RefFreq: ref,
@@ -420,7 +426,7 @@ func perTick(b *testing.B, plat platform.Platform, mgr policy.Manager, threads i
 	if err != nil {
 		b.Fatal(err)
 	}
-	s, err := sim.New(sim.Config{Platform: plat, Manager: mgr, Workloads: []workload.Workload{wl}, Seed: 1})
+	s, err := sim.New(sim.Config{Platform: plat, Manager: mgr, Workloads: []workload.Workload{wl}, Seed: 1, Placer: placer})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -467,6 +473,30 @@ func BenchmarkPerTickNexus6P(b *testing.B) {
 		b.Fatal(err)
 	}
 	perTick(b, plat, mgr, 4)
+}
+
+// BenchmarkPlaceEAS measures the per-tick cost of the EAS placement hot
+// path: the three-cluster sd855 profile under per-domain governors with
+// the energy-aware placer installed. Compare against
+// BenchmarkPlaceGreedySD855 for the placement rule's own overhead.
+func BenchmarkPlaceEAS(b *testing.B) {
+	plat := platform.SD855()
+	mgr, err := core.NewClusteredForPlatform(plat, core.DefaultTunables(), core.DefaultClusterTunables(), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	perTickPlaced(b, plat, mgr, 6, "eas")
+}
+
+// BenchmarkPlaceGreedySD855 is the greedy-placer baseline for
+// BenchmarkPlaceEAS on the same platform, manager, and workload.
+func BenchmarkPlaceGreedySD855(b *testing.B) {
+	plat := platform.SD855()
+	mgr, err := core.NewClusteredForPlatform(plat, core.DefaultTunables(), core.DefaultClusterTunables(), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	perTickPlaced(b, plat, mgr, 6, "greedy")
 }
 
 // BenchmarkSimulatorThroughput measures raw engine speed: simulated time

@@ -14,10 +14,21 @@
 // like nexus6p, MobiCore and the stock governors drive each cluster as its
 // own frequency domain, each cluster has its own thermal zone (the big
 // cluster throttles long before the LITTLE one), and the report gains
-// per-cluster frequency/core/temperature/throttle-residency lines.
+// per-cluster frequency/core/temperature/throttle-residency/energy lines.
+// The three-cluster "sd855" profile (prime/gold/silver) exercises the same
+// machinery across three domains.
+//
+// The -sched flag selects the scheduler's placement rule: "greedy" (the
+// default LITTLE-first rule) or "eas" (energy-aware placement against the
+// platform's energy model):
+//
+//	mobisim -platform sd855 -sched eas -policy schedutil+load -workload game
+//
+// -json emits the session report as a JSON document instead of text.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,8 +53,10 @@ func run() int {
 		iterations   = flag.Int("iterations", 3, "geekbench iterations per thread")
 		dur          = flag.Duration("dur", 30*time.Second, "session duration (simulated)")
 		seed         = flag.Int64("seed", 1, "workload randomness seed")
+		schedName    = flag.String("sched", "greedy", "scheduler placement rule: greedy or eas")
 		noThrottle   = flag.Bool("no-throttle", false, "disable the thermal frequency cap")
 		tracePath    = flag.String("trace", "", "write the power trace CSV to this file")
+		asJSON       = flag.Bool("json", false, "emit the session report as a JSON document")
 		list         = flag.Bool("list", false, "list platforms, policies, governors, and games")
 	)
 	flag.Parse()
@@ -53,6 +66,7 @@ func run() int {
 		fmt.Println("policies:  ", mobicore.Policies(), `plus "<governor>+<hotplug>"`)
 		fmt.Println("governors: ", mobicore.Governors())
 		fmt.Println("games:     ", mobicore.GameNames())
+		fmt.Println("scheds:    ", mobicore.Scheds())
 		return 0
 	}
 
@@ -85,6 +99,7 @@ func run() int {
 		Platform:               *platformName,
 		Policy:                 *policyName,
 		Seed:                   *seed,
+		Sched:                  *schedName,
 		DisableThermalThrottle: *noThrottle,
 	}, wl)
 	if err != nil {
@@ -107,21 +122,28 @@ func run() int {
 		return 1
 	}
 
-	if err := rep.WriteSummary(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "mobisim:", err)
-		return 1
-	}
-	if game != nil {
-		fmt.Printf("avg fps:         %.1f (dropped %d of %d frames)\n",
-			game.AvgFPS(), game.DroppedFrames(), game.EmittedFrames())
-	}
-	if gb != nil {
-		score, err := gb.ScoreAfter(rep.Duration)
-		if err != nil {
+	if *asJSON {
+		if err := writeJSON(rep, game, gb); err != nil {
 			fmt.Fprintln(os.Stderr, "mobisim:", err)
 			return 1
 		}
-		fmt.Printf("benchmark score: %.0f\n", score)
+	} else {
+		if err := rep.WriteSummary(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "mobisim:", err)
+			return 1
+		}
+		if game != nil {
+			fmt.Printf("avg fps:         %.1f (dropped %d of %d frames)\n",
+				game.AvgFPS(), game.DroppedFrames(), game.EmittedFrames())
+		}
+		if gb != nil {
+			score, err := gb.ScoreAfter(rep.Duration)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mobisim:", err)
+				return 1
+			}
+			fmt.Printf("benchmark score: %.0f\n", score)
+		}
 	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
@@ -134,9 +156,44 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "mobisim:", err)
 			return 1
 		}
-		fmt.Printf("power trace:     %s\n", *tracePath)
+		// In JSON mode stdout carries exactly one JSON document; the
+		// confirmation goes to stderr so the stream stays parseable.
+		if *asJSON {
+			fmt.Fprintf(os.Stderr, "power trace:     %s\n", *tracePath)
+		} else {
+			fmt.Printf("power trace:     %s\n", *tracePath)
+		}
 	}
 	return 0
+}
+
+// writeJSON emits the session report (plus workload-specific figures when
+// available) as one indented JSON document, mirroring mobibench's -json.
+func writeJSON(rep *mobicore.Report, game *mobicore.Game, gb *mobicore.GeekBenchRun) error {
+	doc := struct {
+		Report        *mobicore.Report `json:"report"`
+		AvgFPS        *float64         `json:"avg_fps,omitempty"`
+		DroppedFrames *int             `json:"dropped_frames,omitempty"`
+		EmittedFrames *int             `json:"emitted_frames,omitempty"`
+		Score         *float64         `json:"benchmark_score,omitempty"`
+	}{Report: rep}
+	if game != nil {
+		fps := game.AvgFPS()
+		dropped, emitted := game.DroppedFrames(), game.EmittedFrames()
+		doc.AvgFPS = &fps
+		doc.DroppedFrames = &dropped
+		doc.EmittedFrames = &emitted
+	}
+	if gb != nil {
+		score, err := gb.ScoreAfter(rep.Duration)
+		if err != nil {
+			return err
+		}
+		doc.Score = &score
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // loadTrace builds a replay workload from a recorded demand CSV.

@@ -3,7 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
+	"mobicore/internal/em"
 	"mobicore/internal/platform"
 	"mobicore/internal/policy"
 	"mobicore/internal/power"
@@ -64,6 +66,13 @@ type Clustered struct {
 	ctun    ClusterTunables
 	little  int // index of the most efficient domain (lowest f_max)
 
+	// emod, when attached, lets the gate consult EM energy deltas: a
+	// load-threshold wake is vetoed while serving the whole demand on the
+	// LITTLE domain is both feasible and predicted cheaper than splitting
+	// it with the big domain. Latency wakes (a pegged LITTLE core) are
+	// never vetoed — §4.0's performance constraint outranks the model.
+	emod *em.Model
+
 	bigOn []bool // gate state per domain; hysteresis lives here
 }
 
@@ -110,7 +119,8 @@ func NewClustered(tun Tunables, ctun ClusterTunables, domains []Domain) (*Cluste
 // NewClusteredForPlatform builds the clustered manager from a platform
 // profile — the one construction path shared by the facade, experiments,
 // and benchmarks. withModel attaches each cluster's calibrated energy
-// model for the §4.2 search.
+// model for the §4.2 search plus the platform's EM energy model, which the
+// big-cluster gate consults before a load-threshold wake.
 func NewClusteredForPlatform(plat platform.Platform, tun Tunables, ctun ClusterTunables, withModel bool) (*Clustered, error) {
 	specs := plat.ClusterSpecs()
 	domains := make([]Domain, len(specs))
@@ -125,7 +135,34 @@ func NewClusteredForPlatform(plat platform.Platform, tun Tunables, ctun ClusterT
 		}
 		domains[i] = d
 	}
-	return NewClustered(tun, ctun, domains)
+	c, err := NewClustered(tun, ctun, domains)
+	if err != nil {
+		return nil, err
+	}
+	if withModel {
+		emod, err := plat.EnergyModel()
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if err := c.AttachEnergyModel(emod); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// AttachEnergyModel installs an EM energy model on the clustered manager
+// so the big-cluster gate prices wake decisions instead of relying on the
+// load threshold alone. The model's domains must parallel the manager's.
+func (c *Clustered) AttachEnergyModel(m *em.Model) error {
+	if m == nil {
+		return errors.New("core: nil energy model")
+	}
+	if m.NumDomains() != len(c.domains) {
+		return fmt.Errorf("core: energy model has %d domains, manager has %d", m.NumDomains(), len(c.domains))
+	}
+	c.emod = m
+	return nil
 }
 
 // Name implements policy.Manager.
@@ -213,6 +250,14 @@ func (c *Clustered) Decide(in policy.Input) (policy.Decision, error) {
 // buys leakage and heat, not capacity — demand stays on the cool LITTLE
 // cluster until the zone recovers. An already-running hot domain is left to
 // its own MobiCore pass under the thermal clamp.
+//
+// With an EM energy model attached, a load-threshold wake is additionally
+// priced: the gate estimates the system energy of serving the whole demand
+// on the LITTLE domain against splitting it with domain ci, and keeps ci
+// parked while LITTLE-only is feasible and predicted cheaper — the thesis'
+// "the best one is chosen by our model" applied across clusters instead of
+// within one. A pegged LITTLE core always wakes regardless of the model:
+// latency outranks energy (§4.0).
 func (c *Clustered) gateBig(ci int, littleDemand, totalDemand, littleCap float64, littlePegged, hot bool) bool {
 	if littleCap <= 0 {
 		return true
@@ -223,11 +268,75 @@ func (c *Clustered) gateBig(ci int, littleDemand, totalDemand, littleCap float64
 			c.inner[ci].Reset() // stale burst history must not leak into the next wake
 		}
 	} else {
-		if (littleDemand >= c.ctun.BigWake*littleCap || littlePegged) && !hot {
+		wake := (littleDemand >= c.ctun.BigWake*littleCap || littlePegged) && !hot
+		if wake && !littlePegged && c.emod != nil && !c.emWakeWorthwhile(ci, totalDemand, littleCap) {
+			wake = false
+		}
+		if wake {
 			c.bigOn[ci] = true
 		}
 	}
 	return c.bigOn[ci]
+}
+
+// emWakeWorthwhile prices a candidate wake of domain ci with the EM model
+// against the whole currently awake set — LITTLE plus every other big
+// domain whose gate is already open, not just a pairwise LITTLE-vs-ci
+// split (on a 3-domain part an already-awake gold cluster must be allowed
+// to absorb overflow before the prime core is priced in). True when the
+// awake set cannot serve the whole demand (capacity necessity), or when
+// adding ci — LITTLE held at its comfortable park ceiling so the overflow
+// lands on the performance domains — is predicted cheaper than serving
+// everything on the awake set alone.
+func (c *Clustered) emWakeWorthwhile(ci int, totalDemand, littleCap float64) bool {
+	baseW, remaining := c.priceAwake(ci, totalDemand, math.Inf(1))
+	if remaining > 1e-9*totalDemand {
+		return true // capacity necessity: the awake set cannot serve
+	}
+	withW, overflow := c.priceAwake(ci, totalDemand, c.ctun.BigPark*littleCap)
+	if overflow <= 0 {
+		return false // nothing would land on ci anyway
+	}
+	big := c.emod.Domain(ci)
+	bw, bmet := big.WattsForDemand(overflow, big.NumCores())
+	if !bmet {
+		// ci cannot absorb the contemplated overflow: the split is
+		// unrealizable, so an energy figure for it would be fiction.
+		// Stay with the feasible status quo — a genuine throughput
+		// shortfall still wakes ci through the pegged-core path.
+		return false
+	}
+	return withW+bw < baseW
+}
+
+// priceAwake prices the awake domains — LITTLE plus every gated-open big
+// domain except skip — serving demand, filling shares in efficiency order
+// up to each domain's capacity (LITTLE's ceiling may be lowered via
+// littleCeil, the gate's comfort point). Returns the predicted watts of
+// the filled shares and the demand left unserved.
+func (c *Clustered) priceAwake(skip int, demand, littleCeil float64) (watts, remaining float64) {
+	remaining = demand
+	for _, di := range c.emod.EfficiencyOrder() {
+		if di == skip || (di != c.little && !c.bigOn[di]) {
+			continue
+		}
+		dom := c.emod.Domain(di)
+		cap := dom.Capacity() * float64(dom.NumCores())
+		if di == c.little && littleCeil < cap {
+			cap = littleCeil
+		}
+		share := remaining
+		if share > cap {
+			share = cap
+		}
+		if share < 0 {
+			share = 0
+		}
+		w, _ := dom.WattsForDemand(share, dom.NumCores())
+		watts += w
+		remaining -= share
+	}
+	return watts, remaining
 }
 
 // domainHot reads the thermal-pressure signal for domain ci: true when its

@@ -1,0 +1,147 @@
+package experiment
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestIDsNaturalOrder: `mobibench list` and `all` must follow the paper's
+// numbering — fig2 before fig10, which plain ASCII sorting gets wrong.
+func TestIDsNaturalOrder(t *testing.T) {
+	ids := IDs()
+	pos := func(id string) int {
+		for i, v := range ids {
+			if v == id {
+				return i
+			}
+		}
+		t.Fatalf("id %q missing from IDs()", id)
+		return -1
+	}
+	ordered := []string{"fig1", "fig2", "fig3", "fig9a", "fig9b", "fig10", "fig13"}
+	for i := 1; i < len(ordered); i++ {
+		if pos(ordered[i-1]) >= pos(ordered[i]) {
+			t.Errorf("%s (at %d) should precede %s (at %d): %v",
+				ordered[i-1], pos(ordered[i-1]), ordered[i], pos(ordered[i]), ids)
+		}
+	}
+	if pos("easplace") < 0 || pos("table1") >= pos("table2") {
+		t.Errorf("registry order broken: %v", ids)
+	}
+	if !sort.SliceIsSorted(ids, func(i, j int) bool { return naturalLess(ids[i], ids[j]) }) {
+		t.Errorf("IDs() not naturally sorted: %v", ids)
+	}
+}
+
+func TestNaturalLess(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"fig2", "fig10", true},
+		{"fig10", "fig2", false},
+		{"fig9a", "fig10", true},
+		{"fig9a", "fig9b", true},
+		{"fig1", "fig1", false},
+		{"fig01", "fig1", false}, // leading zeros tie numerically: equal rank
+		{"fig1", "fig01", false},
+		{"a", "b", true},
+		{"table1", "table2", true},
+		{"biglittle", "easplace", true},
+	}
+	for _, c := range cases {
+		if got := naturalLess(c.a, c.b); got != c.want {
+			t.Errorf("naturalLess(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestRunEASPlace runs the placement comparison at test scale and asserts
+// the acceptance property: on each heterogeneous platform at least one
+// workload has the EAS placer using no more energy than the greedy at
+// equal-or-better FPS.
+func TestRunEASPlace(t *testing.T) {
+	res, err := Run("easplace", Options{Scale: 0.05, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, ok := res.(*EASPlaceResult)
+	if !ok {
+		t.Fatalf("result type %T", res)
+	}
+	if len(ep.Rows) != 8 {
+		t.Fatalf("rows = %d, want 2 platforms x 2 workloads x 2 placers", len(ep.Rows))
+	}
+	// Pair up (platform, workload) rows: greedy first, then eas.
+	type pair struct{ greedy, eas *EASPlaceRow }
+	pairs := map[string]*pair{}
+	for i := range ep.Rows {
+		row := &ep.Rows[i]
+		key := row.Platform + "/" + row.Workload
+		p := pairs[key]
+		if p == nil {
+			p = &pair{}
+			pairs[key] = p
+		}
+		switch row.Placer {
+		case "greedy":
+			p.greedy = row
+		case "eas":
+			p.eas = row
+		default:
+			t.Fatalf("unknown placer %q", row.Placer)
+		}
+	}
+	wins := map[string]bool{}
+	for key, p := range pairs {
+		if p.greedy == nil || p.eas == nil {
+			t.Fatalf("%s missing a placer row", key)
+		}
+		if len(p.eas.ClusterEnergyJ) < 2 {
+			t.Errorf("%s: no per-cluster energy attribution", key)
+		}
+		if p.eas.EnergyJ <= p.greedy.EnergyJ*(1+1e-9) && p.eas.AvgFPS >= p.greedy.AvgFPS-0.05 {
+			wins[p.eas.Platform] = true
+		}
+	}
+	for _, plat := range []string{"Nexus 6P", "Snapdragon 855"} {
+		if !wins[plat] {
+			t.Errorf("%s: no workload where EAS used no more energy at equal-or-better FPS", plat)
+		}
+	}
+	var sb strings.Builder
+	if err := res.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"greedy", "eas", "Snapdragon 855", "silver", "prime"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+	if err := (&EASPlaceResult{}).WriteText(&sb); err == nil {
+		t.Error("empty result rendered without error")
+	}
+}
+
+// TestEASPlaceDeterministic: the experiment is a pure function of its
+// options.
+func TestEASPlaceDeterministic(t *testing.T) {
+	opt := Options{Scale: 0.02, Seed: 9}
+	a, err := RunEASPlace(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunEASPlace(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := a.(*EASPlaceResult), b.(*EASPlaceResult)
+	for i := range ra.Rows {
+		if ra.Rows[i].EnergyJ != rb.Rows[i].EnergyJ || ra.Rows[i].AvgFPS != rb.Rows[i].AvgFPS {
+			t.Errorf("%s/%s/%s: equal seeds diverged",
+				ra.Rows[i].Platform, ra.Rows[i].Workload, ra.Rows[i].Placer)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 
 	"mobicore/internal/core"
@@ -66,6 +67,7 @@ type Runner func(Options) (Result, error)
 func runners() map[string]Runner {
 	return map[string]Runner{
 		"biglittle": RunBigLittle,
+		"easplace":  RunEASPlace,
 		"sustained": RunSustained,
 		"table1":    RunTable1,
 		"table2":    RunTable2,
@@ -86,15 +88,60 @@ func runners() map[string]Runner {
 	}
 }
 
-// IDs lists every experiment id in stable order.
+// IDs lists every experiment id in stable natural order: digit runs
+// compare numerically, so fig2 precedes fig10 and `mobibench list`/`all`
+// follow the paper's numbering instead of ASCII order.
 func IDs() []string {
 	m := runners()
 	ids := make([]string, 0, len(m))
 	for id := range m {
 		ids = append(ids, id)
 	}
-	sort.Strings(ids)
+	sort.Slice(ids, func(i, j int) bool {
+		if naturalLess(ids[i], ids[j]) {
+			return true
+		}
+		if naturalLess(ids[j], ids[i]) {
+			return false
+		}
+		return ids[i] < ids[j] // total order for naturally-equal ids ("fig01" vs "fig1")
+	})
 	return ids
+}
+
+// naturalLess compares two ids with embedded numbers ordered numerically:
+// letters compare bytewise, maximal digit runs compare as integers
+// (ignoring leading zeros), ties fall back to the shorter string.
+func naturalLess(a, b string) bool {
+	isDigit := func(c byte) bool { return '0' <= c && c <= '9' }
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		ca, cb := a[i], b[j]
+		if isDigit(ca) && isDigit(cb) {
+			ia, jb := i, j
+			for ia < len(a) && isDigit(a[ia]) {
+				ia++
+			}
+			for jb < len(b) && isDigit(b[jb]) {
+				jb++
+			}
+			na, nb := strings.TrimLeft(a[i:ia], "0"), strings.TrimLeft(b[j:jb], "0")
+			if len(na) != len(nb) {
+				return len(na) < len(nb)
+			}
+			if na != nb {
+				return na < nb
+			}
+			i, j = ia, jb
+			continue
+		}
+		if ca != cb {
+			return ca < cb
+		}
+		i++
+		j++
+	}
+	return len(a)-i < len(b)-j
 }
 
 // Lookup resolves an experiment id.
@@ -119,11 +166,18 @@ func Run(id string, opt Options) (Result, error) {
 
 // session runs one simulation to completion and returns its report.
 func session(plat platform.Platform, mgr policy.Manager, wls []workload.Workload, d time.Duration, seed int64) (*sim.Report, error) {
+	return sessionPlaced(plat, mgr, wls, d, seed, "")
+}
+
+// sessionPlaced is session with an explicit scheduler placement rule
+// ("greedy" or "eas"; empty means the default greedy).
+func sessionPlaced(plat platform.Platform, mgr policy.Manager, wls []workload.Workload, d time.Duration, seed int64, placer string) (*sim.Report, error) {
 	s, err := sim.New(sim.Config{
 		Platform:  plat,
 		Manager:   mgr,
 		Workloads: wls,
 		Seed:      seed,
+		Placer:    placer,
 	})
 	if err != nil {
 		return nil, err

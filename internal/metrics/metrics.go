@@ -5,6 +5,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"errors"
 	"math"
 	"sort"
@@ -139,6 +140,18 @@ func (s *Series) Values() []float64 {
 		out[i] = p.Value
 	}
 	return out
+}
+
+// MarshalJSON emits the series as its point list, so reports carrying
+// Series fields export their traces instead of opaque empty objects
+// (Series has only unexported fields and would otherwise marshal as {}).
+// An empty series renders as [] rather than null, so consumers can always
+// iterate the array.
+func (s Series) MarshalJSON() ([]byte, error) {
+	if len(s.points) == 0 {
+		return []byte("[]"), nil
+	}
+	return json.Marshal(s.points)
 }
 
 // Summary returns the running summary of all appended values.

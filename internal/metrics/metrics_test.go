@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"testing"
@@ -165,5 +166,32 @@ func TestRelativeChange(t *testing.T) {
 		if got := RelativeChange(tt.a, tt.b); math.Abs(got-tt.want) > 1e-12 {
 			t.Errorf("RelativeChange(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
 		}
+	}
+}
+
+// TestSeriesMarshalJSON: a series marshals as its point array — [] when
+// empty (never null), the full point list otherwise — so JSON consumers
+// can always iterate the trace.
+func TestSeriesMarshalJSON(t *testing.T) {
+	var s Series
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "[]" {
+		t.Errorf("empty series marshals as %s, want []", b)
+	}
+	s.Append(time.Second, 1.5)
+	s.Append(2*time.Second, 2.5)
+	b, err = json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pts []Point
+	if err := json.Unmarshal(b, &pts); err != nil {
+		t.Fatalf("series did not marshal as a point array: %v (%s)", err, b)
+	}
+	if len(pts) != 2 || pts[1].Value != 2.5 || pts[0].At != time.Second {
+		t.Errorf("round-trip = %+v", pts)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"mobicore/internal/em"
 	"mobicore/internal/power"
 	"mobicore/internal/soc"
 	"mobicore/internal/thermal"
@@ -212,6 +213,29 @@ func (p Platform) SystemModel() (*power.SystemModel, error) {
 		}
 	}
 	return power.NewSystemModel(p.Power.BaseWatts, models, coreCluster)
+}
+
+// EnergyModel builds the kernel-EM-style energy model for the profile: one
+// performance domain per frequency cluster with capacity, cost-per-cycle,
+// and energy-at-OPP tables precomputed. Core ids are assigned contiguously
+// in cluster order, matching soc.NewClusteredCPU's numbering.
+func (p Platform) EnergyModel() (*em.Model, error) {
+	specs := p.ClusterSpecs()
+	domains := make([]em.DomainSpec, len(specs))
+	next := 0
+	for i, cs := range specs {
+		ids := make([]int, cs.NumCores)
+		for c := range ids {
+			ids[c] = next
+			next++
+		}
+		domains[i] = em.DomainSpec{Name: cs.Name, CoreIDs: ids, Table: cs.Table, Params: cs.Power}
+	}
+	m, err := em.New(domains)
+	if err != nil {
+		return nil, fmt.Errorf("platform %s: %w", p.Name, err)
+	}
+	return m, nil
 }
 
 // WithoutThrottle returns a copy of the platform with thermal throttling
@@ -453,6 +477,7 @@ func Profiles() map[string]func() Platform {
 		"nexus4":    Nexus4,
 		"lg-g3":     LGG3,
 		"nexus6p":   Nexus6P,
+		"sd855":     SD855,
 	}
 }
 

@@ -1,0 +1,147 @@
+package platform
+
+import (
+	"time"
+
+	"mobicore/internal/power"
+	"mobicore/internal/soc"
+	"mobicore/internal/thermal"
+)
+
+// SD855 returns a Snapdragon 855-class three-cluster prime-core profile:
+// 4× Kryo 485 Silver (A55-class, 300 MHz – 1.786 GHz), 3× Kryo 485 Gold
+// (A76-class, 710 MHz – 2.419 GHz), and a single Kryo 485 Prime core
+// (825 MHz – 2.842 GHz) — each its own frequency domain with a private OPP
+// ladder, power calibration, and thermal zone. It is the N-domain proof for
+// the cluster plumbing: every subsystem (energy model, thermal network,
+// per-domain governors, EAS placement, the clustered oracle) must work for
+// three domains, not just big.LITTLE's two.
+//
+// Calibration follows the Nexus 5 methodology (§3.1/§4.1), leakage curves
+// fitted through two (voltage, watts) anchors per cluster:
+//
+//   - silver cluster, 4 cores flat out ≈ 0.8 W — the 7 nm efficiency
+//     island, but its top bins ride the rail to 1.02 V, so a cycle at the
+//     top of the silver ladder costs MORE energy than the same cycle on a
+//     gold core at its low bins (~1.10e-10 J vs ~1.00e-10 J). That
+//     convexity crossover (arXiv:1401.4655) is what the EAS placer
+//     exploits and LITTLE-first greedy placement cannot see.
+//   - gold cluster, 3 cores flat out ≈ 1.1 W, per-core leakage roughly
+//     65/15 mW at f_max/f_min rails,
+//   - prime core ≈ 0.8 W alone at 2.84 GHz with the steepest leakage on
+//     the die (105/18 mW) — a sprint core that pays dearly for residency.
+func SD855() Platform {
+	silverLeakCoeff, silverLeakExp, err := power.FitLeak(1.02, 0.020, 0.60, 0.004)
+	if err != nil {
+		panic(err) // anchors are compile-time constants; cannot fail
+	}
+	goldLeakCoeff, goldLeakExp, err := power.FitLeak(1.00, 0.065, 0.65, 0.015)
+	if err != nil {
+		panic(err)
+	}
+	primeLeakCoeff, primeLeakExp, err := power.FitLeak(1.12, 0.105, 0.68, 0.018)
+	if err != nil {
+		panic(err)
+	}
+	silver := ClusterSpec{
+		Name:     "silver",
+		NumCores: 4,
+		Table:    soc.SM8150SilverTable(),
+		Power: power.Params{
+			// ~176 mW dynamic per A55-class core flat out.
+			CeffFarads:      0.95e-10,
+			LeakCoeffWatts:  silverLeakCoeff,
+			LeakExponent:    silverLeakExp,
+			OfflineWatts:    0.001,
+			CacheBaseWatts:  0.020,
+			CacheSlopeWatts: 0.020,
+			BaseWatts:       0.120, // informational; the floor is paid once at platform level
+		},
+		Thermal: thermal.Params{
+			AmbientC: labAmbientC,
+			// 0.8 W full blast → ~6 °C own heating; the silver zone's
+			// steady state never approaches its trip even with full
+			// coupling from the performance clusters.
+			ResistanceKPerW: 7.0,
+			TimeConstant:    12 * time.Second,
+			TripC:           70,
+			ReleaseC:        66,
+			StepPeriod:      time.Second,
+		},
+	}
+	gold := ClusterSpec{
+		Name:     "gold",
+		NumCores: 3,
+		Table:    soc.SM8150GoldTable(),
+		Power: power.Params{
+			// ~315 mW dynamic per A76-class core at the 2.419 GHz / 1.0 V
+			// bin; the 7 nm node keeps C_eff well under the 20 nm A57's.
+			CeffFarads:      1.30e-10,
+			LeakCoeffWatts:  goldLeakCoeff,
+			LeakExponent:    goldLeakExp,
+			OfflineWatts:    0.002,
+			CacheBaseWatts:  0.040,
+			CacheSlopeWatts: 0.040,
+			BaseWatts:       0.120,
+		},
+		Thermal: thermal.Params{
+			AmbientC: labAmbientC,
+			// ~1.1 W full blast → ~12 °C own heating: the gold zone only
+			// trips when the whole die sustains load.
+			ResistanceKPerW: 10.0,
+			TimeConstant:    9 * time.Second,
+			TripC:           46,
+			ReleaseC:        43,
+			StepPeriod:      time.Second,
+		},
+	}
+	prime := ClusterSpec{
+		Name:     "prime",
+		NumCores: 1,
+		Table:    soc.SM8150PrimeTable(),
+		Power: power.Params{
+			// ~680 mW dynamic at the 2.842 GHz / 1.12 V sprint bin.
+			CeffFarads:      1.90e-10,
+			LeakCoeffWatts:  primeLeakCoeff,
+			LeakExponent:    primeLeakExp,
+			OfflineWatts:    0.002,
+			CacheBaseWatts:  0.045,
+			CacheSlopeWatts: 0.045,
+			BaseWatts:       0.120,
+		},
+		Thermal: thermal.Params{
+			AmbientC: labAmbientC,
+			// The prime core sits on the hottest corner of the die with
+			// the smallest thermal mass: ~0.8 W sustained plus coupling
+			// from a busy gold cluster drives it past its 42 °C trip, so
+			// sustained sprints always clip while bursts ride the mass.
+			ResistanceKPerW: 20.0,
+			TimeConstant:    6 * time.Second,
+			TripC:           42,
+			ReleaseC:        39,
+			StepPeriod:      time.Second,
+		},
+	}
+	return Platform{
+		Name:     "Snapdragon 855",
+		Year:     2019,
+		NumCores: silver.NumCores + gold.NumCores + prime.NumCores,
+		// Representative view for pre-cluster code paths: the prime
+		// (performance) domain.
+		Table: prime.Table,
+		Power: prime.Power,
+		Thermal: thermal.Params{
+			AmbientC:        labAmbientC,
+			ResistanceKPerW: 6.0,
+			TimeConstant:    10 * time.Second,
+			TripC:           44,
+			ReleaseC:        41,
+			StepPeriod:      time.Second,
+		},
+		// Lateral heat spread through the 7 nm die: each cluster's zone
+		// sees a quarter of its neighbors' dissipation.
+		ThermalCoupling: 0.25,
+		// Efficiency cluster first so its cores get the low ids.
+		Clusters: []ClusterSpec{silver, gold, prime},
+	}
+}

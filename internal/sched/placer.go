@@ -1,0 +1,254 @@
+package sched
+
+import (
+	"errors"
+	"math"
+
+	"mobicore/internal/em"
+)
+
+// PlaceEnv is the per-window placement view a Placer decides against. The
+// scheduler builds it once per window from the CPU snapshot and the
+// caller's thermal-pressure report; placers must not mutate it.
+type PlaceEnv struct {
+	// Online flags each core's hotplug state.
+	Online []bool
+	// Budget is each core's remaining execution time this window (sec).
+	Budget []float64
+	// Freq is each core's currently programmed frequency in Hz.
+	Freq []float64
+	// RankOf maps core id to its cluster's efficiency rank (nil on
+	// homogeneous CPUs, meaning every core is rank 0); NumRanks counts the
+	// ranks.
+	RankOf   []int
+	NumRanks int
+	// Capped flags cores whose cluster has a thermal frequency cap
+	// engaged. May be nil (no pressure telemetry).
+	Capped []bool
+	// CapScale is the headroom-aware capacity scale of each core's
+	// cluster: CapFreq/f_max in (0,1] while capped, 1 while cool. Nil when
+	// the caller only knows the boolean cap state; placers then fall back
+	// to the fixed thermalDerate.
+	CapScale []float64
+	// AnyCool reports whether any online core is currently uncapped —
+	// the condition under which soft affinity to a capped core is
+	// suspended.
+	AnyCool bool
+	// WindowSec is the scheduling window length in seconds.
+	WindowSec float64
+}
+
+// isCapped reports core i's thermal-cap flag.
+func (e *PlaceEnv) isCapped(i int) bool {
+	return i < len(e.Capped) && e.Capped[i]
+}
+
+// thermalScale returns core i's headroom-aware capacity scale: CapScale
+// when the caller supplied one, the fixed thermalDerate otherwise, 1 while
+// cool. Placement capacity claimed on a capped cluster is likely gone by
+// the end of the window (the throttle is still stepping down), so it is
+// discounted in proportion to how deep the cap already sits.
+func (e *PlaceEnv) thermalScale(i int) float64 {
+	if !e.isCapped(i) {
+		return 1
+	}
+	if i < len(e.CapScale) && e.CapScale[i] > 0 && e.CapScale[i] <= 1 {
+		return e.CapScale[i]
+	}
+	return thermalDerate
+}
+
+// affinityCore returns the thread's previous core when soft affinity
+// applies: online, with budget, and not a capped core while a cool one
+// exists. Returns -1 when affinity does not decide the placement.
+func (e *PlaceEnv) affinityCore(t *Thread) int {
+	const eps = 1e-12
+	if lc := t.lastCore; lc >= 0 && lc < len(e.Online) && e.Online[lc] && e.Budget[lc] > eps {
+		if !(e.AnyCool && e.isCapped(lc)) {
+			return lc
+		}
+	}
+	return -1
+}
+
+// Placer decides which core a runnable thread executes on this window.
+// Implementations must be deterministic and allocation-free on the per-tick
+// hot path; they return -1 when no core has budget.
+type Placer interface {
+	// Name identifies the placer in reports and CLI flags.
+	Name() string
+	// Place picks the core for t, or -1.
+	Place(env *PlaceEnv, t *Thread) int
+}
+
+// GreedyPlacer is the original placement rule: soft affinity, then walk
+// clusters from most to least efficient picking the most-budget core,
+// escalating to a bigger cluster only when the efficient candidate cannot
+// fully serve the thread's pending cycles and the bigger cluster offers
+// strictly more (thermally derated) capacity — "prefer LITTLE until demand
+// justifies big". On homogeneous platforms it reduces exactly to the
+// most-budget greedy.
+type GreedyPlacer struct{}
+
+// Name implements Placer.
+func (GreedyPlacer) Name() string { return "greedy" }
+
+// Place implements Placer.
+func (GreedyPlacer) Place(env *PlaceEnv, t *Thread) int {
+	const eps = 1e-12
+	if lc := env.affinityCore(t); lc >= 0 {
+		return lc
+	}
+	best := -1
+	var bestCap float64
+	for r := 0; r < env.NumRanks; r++ {
+		cand, candBudget := -1, eps
+		for i := range env.Online {
+			if env.RankOf != nil && env.RankOf[i] != r {
+				continue
+			}
+			if env.Online[i] && env.Budget[i] > candBudget {
+				cand, candBudget = i, env.Budget[i]
+			}
+		}
+		if cand < 0 {
+			continue
+		}
+		capCycles := env.Budget[cand] * env.Freq[cand]
+		if env.isCapped(cand) {
+			capCycles *= thermalDerate
+		}
+		if best < 0 || capCycles > bestCap {
+			best, bestCap = cand, capCycles
+		}
+		if bestCap >= t.pending {
+			break // efficient enough and fully serves the thread
+		}
+	}
+	return best
+}
+
+// EASPlacer is a find_energy_efficient_cpu-style placement rule driven by
+// the em energy model: for each runnable thread it estimates the energy of
+// executing the thread's pending cycles on each candidate domain at the OPP
+// that domain's governor would pick for the resulting per-core rate, and
+// places the thread on the cheapest domain that can fully serve it. Unlike
+// the greedy, soft affinity is a candidate rather than a short-circuit —
+// the previous core wins ties and keeps overflow threads (the kernel also
+// prefers prev_cpu at equal energy), but a strictly cheaper domain triggers
+// a migration, which is exactly the wake-time cluster migration mainline
+// EAS performs. Thermal pressure enters as headroom-aware capacity
+// (PlaceEnv.CapScale) rather than a fixed derate. When no domain fits, it
+// escalates to the largest derated capacity — the same overflow rule as
+// the greedy, so a saturated SoC behaves identically. On homogeneous
+// platforms every decision reproduces the greedy bit for bit: with one
+// domain the previous core always ties for cheapest, so affinity holds
+// whenever the greedy's would, and the fallback candidate is the same
+// most-budget core.
+type EASPlacer struct {
+	model *em.Model
+}
+
+// NewEASPlacer builds the EAS placer on an energy model.
+func NewEASPlacer(model *em.Model) (*EASPlacer, error) {
+	if model == nil {
+		return nil, errors.New("sched: EAS placer needs an energy model")
+	}
+	return &EASPlacer{model: model}, nil
+}
+
+// Name implements Placer.
+func (p *EASPlacer) Name() string { return "eas" }
+
+// Place implements Placer.
+func (p *EASPlacer) Place(env *PlaceEnv, t *Thread) int {
+	const eps = 1e-12
+	prev := env.affinityCore(t)
+	prevDom := -1
+	if prev >= 0 {
+		prevDom = p.model.DomainOf(prev)
+	}
+	bestFit, bestFitDom, bestFitCost := -1, -1, math.Inf(1)
+	bestAny := -1
+	var bestAnyCap float64
+	prevFits, prevCost := false, math.Inf(1)
+	for _, di := range p.model.EfficiencyOrder() {
+		dom := p.model.Domain(di)
+		cand, candBudget := -1, eps
+		domBusySec := 0.0
+		for _, id := range dom.CoreIDs() {
+			if id < len(env.Online) && env.Online[id] {
+				domBusySec += env.WindowSec - env.Budget[id]
+				if env.Budget[id] > candBudget {
+					cand, candBudget = id, env.Budget[id]
+				}
+			}
+		}
+		if cand < 0 {
+			continue
+		}
+		capCycles := env.Budget[cand] * env.Freq[cand] * env.thermalScale(cand)
+		if bestAny < 0 || capCycles > bestAnyCap {
+			bestAny, bestAnyCap = cand, capCycles
+		}
+		// Feasibility is judged at the domain's (thermally discounted)
+		// capacity, not the candidate's currently programmed OPP: the
+		// governor follows demand, so a cool idle cluster clocked at its
+		// floor is still a valid target — exactly how the kernel sizes
+		// candidates by capacity rather than current frequency.
+		fitCycles := env.Budget[cand] * dom.Capacity() * env.thermalScale(cand)
+		if di == prevDom {
+			// Price the previous core itself, not the domain's most-budget
+			// candidate: the thread would resume exactly there.
+			prevFit := env.Budget[prev] * dom.Capacity() * env.thermalScale(prev)
+			if prevFit >= t.pending {
+				prevFits = true
+				prevCost = p.costPerCycle(dom, p.rateOn(env, prev, t), domBusySec)
+			}
+		}
+		if fitCycles < t.pending {
+			continue // cannot fully serve; only an overflow candidate
+		}
+		if cost := p.costPerCycle(dom, p.rateOn(env, cand, t), domBusySec); cost < bestFitCost {
+			bestFit, bestFitDom, bestFitCost = cand, di, cost
+		}
+	}
+	if bestFit >= 0 {
+		if prevDom == bestFitDom {
+			return prev // cheapest domain is home: plain soft affinity
+		}
+		if prevFits && prevCost <= bestFitCost {
+			return prev // home ties the cheapest alternative: stay put
+		}
+		return bestFit // strictly cheaper elsewhere: migrate
+	}
+	if prev >= 0 {
+		return prev // nothing fits anywhere: overflow threads stay home
+	}
+	return bestAny
+}
+
+// rateOn estimates the per-core demand rate core i's governor would see
+// with the thread placed on it: cycles already committed to the core this
+// window plus the thread's debt, over the window.
+func (p *EASPlacer) rateOn(env *PlaceEnv, i int, t *Thread) float64 {
+	return ((env.WindowSec-env.Budget[i])*env.Freq[i] + t.pending) / env.WindowSec
+}
+
+// costPerCycle prices one cycle of the thread on a domain at the OPP the
+// governor would pick for rate. A domain with no work yet this window
+// additionally charges its uncore share — waking an idle cluster's cache
+// and bus is part of the placement's energy delta, while joining an
+// already-busy cluster rides uncore power that is being paid anyway. This
+// is the system-level term a bare cost-per-cycle comparison misses: a
+// migration that saves a few mW of core power must still amortize the
+// target cluster's uncore before it is worthwhile.
+func (p *EASPlacer) costPerCycle(dom *em.Domain, rate, domBusySec float64) float64 {
+	const eps = 1e-12
+	i := dom.OPPForRate(rate)
+	cost := dom.CostPerCycleAt(i)
+	if domBusySec <= eps {
+		cost += dom.UncorePerCycleAt(i)
+	}
+	return cost
+}

@@ -39,10 +39,14 @@ func (r Result) Utilization(dt time.Duration) []float64 {
 
 // Scheduler load-balances threads across online cores each window. It keeps
 // soft affinity (a thread prefers its previous core while that core has
-// budget) and otherwise places the largest debts on the least-loaded cores —
-// a deterministic longest-processing-time greedy that stands in for the
-// kernel's balancer. The zero value is ready to use.
-type Scheduler struct{}
+// budget) and otherwise delegates placement to its Placer — by default the
+// deterministic longest-processing-time greedy that stands in for the
+// kernel's balancer; install an EASPlacer for energy-aware placement. The
+// zero value is ready to use and places greedily.
+type Scheduler struct {
+	// Placer decides per-thread core placement. Nil means GreedyPlacer.
+	Placer Placer
+}
 
 // ErrBadQuota rejects malformed bandwidth budgets.
 var ErrBadQuota = errors.New("sched: invalid bandwidth budget")
@@ -51,11 +55,34 @@ var ErrBadQuota = errors.New("sched: invalid bandwidth budget")
 const Unlimited = -1.0
 
 // thermalDerate scales the advertised capacity of a thermally capped core
-// during placement. A capped cluster is not just slower now — its throttle
-// is still stepping down, so capacity claimed at placement time is likely
-// gone by the end of the window. Derating steers escalation and spillover
-// toward the cool cluster at near-equal nominal capacity.
+// during placement when no headroom-aware scale is available. A capped
+// cluster is not just slower now — its throttle is still stepping down, so
+// capacity claimed at placement time is likely gone by the end of the
+// window. Derating steers escalation and spillover toward the cool cluster
+// at near-equal nominal capacity.
 const thermalDerate = 0.75
+
+// Pressure is the per-core thermal-pressure view a caller hands the
+// scheduler: which cores sit behind an engaged cluster cap, and (optionally)
+// how deep each cap is as a capacity fraction. Zero value means no
+// pressure.
+type Pressure struct {
+	// Capped flags cores whose cluster currently has a thermal frequency
+	// cap engaged.
+	Capped []bool
+	// CapScale is each core's headroom-aware capacity scale
+	// (CapFreq/f_max, in (0,1] while capped, 1 while cool). Optional;
+	// placers fall back to the fixed thermalDerate when nil.
+	CapScale []float64
+}
+
+// placer returns the installed Placer, defaulting to the greedy.
+func (s *Scheduler) placer() Placer {
+	if s.Placer != nil {
+		return s.Placer
+	}
+	return GreedyPlacer{}
+}
 
 // Schedule executes up to one window dt of work from threads on cpu's
 // online cores. poolSec is the shared CPU bandwidth remaining this
@@ -66,16 +93,23 @@ const thermalDerate = 0.75
 // updates cpu cycle accounting via soc.CPU.Run and returns per-core busy
 // time plus the pool time actually consumed.
 func (s *Scheduler) Schedule(cpu *soc.CPU, threads []*Thread, dt time.Duration, poolSec float64) (Result, error) {
-	return s.ScheduleWithPressure(cpu, threads, dt, poolSec, nil)
+	return s.ScheduleThermal(cpu, threads, dt, poolSec, Pressure{})
 }
 
-// ScheduleWithPressure is Schedule with a per-core thermal-pressure view:
-// capped[i] true means core i's cluster currently has a thermal frequency
-// cap engaged, so placement treats its effective capacity as reduced
-// (thermalDerate) and steers backlog toward cool clusters. nil capped (or
-// a homogeneous platform, where derating is uniform) reproduces Schedule
-// exactly.
+// ScheduleWithPressure is Schedule with a boolean per-core thermal-pressure
+// view: capped[i] true means core i's cluster currently has a thermal
+// frequency cap engaged, so placement treats its effective capacity as
+// reduced (thermalDerate) and steers backlog toward cool clusters. nil
+// capped (or a homogeneous platform, where derating is uniform) reproduces
+// Schedule exactly.
 func (s *Scheduler) ScheduleWithPressure(cpu *soc.CPU, threads []*Thread, dt time.Duration, poolSec float64, capped []bool) (Result, error) {
+	return s.ScheduleThermal(cpu, threads, dt, poolSec, Pressure{Capped: capped})
+}
+
+// ScheduleThermal is the full-signal entry point: ScheduleWithPressure plus
+// the optional headroom-aware capacity scale consumed by energy-aware
+// placers.
+func (s *Scheduler) ScheduleThermal(cpu *soc.CPU, threads []*Thread, dt time.Duration, poolSec float64, pr Pressure) (Result, error) {
 	if cpu == nil {
 		return Result{}, errors.New("sched: nil cpu")
 	}
@@ -103,9 +137,9 @@ func (s *Scheduler) ScheduleWithPressure(cpu *soc.CPU, threads []*Thread, dt tim
 	// Efficiency ranks for cluster-aware placement: clusters ordered by
 	// ascending top frequency, so rank 0 is the LITTLE (cheapest) domain.
 	// Homogeneous CPUs collapse to a single rank (nil slice) and the
-	// placement below reduces exactly to the original most-budget greedy.
-	// The ranks are cached on the CPU at construction — this is the per-tick
-	// hot path.
+	// greedy placement reduces exactly to the original most-budget greedy.
+	// The ranks are cached on the CPU at construction — this is the
+	// per-tick hot path.
 	rankOf, numRanks := cpu.ClusterRanks()
 
 	// Soft affinity is suspended for threads whose last core is capped
@@ -117,11 +151,24 @@ func (s *Scheduler) ScheduleWithPressure(cpu *soc.CPU, threads []*Thread, dt tim
 	// before.
 	anyCool := false
 	for i := range online {
-		if online[i] && (i >= len(capped) || !capped[i]) {
+		if online[i] && (i >= len(pr.Capped) || !pr.Capped[i]) {
 			anyCool = true
 			break
 		}
 	}
+
+	env := PlaceEnv{
+		Online:    online,
+		Budget:    budget,
+		Freq:      freq,
+		RankOf:    rankOf,
+		NumRanks:  numRanks,
+		Capped:    pr.Capped,
+		CapScale:  pr.CapScale,
+		AnyCool:   anyCool,
+		WindowSec: dt.Seconds(),
+	}
+	placer := s.placer()
 
 	runnable := make([]*Thread, 0, len(threads))
 	for _, t := range threads {
@@ -141,7 +188,7 @@ func (s *Scheduler) ScheduleWithPressure(cpu *soc.CPU, threads []*Thread, dt tim
 		if limited && pool <= 0 {
 			break // bandwidth exhausted for this window
 		}
-		core := s.pickCore(t, online, budget, freq, rankOf, numRanks, capped, anyCool)
+		core := placer.Place(&env, t)
 		if core < 0 {
 			continue // no core time anywhere
 		}
@@ -193,53 +240,6 @@ func (s *Scheduler) ScheduleWithPressure(cpu *soc.CPU, threads []*Thread, dt tim
 		}
 	}
 	return res, nil
-}
-
-// pickCore returns the thread's previous core if it is online with budget
-// (soft affinity). Otherwise it walks clusters from most to least
-// efficient: within a rank it picks the core with the most remaining
-// budget (lowest id wins ties), and it escalates to a bigger cluster only
-// when the efficient candidate cannot fully serve the thread's pending
-// cycles and the bigger cluster offers strictly more capacity — the
-// "prefer LITTLE until demand justifies big" placement rule. A thermally
-// capped candidate's capacity is derated, so escalation onto a throttling
-// big cluster must clear a higher bar than onto a cool one, and affinity
-// to a capped core is suspended while a cool core exists (anyCool).
-// Returns -1 when no core has budget.
-func (s *Scheduler) pickCore(t *Thread, online []bool, budget, freq []float64, rankOf []int, numRanks int, capped []bool, anyCool bool) int {
-	const eps = 1e-12
-	if lc := t.lastCore; lc >= 0 && lc < len(online) && online[lc] && budget[lc] > eps {
-		if !(anyCool && lc < len(capped) && capped[lc]) {
-			return lc
-		}
-	}
-	best := -1
-	var bestCap float64
-	for r := 0; r < numRanks; r++ {
-		cand, candBudget := -1, eps
-		for i := range online {
-			if rankOf != nil && rankOf[i] != r {
-				continue
-			}
-			if online[i] && budget[i] > candBudget {
-				cand, candBudget = i, budget[i]
-			}
-		}
-		if cand < 0 {
-			continue
-		}
-		capCycles := budget[cand] * freq[cand]
-		if cand < len(capped) && capped[cand] {
-			capCycles *= thermalDerate
-		}
-		if best < 0 || capCycles > bestCap {
-			best, bestCap = cand, capCycles
-		}
-		if bestCap >= t.pending {
-			break // efficient enough and fully serves the thread
-		}
-	}
-	return best
 }
 
 // TotalPending sums pending cycles across threads — the backlog.

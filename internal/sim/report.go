@@ -18,6 +18,9 @@ import (
 type Report struct {
 	Policy   string
 	Platform string
+	// Placer names the scheduler placement rule the session ran under
+	// ("greedy" or "eas").
+	Placer   string
 	Duration time.Duration
 
 	AvgPowerW  float64
@@ -58,40 +61,53 @@ type Report struct {
 	AvgClusterTempC   []float64
 	MaxClusterTempC   []float64
 	ClusterThermalSec []float64 // per-cluster thermal-cap residency
+	// ClusterEnergyJ attributes the session's energy to each cluster:
+	// the integral of the cluster's own share of system power (cores +
+	// uncore; the platform floor is excluded and accounted once in
+	// EnergyJ). Summing ClusterEnergyJ plus floor×duration reproduces
+	// EnergyJ.
+	ClusterEnergyJ    []float64
 	ClusterFreqSeries []metrics.Series
 	ClusterCoreSeries []metrics.Series
 	ClusterTempSeries []metrics.Series
+	// ClusterEnergySeries tracks each cluster's cumulative attributed
+	// joules at every policy sample — the energy-attribution trace the
+	// EAS placement experiments plot.
+	ClusterEnergySeries []metrics.Series
 }
 
 // report builds the session report from the current accumulators.
 func (s *Sim) report() *Report {
 	r := &Report{
-		Policy:             s.cfg.Manager.Name(),
-		Platform:           s.cfg.Platform.Name,
-		Duration:           s.now,
-		AvgPowerW:          s.mon.AverageWatts(),
-		PeakPowerW:         s.mon.TraceSummary().Max(),
-		EnergyJ:            s.mon.Joules(),
-		AvgFreqHz:          s.freqSum.Mean(),
-		AvgOnlineCores:     s.coreSum.Mean(),
-		AvgUtil:            s.utilSum.Mean(),
-		AvgQuota:           s.quotaSum.Mean(),
-		AvgTempC:           s.tempSum.Mean(),
-		MaxTempC:           s.tempSum.Max(),
-		ExecutedCycles:     s.executed,
-		QuotaThrottledSec:  s.throttledSec,
-		ThermalCappedSec:   s.thermalSec,
-		PerWorkloadCycles:  make(map[string]float64, len(s.cfg.Workloads)),
-		PerWorkloadPending: make(map[string]float64, len(s.cfg.Workloads)),
-		FreqSeries:         s.freqSeries,
-		CoreSeries:         s.coreSeries,
-		UtilSeries:         s.utilSeries,
-		QuotaSeries:        s.quotaSeries,
-		TempSeries:         s.tempSeries,
-		ClusterThermalSec:  append([]float64(nil), s.clusterThermalSec...),
-		ClusterFreqSeries:  s.clusterFreqSeries,
-		ClusterCoreSeries:  s.clusterCoreSeries,
-		ClusterTempSeries:  s.clusterTempSeries,
+		Policy:              s.cfg.Manager.Name(),
+		Platform:            s.cfg.Platform.Name,
+		Placer:              s.cfg.Placer,
+		Duration:            s.now,
+		AvgPowerW:           s.mon.AverageWatts(),
+		PeakPowerW:          s.mon.TraceSummary().Max(),
+		EnergyJ:             s.mon.Joules(),
+		AvgFreqHz:           s.freqSum.Mean(),
+		AvgOnlineCores:      s.coreSum.Mean(),
+		AvgUtil:             s.utilSum.Mean(),
+		AvgQuota:            s.quotaSum.Mean(),
+		AvgTempC:            s.tempSum.Mean(),
+		MaxTempC:            s.tempSum.Max(),
+		ExecutedCycles:      s.executed,
+		QuotaThrottledSec:   s.throttledSec,
+		ThermalCappedSec:    s.thermalSec,
+		PerWorkloadCycles:   make(map[string]float64, len(s.cfg.Workloads)),
+		PerWorkloadPending:  make(map[string]float64, len(s.cfg.Workloads)),
+		FreqSeries:          s.freqSeries,
+		CoreSeries:          s.coreSeries,
+		UtilSeries:          s.utilSeries,
+		QuotaSeries:         s.quotaSeries,
+		TempSeries:          s.tempSeries,
+		ClusterThermalSec:   append([]float64(nil), s.clusterThermalSec...),
+		ClusterEnergyJ:      append([]float64(nil), s.clusterEnergyJ...),
+		ClusterFreqSeries:   s.clusterFreqSeries,
+		ClusterCoreSeries:   s.clusterCoreSeries,
+		ClusterTempSeries:   s.clusterTempSeries,
+		ClusterEnergySeries: s.clusterEnergySeries,
 	}
 	for ci, v := range s.views {
 		r.ClusterNames = append(r.ClusterNames, v.Name)
@@ -135,11 +151,22 @@ thermal capped:  %.2f s
 	if err != nil {
 		return fmt.Errorf("sim: writing summary: %w", err)
 	}
+	// The placer line appears only for non-default placement, so greedy
+	// sessions (the compatibility baseline) render byte-identically.
+	if r.Placer != "" && r.Placer != "greedy" {
+		if _, err := fmt.Fprintf(w, "placer:          %s\n", r.Placer); err != nil {
+			return fmt.Errorf("sim: writing summary: %w", err)
+		}
+	}
 	if len(r.ClusterNames) > 1 {
 		for ci, name := range r.ClusterNames {
-			_, err := fmt.Fprintf(w, "cluster %-8s avg freq %s, avg cores %.2f, avg temp %.1f C (max %.1f C), thermal capped %.2f s\n",
+			energy := 0.0
+			if ci < len(r.ClusterEnergyJ) {
+				energy = r.ClusterEnergyJ[ci]
+			}
+			_, err := fmt.Fprintf(w, "cluster %-8s avg freq %s, avg cores %.2f, avg temp %.1f C (max %.1f C), thermal capped %.2f s, energy %.2f J\n",
 				name+":", soc.Hz(r.AvgClusterFreqHz[ci]), r.AvgClusterCores[ci],
-				r.AvgClusterTempC[ci], r.MaxClusterTempC[ci], r.ClusterThermalSec[ci])
+				r.AvgClusterTempC[ci], r.MaxClusterTempC[ci], r.ClusterThermalSec[ci], energy)
 			if err != nil {
 				return fmt.Errorf("sim: writing summary: %w", err)
 			}

@@ -42,6 +42,13 @@ type Config struct {
 	// configs produce identical traces.
 	Seed int64
 
+	// Placer selects the scheduler's placement rule: "greedy" (default)
+	// or "eas" (energy-aware placement driven by the platform's energy
+	// model). On homogeneous platforms the two produce identical
+	// placements; the greedy remains the default everywhere so existing
+	// sessions reproduce bit for bit.
+	Placer string
+
 	// InitialFreq is the boot frequency (default: table max, as the
 	// kernel boots before a governor takes over). Must be an OPP.
 	InitialFreq soc.Hz
@@ -105,8 +112,24 @@ func (c *Config) fillDefaults() error {
 	if c.Monitor.SampleEvery == 0 {
 		c.Monitor = monsoon.DefaultConfig()
 	}
+	switch c.Placer {
+	case "":
+		c.Placer = PlacerGreedy
+	case PlacerGreedy, PlacerEAS:
+	default:
+		return fmt.Errorf("sim: unknown placer %q (want %q or %q)", c.Placer, PlacerGreedy, PlacerEAS)
+	}
 	return nil
 }
+
+// Placer names accepted by Config.Placer.
+const (
+	// PlacerGreedy is the original LITTLE-first most-budget greedy.
+	PlacerGreedy = "greedy"
+	// PlacerEAS is find_energy_efficient_cpu-style energy-aware placement
+	// backed by the platform's energy model.
+	PlacerEAS = "eas"
+)
 
 // Sim is one running simulation. Not safe for concurrent use.
 type Sim struct {
@@ -130,6 +153,8 @@ type Sim struct {
 	clusterWatts []float64 // per-cluster power share from the system model
 	zoneWatts    []float64 // per-zone watts fed to the thermal network
 	capped       []bool    // per-core thermal-cap flags for the scheduler
+	capScale     []float64 // per-core headroom-aware capacity scale
+	clusterFmax  []float64 // per-cluster ladder top, for the cap scale
 
 	// window accumulators between manager samples
 	winBusySec []float64
@@ -150,6 +175,7 @@ type Sim struct {
 	clusterCoreSum    []metrics.Summary // per-cluster online count, sampled
 	clusterTempSum    []metrics.Summary // per-cluster zone temperature, tick-weighted
 	clusterThermalSec []float64         // per-cluster capped residency (seconds)
+	clusterEnergyJ    []float64         // per-cluster energy attribution (joules)
 
 	freqSeries  metrics.Series
 	coreSeries  metrics.Series
@@ -157,9 +183,10 @@ type Sim struct {
 	quotaSeries metrics.Series
 	tempSeries  metrics.Series
 
-	clusterFreqSeries []metrics.Series
-	clusterCoreSeries []metrics.Series
-	clusterTempSeries []metrics.Series
+	clusterFreqSeries   []metrics.Series
+	clusterCoreSeries   []metrics.Series
+	clusterTempSeries   []metrics.Series
+	clusterEnergySeries []metrics.Series // cumulative per-cluster joules, sampled
 }
 
 // New builds a simulation from cfg.
@@ -197,27 +224,45 @@ func New(cfg Config) (*Sim, error) {
 		}
 	}
 	s := &Sim{
-		cfg:               cfg,
-		cpu:               cpu,
-		model:             model,
-		net:               net,
-		rng:               rand.New(rand.NewSource(cfg.Seed)),
-		mon:               mon,
-		views:             views,
-		coreCluster:       coreCluster,
-		quota:             cfg.InitialQuota,
-		requested:         make([]soc.Hz, cfg.Platform.NumCores),
-		clusterWatts:      make([]float64, len(specs)),
-		zoneWatts:         make([]float64, len(specs)),
-		capped:            make([]bool, cfg.Platform.NumCores),
-		winBusySec:        make([]float64, cfg.Platform.NumCores),
-		clusterFreqSum:    make([]metrics.Summary, len(specs)),
-		clusterCoreSum:    make([]metrics.Summary, len(specs)),
-		clusterTempSum:    make([]metrics.Summary, len(specs)),
-		clusterThermalSec: make([]float64, len(specs)),
-		clusterFreqSeries: make([]metrics.Series, len(specs)),
-		clusterCoreSeries: make([]metrics.Series, len(specs)),
-		clusterTempSeries: make([]metrics.Series, len(specs)),
+		cfg:                 cfg,
+		cpu:                 cpu,
+		model:               model,
+		net:                 net,
+		rng:                 rand.New(rand.NewSource(cfg.Seed)),
+		mon:                 mon,
+		views:               views,
+		coreCluster:         coreCluster,
+		quota:               cfg.InitialQuota,
+		requested:           make([]soc.Hz, cfg.Platform.NumCores),
+		clusterWatts:        make([]float64, len(specs)),
+		zoneWatts:           make([]float64, len(specs)),
+		capped:              make([]bool, cfg.Platform.NumCores),
+		capScale:            make([]float64, cfg.Platform.NumCores),
+		clusterFmax:         make([]float64, len(specs)),
+		winBusySec:          make([]float64, cfg.Platform.NumCores),
+		clusterFreqSum:      make([]metrics.Summary, len(specs)),
+		clusterCoreSum:      make([]metrics.Summary, len(specs)),
+		clusterTempSum:      make([]metrics.Summary, len(specs)),
+		clusterThermalSec:   make([]float64, len(specs)),
+		clusterEnergyJ:      make([]float64, len(specs)),
+		clusterFreqSeries:   make([]metrics.Series, len(specs)),
+		clusterCoreSeries:   make([]metrics.Series, len(specs)),
+		clusterTempSeries:   make([]metrics.Series, len(specs)),
+		clusterEnergySeries: make([]metrics.Series, len(specs)),
+	}
+	for ci, cs := range specs {
+		s.clusterFmax[ci] = float64(cs.Table.Max().Freq)
+	}
+	if cfg.Placer == PlacerEAS {
+		emod, err := cfg.Platform.EnergyModel()
+		if err != nil {
+			return nil, fmt.Errorf("sim: building energy model: %w", err)
+		}
+		placer, err := sched.NewEASPlacer(emod)
+		if err != nil {
+			return nil, fmt.Errorf("sim: building EAS placer: %w", err)
+		}
+		s.sch.Placer = placer
 	}
 	s.refillQuota()
 	if err := cpu.SetOnlineCount(cfg.InitialCores); err != nil {
@@ -265,15 +310,23 @@ func (s *Sim) Step() error {
 	// 2. Scheduling and execution under the remaining bandwidth pool
 	// (CFS group-quota semantics: full speed until the period's shared
 	// budget drains). The scheduler sees which clusters are thermally
-	// capped so placement steers backlog toward the cool ones.
+	// capped — and how deep each cap sits relative to the ladder top —
+	// so placement steers backlog toward the cool ones with
+	// headroom-aware capacity.
 	for i, ci := range s.coreCluster {
-		s.capped[i] = s.net.Throttling(ci)
+		throttling := s.net.Throttling(ci)
+		s.capped[i] = throttling
+		if throttling && s.clusterFmax[ci] > 0 {
+			s.capScale[i] = float64(s.net.CapFreq(ci)) / s.clusterFmax[ci]
+		} else {
+			s.capScale[i] = 1
+		}
 	}
 	pool := sched.Unlimited
 	if s.quota < 1 {
 		pool = s.quotaPool
 	}
-	res, err := s.sch.ScheduleWithPressure(s.cpu, threads, dt, pool, s.capped)
+	res, err := s.sch.ScheduleThermal(s.cpu, threads, dt, pool, sched.Pressure{Capped: s.capped, CapScale: s.capScale})
 	if err != nil {
 		return fmt.Errorf("sim: scheduling at %v: %w", s.now, err)
 	}
@@ -313,10 +366,13 @@ func (s *Sim) Step() error {
 		return fmt.Errorf("sim: power observation: %w", err)
 	}
 	// Each zone integrates its own cluster's share plus an even split of
-	// the platform floor; the network adds the shared-die coupling.
+	// the platform floor; the network adds the shared-die coupling. The
+	// cluster's own share (cores + uncore, floor excluded) also feeds the
+	// per-cluster energy attribution the report exposes.
 	floorShare := base / float64(len(per))
 	for ci := range per {
 		s.zoneWatts[ci] = per[ci] + floorShare
+		s.clusterEnergyJ[ci] += per[ci] * dt.Seconds()
 	}
 	if err := s.net.Step(s.zoneWatts, dt); err != nil {
 		return fmt.Errorf("sim: thermal integration: %w", err)
@@ -459,6 +515,7 @@ func (s *Sim) samplePolicy() error {
 		s.clusterFreqSeries[ci].Append(s.now, avg)
 		s.clusterCoreSeries[ci].Append(s.now, float64(clOnline[ci]))
 		s.clusterTempSeries[ci].Append(s.now, s.net.TempC(ci))
+		s.clusterEnergySeries[ci].Append(s.now, s.clusterEnergyJ[ci])
 		s.clusterFreqSum[ci].Add(avg)
 		s.clusterCoreSum[ci].Add(float64(clOnline[ci]))
 	}

@@ -59,6 +59,63 @@ func MSM8994BigTable() *OPPTable {
 	})
 }
 
+// SM8150SilverTable returns the Kryo 485 Silver (A55-class) efficiency
+// cluster ladder of a Snapdragon 855-class part: 300 MHz to 1.7856 GHz.
+// The top bins ride the rail hard for an in-order core — the region where
+// the Energy/Frequency Convexity Rule makes the gold cluster's low bins
+// cheaper per cycle, the crossover EAS placement exists to exploit.
+func SM8150SilverTable() *OPPTable {
+	return MustOPPTable([]OPP{
+		{Freq: 300_000 * KHz, Volt: 0.600},
+		{Freq: 576_000 * KHz, Volt: 0.635},
+		{Freq: 768_000 * KHz, Volt: 0.665},
+		{Freq: 960_000 * KHz, Volt: 0.700},
+		{Freq: 1_113_600 * KHz, Volt: 0.740},
+		{Freq: 1_305_600 * KHz, Volt: 0.800},
+		{Freq: 1_497_600 * KHz, Volt: 0.875},
+		{Freq: 1_670_400 * KHz, Volt: 0.960},
+		{Freq: 1_785_600 * KHz, Volt: 1.020},
+	})
+}
+
+// SM8150GoldTable returns the Kryo 485 Gold (A76-class) mid cluster ladder
+// of a Snapdragon 855-class part: 710.4 MHz to 2.4192 GHz, with a gentle
+// ramp through its low bins (the efficient region a 7 nm out-of-order core
+// occupies when it absorbs work the silver cluster would have to run at its
+// own top voltage).
+func SM8150GoldTable() *OPPTable {
+	return MustOPPTable([]OPP{
+		{Freq: 710_400 * KHz, Volt: 0.650},
+		{Freq: 940_800 * KHz, Volt: 0.670},
+		{Freq: 1_171_200 * KHz, Volt: 0.695},
+		{Freq: 1_401_600 * KHz, Volt: 0.725},
+		{Freq: 1_612_800 * KHz, Volt: 0.760},
+		{Freq: 1_804_800 * KHz, Volt: 0.800},
+		{Freq: 2_016_000 * KHz, Volt: 0.855},
+		{Freq: 2_131_200 * KHz, Volt: 0.890},
+		{Freq: 2_323_200 * KHz, Volt: 0.960},
+		{Freq: 2_419_200 * KHz, Volt: 1.000},
+	})
+}
+
+// SM8150PrimeTable returns the single Kryo 485 Prime core's ladder of a
+// Snapdragon 855-class part: 825.6 MHz to 2.8416 GHz, the steepest voltage
+// ramp on the die — the prime core buys its top bins dearly.
+func SM8150PrimeTable() *OPPTable {
+	return MustOPPTable([]OPP{
+		{Freq: 825_600 * KHz, Volt: 0.680},
+		{Freq: 1_056_000 * KHz, Volt: 0.705},
+		{Freq: 1_286_400 * KHz, Volt: 0.735},
+		{Freq: 1_612_800 * KHz, Volt: 0.780},
+		{Freq: 1_804_800 * KHz, Volt: 0.815},
+		{Freq: 2_016_000 * KHz, Volt: 0.860},
+		{Freq: 2_227_200 * KHz, Volt: 0.915},
+		{Freq: 2_419_200 * KHz, Volt: 0.975},
+		{Freq: 2_649_600 * KHz, Volt: 1.050},
+		{Freq: 2_841_600 * KHz, Volt: 1.120},
+	})
+}
+
 // UniformTable builds a synthetic table of n evenly spaced frequencies
 // between lo and hi with linearly interpolated voltages — useful for the
 // older single/dual-core platform profiles of Figure 1 and for tests.

@@ -72,7 +72,8 @@ const (
 // Config assembles a simulated device.
 type Config struct {
 	// Platform names a device profile: "nexus5" (default), "nexus-s",
-	// "mb810", "galaxy-s2", "nexus4", or "lg-g3". See Platforms.
+	// "mb810", "galaxy-s2", "nexus4", "lg-g3", "nexus6p", or "sd855".
+	// See Platforms.
 	Platform string
 	// Policy names the CPU manager: one of the Policy* constants or
 	// "<governor>+<hotplug>" where governor is any stock cpufreq
@@ -87,11 +88,29 @@ type Config struct {
 	// Seed drives all workload randomness; equal seeds reproduce runs
 	// bit for bit.
 	Seed int64
+	// Sched selects the scheduler's placement rule: SchedGreedy
+	// (default) or SchedEAS for energy-aware placement driven by the
+	// platform's energy model. On homogeneous platforms both produce
+	// identical placements.
+	Sched string
 	// DisableThermalThrottle removes the thermal frequency cap (the
 	// configuration of the paper's short "highest computing state"
 	// measurements).
 	DisableThermalThrottle bool
 }
+
+// Scheduler placement rules accepted by Config.Sched.
+const (
+	// SchedGreedy is the original LITTLE-first most-budget greedy placer.
+	SchedGreedy = sim.PlacerGreedy
+	// SchedEAS is find_energy_efficient_cpu-style energy-aware placement:
+	// each thread goes to the cluster predicted to execute its cycles at
+	// the least energy, at the OPP the governor would pick.
+	SchedEAS = sim.PlacerEAS
+)
+
+// Scheds lists the accepted placement-rule names.
+func Scheds() []string { return []string{SchedGreedy, SchedEAS} }
 
 // Device is a simulated handset running workloads under a CPU policy.
 type Device struct {
@@ -129,6 +148,7 @@ func NewDevice(cfg Config, workloads ...Workload) (*Device, error) {
 		Tick:         cfg.Tick,
 		SamplePeriod: cfg.SamplePeriod,
 		Seed:         cfg.Seed,
+		Placer:       cfg.Sched,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mobicore: %w", err)

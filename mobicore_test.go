@@ -8,8 +8,8 @@ import (
 )
 
 func TestPlatformsAndPolicies(t *testing.T) {
-	if len(Platforms()) != 7 {
-		t.Errorf("platforms = %v, want 7 profiles (six thesis handsets + nexus6p)", Platforms())
+	if len(Platforms()) != 8 {
+		t.Errorf("platforms = %v, want 8 profiles (six thesis handsets + nexus6p + sd855)", Platforms())
 	}
 	if len(Policies()) != 4 {
 		t.Errorf("policies = %v, want 4 named policies", Policies())
@@ -168,8 +168,8 @@ func TestRunExperimentThroughFacade(t *testing.T) {
 	if _, err := RunExperiment("fig99", ExperimentOptions{}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if len(ExperimentIDs()) != 18 {
-		t.Errorf("experiment ids = %v, want 18 (16 paper items + biglittle + sustained)", ExperimentIDs())
+	if len(ExperimentIDs()) != 19 {
+		t.Errorf("experiment ids = %v, want 19 (16 paper items + biglittle + sustained + easplace)", ExperimentIDs())
 	}
 }
 
