@@ -1,0 +1,182 @@
+// Command mobifleet runs an ad-hoc simulation matrix — the cross-product
+// of platforms × policies × placement rules × seeds — on the parallel
+// batch driver and prints every cell plus cross-seed aggregate statistics:
+//
+//	mobifleet -platforms nexus5,nexus6p -policies mobicore,android-default -seeds 5 -dur 30s
+//	mobifleet -platforms all -policies mobicore -workload game -game "Subway Surf" -dur 1m
+//	mobifleet -platforms nexus6p,sd855 -policies schedutil+load -scheds greedy,eas -dur 30s
+//	mobifleet -seeds 8 -parallel 4 -json -dur 10s
+//
+// -seeds N runs every cell at N consecutive seeds starting from -seed;
+// the report aggregates mean/stddev/min/max/p50/p95 of energy, FPS, drop
+// rate, and throttle residency across them. -parallel bounds the worker
+// pool (default GOMAXPROCS); parallelism never changes output, only
+// wall-clock time. SIGINT cancels cleanly and reports the cells that
+// finished.
+//
+// -json emits the fleet result as one JSON document (cells in matrix
+// order, then aggregates).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mobicore"
+	"mobicore/internal/natsort"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		platforms = flag.String("platforms", "nexus5", "comma-separated device profiles, or \"all\"")
+		policies  = flag.String("policies", "android-default", "comma-separated CPU management policies")
+		scheds    = flag.String("scheds", "greedy", "comma-separated placement rules: greedy, eas, or \"all\"")
+		seeds     = flag.Int("seeds", 1, "number of consecutive seeds per cell")
+		seed      = flag.Int64("seed", 1, "first workload randomness seed")
+		parallel  = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+		dur       = flag.Duration("dur", 30*time.Second, "session duration (simulated) per cell")
+		wlName    = flag.String("workload", "busyloop", "workload: busyloop, game, geekbench")
+		util      = flag.Float64("util", 0.5, "busyloop target utilization [0,1]")
+		threads   = flag.Int("threads", 4, "busyloop/geekbench thread count")
+		gameName  = flag.String("game", "Subway Surf", "game title for -workload game")
+		iters     = flag.Int("iterations", 3, "geekbench iterations per thread")
+		asJSON    = flag.Bool("json", false, "emit the fleet result as a JSON document")
+		list      = flag.Bool("list", false, "list platforms, policies, scheds, and games")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("platforms: ", mobicore.Platforms())
+		fmt.Println("policies:  ", mobicore.Policies(), `plus "<governor>+<hotplug>"`)
+		fmt.Println("scheds:    ", mobicore.Scheds())
+		fmt.Println("games:     ", mobicore.GameNames())
+		return 0
+	}
+	if *seeds < 1 {
+		fmt.Fprintln(os.Stderr, "mobifleet: -seeds must be at least 1")
+		return 1
+	}
+
+	wl, err := workloadFactory(*wlName, *util, *threads, *gameName, *iters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mobifleet:", err)
+		return 1
+	}
+	seedList := make([]int64, *seeds)
+	for i := range seedList {
+		seedList[i] = *seed + int64(i)
+	}
+	cfg := mobicore.FleetConfig{
+		Platforms: expandList(*platforms, mobicore.Platforms()),
+		Policies:  splitList(*policies),
+		Scheds:    expandList(*scheds, mobicore.Scheds()),
+		Seeds:     seedList,
+		Duration:  *dur,
+		Parallel:  *parallel,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := mobicore.RunFleet(ctx, cfg, wl)
+	canceled := errors.Is(err, context.Canceled)
+	if err != nil && !canceled {
+		fmt.Fprintln(os.Stderr, "mobifleet:", err)
+		return 1
+	}
+	if canceled {
+		fmt.Fprintf(os.Stderr, "mobifleet: interrupted — %d of %d cells completed\n",
+			len(res.Cells), res.Total)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "mobifleet:", err)
+			return 1
+		}
+	} else if err := res.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mobifleet:", err)
+		return 1
+	}
+	if canceled {
+		return 130
+	}
+	return 0
+}
+
+// workloadFactory builds the per-cell workload recipe from the flags.
+func workloadFactory(name string, util float64, threads int, game string, iters int) (mobicore.FleetWorkload, error) {
+	switch name {
+	case "busyloop":
+		// Validate once, up front, instead of once per cell.
+		if _, err := mobicore.NewBusyLoop(util, threads); err != nil {
+			return mobicore.FleetWorkload{}, err
+		}
+		return mobicore.NewFleetWorkload(fmt.Sprintf("busyloop-%.0f%%x%d", util*100, threads),
+			func() ([]mobicore.Workload, error) {
+				w, err := mobicore.NewBusyLoop(util, threads)
+				if err != nil {
+					return nil, err
+				}
+				return []mobicore.Workload{w}, nil
+			}), nil
+	case "game":
+		if _, err := mobicore.NewGame(game); err != nil {
+			return mobicore.FleetWorkload{}, err
+		}
+		return mobicore.NewFleetWorkload(game, func() ([]mobicore.Workload, error) {
+			g, err := mobicore.NewGame(game)
+			if err != nil {
+				return nil, err
+			}
+			return []mobicore.Workload{g}, nil
+		}), nil
+	case "geekbench":
+		if _, err := mobicore.NewGeekBenchRun(threads, iters); err != nil {
+			return mobicore.FleetWorkload{}, err
+		}
+		return mobicore.NewFleetWorkload(fmt.Sprintf("geekbench-x%d", threads),
+			func() ([]mobicore.Workload, error) {
+				gb, err := mobicore.NewGeekBenchRun(threads, iters)
+				if err != nil {
+					return nil, err
+				}
+				return []mobicore.Workload{gb}, nil
+			}), nil
+	}
+	return mobicore.FleetWorkload{}, fmt.Errorf("unknown workload %q (want busyloop, game, geekbench)", name)
+}
+
+// splitList parses a comma-separated flag value.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// expandList is splitList with "all" expanding to the full set in natural
+// order (nexus5 before nexus6p, seed labels numeric).
+func expandList(s string, all []string) []string {
+	if strings.TrimSpace(s) == "all" {
+		out := append([]string(nil), all...)
+		natsort.Strings(out)
+		return out
+	}
+	return splitList(s)
+}

@@ -28,10 +28,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mobicore"
@@ -107,17 +111,25 @@ func run() int {
 		return 1
 	}
 
+	// SIGINT cancels the session between ticks; the partial report still
+	// renders so an interrupted long run is not a lost run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var rep *mobicore.Report
 	if gb != nil {
 		var done bool
-		rep, done, err = dev.RunUntilDone(*dur)
+		rep, done, err = dev.RunUntilDoneCtx(ctx, *dur)
 		if err == nil && !done {
 			fmt.Fprintln(os.Stderr, "mobisim: warning: benchmark did not finish within -dur")
 		}
 	} else {
-		rep, err = dev.Run(*dur)
+		rep, err = dev.RunCtx(ctx, *dur)
 	}
-	if err != nil {
+	interrupted := errors.Is(err, context.Canceled)
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "mobisim: interrupted at %v of %v — reporting partial session\n",
+			rep.Duration, *dur)
+	} else if err != nil {
 		fmt.Fprintln(os.Stderr, "mobisim:", err)
 		return 1
 	}
@@ -163,6 +175,9 @@ func run() int {
 		} else {
 			fmt.Printf("power trace:     %s\n", *tracePath)
 		}
+	}
+	if interrupted {
+		return 130
 	}
 	return 0
 }

@@ -1,0 +1,129 @@
+package mobicore
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mobicore/internal/fleet"
+	"mobicore/internal/platform"
+	"mobicore/internal/policy"
+)
+
+// FleetConfig declares a batch simulation matrix by name: the cross-product
+// of platforms × policies × placement rules × seeds, each cell one session
+// of Duration over the caller's workload factories. RunFleet executes the
+// matrix on a bounded worker pool; see internal/fleet for the engine.
+type FleetConfig struct {
+	// Platforms names device profiles (aliases or display names; see
+	// Platforms). Empty means ["nexus5"].
+	Platforms []string
+	// Policies names CPU managers — the Policy* constants or
+	// "<governor>+<hotplug>" forms. Empty means [PolicyAndroidDefault].
+	Policies []string
+	// Scheds names scheduler placement rules (SchedGreedy, SchedEAS).
+	// Empty means [SchedGreedy].
+	Scheds []string
+	// Seeds lists workload randomness seeds; the fleet aggregates
+	// statistics across this dimension. Empty means the single seed 0.
+	Seeds []int64
+	// Duration is the simulated length of every session; required.
+	Duration time.Duration
+	// Tick and SamplePeriod override the engine defaults (1 ms, 50 ms).
+	Tick         time.Duration
+	SamplePeriod time.Duration
+	// Parallel bounds the worker pool; 0 means GOMAXPROCS. Parallelism
+	// never changes results — output is ordered by cell index — only
+	// wall-clock time.
+	Parallel int
+}
+
+// FleetWorkload names a workload recipe for fleet cells. Workload
+// instances are stateful, so New is called once per cell to produce a
+// fresh set; it must be safe to call from multiple goroutines.
+type FleetWorkload = fleet.WorkloadFactory
+
+// NewFleetWorkload builds a FleetWorkload from a name and a factory.
+func NewFleetWorkload(name string, build func() ([]Workload, error)) FleetWorkload {
+	return FleetWorkload{Name: name, New: build}
+}
+
+// FleetResult is a completed fleet run: per-cell reports in matrix order
+// plus cross-seed aggregate statistics. It renders with WriteText and
+// marshals as JSON.
+type FleetResult = fleet.Result
+
+// FleetCell is one completed session of a fleet run.
+type FleetCell = fleet.CellResult
+
+// FleetAggregate is one matrix group summarized across its seeds.
+type FleetAggregate = fleet.Aggregate
+
+// FleetStat is one metric's distribution across a group's seeds.
+type FleetStat = fleet.Stat
+
+// RunFleet executes the matrix cfg declares over the given workload
+// factories and returns every session's report plus cross-seed aggregates
+// (mean/stddev/min/max/p50/p95 of energy, FPS, drop rate, and throttle
+// residency). Results are deterministic: the same config and workloads
+// produce byte-identical output at any Parallel setting.
+//
+// Cancelling ctx stops the fleet between ticks; the completed cells come
+// back in a partial FleetResult alongside ctx's error, so callers can
+// report what finished.
+func RunFleet(ctx context.Context, cfg FleetConfig, workloads ...FleetWorkload) (*FleetResult, error) {
+	if len(workloads) == 0 {
+		return nil, fmt.Errorf("mobicore: RunFleet needs at least one workload factory")
+	}
+	platNames := cfg.Platforms
+	if len(platNames) == 0 {
+		platNames = []string{"nexus5"}
+	}
+	plats := make([]platform.Platform, 0, len(platNames))
+	for _, name := range platNames {
+		p, err := lookupPlatform(name)
+		if err != nil {
+			return nil, err
+		}
+		plats = append(plats, p)
+	}
+	polNames := cfg.Policies
+	if len(polNames) == 0 {
+		polNames = []string{PolicyAndroidDefault}
+	}
+	pols := make([]fleet.PolicyFactory, 0, len(polNames))
+	for _, name := range polNames {
+		// Resolve eagerly against every platform so an unknown policy
+		// name fails before any session runs.
+		for _, p := range plats {
+			if _, err := buildPolicy(name, p); err != nil {
+				return nil, err
+			}
+		}
+		pols = append(pols, fleetPolicy(name))
+	}
+	res, err := fleet.Run(ctx, fleet.Spec{
+		Platforms:    plats,
+		Policies:     pols,
+		Workloads:    workloads,
+		Placers:      cfg.Scheds,
+		Seeds:        cfg.Seeds,
+		Duration:     cfg.Duration,
+		Tick:         cfg.Tick,
+		SamplePeriod: cfg.SamplePeriod,
+		Parallel:     cfg.Parallel,
+	})
+	if err != nil && res == nil {
+		return nil, fmt.Errorf("mobicore: %w", err)
+	}
+	return res, err
+}
+
+// fleetPolicy adapts a policy name to a fleet factory through the facade's
+// resolution (so display-name platforms and the full name set work).
+func fleetPolicy(name string) fleet.PolicyFactory {
+	return fleet.PolicyFactory{
+		Name: name,
+		New:  func(p platform.Platform) (policy.Manager, error) { return buildPolicy(name, p) },
+	}
+}

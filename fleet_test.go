@@ -1,0 +1,97 @@
+package mobicore_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mobicore"
+)
+
+func busyFleetWorkload(t *testing.T) mobicore.FleetWorkload {
+	t.Helper()
+	return mobicore.NewFleetWorkload("busyloop", func() ([]mobicore.Workload, error) {
+		w, err := mobicore.NewBusyLoop(0.5, 4)
+		if err != nil {
+			return nil, err
+		}
+		return []mobicore.Workload{w}, nil
+	})
+}
+
+// TestRunFleetMatrix: the facade runs a named matrix end to end and the
+// result is deterministic across parallelism.
+func TestRunFleetMatrix(t *testing.T) {
+	run := func(parallel int) string {
+		t.Helper()
+		res, err := mobicore.RunFleet(context.Background(), mobicore.FleetConfig{
+			Platforms: []string{"nexus5", "nexus6p"},
+			Policies:  []string{mobicore.PolicyMobiCore, "interactive+load"},
+			Seeds:     []int64{1, 2},
+			Duration:  time.Second,
+			Parallel:  parallel,
+		}, busyFleetWorkload(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Cells) != 8 || res.Incomplete {
+			t.Fatalf("cells = %d (incomplete %v), want 8 complete", len(res.Cells), res.Incomplete)
+		}
+		if len(res.Aggregates) != 4 {
+			t.Fatalf("aggregates = %d, want 4", len(res.Aggregates))
+		}
+		js, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var txt bytes.Buffer
+		if err := res.WriteText(&txt); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(txt.String(), "Nexus 6P") {
+			t.Errorf("text output missing platform:\n%s", txt.String())
+		}
+		return string(js)
+	}
+	if run(1) != run(4) {
+		t.Error("RunFleet output differs between Parallel 1 and 4")
+	}
+}
+
+// TestRunFleetValidation: unknown names fail before any session runs, and
+// a missing workload factory is rejected.
+func TestRunFleetValidation(t *testing.T) {
+	cfg := mobicore.FleetConfig{Duration: time.Second}
+	if _, err := mobicore.RunFleet(context.Background(), cfg); err == nil {
+		t.Error("RunFleet without workloads accepted")
+	}
+	cfg.Platforms = []string{"atari2600"}
+	if _, err := mobicore.RunFleet(context.Background(), cfg, busyFleetWorkload(t)); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	cfg.Platforms = nil
+	cfg.Policies = []string{"nope"}
+	if _, err := mobicore.RunFleet(context.Background(), cfg, busyFleetWorkload(t)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// TestRunFleetCanceled: cancellation yields the partial result.
+func TestRunFleetCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := mobicore.RunFleet(ctx, mobicore.FleetConfig{
+		Seeds:    []int64{1, 2, 3},
+		Duration: time.Second,
+	}, busyFleetWorkload(t))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || !res.Incomplete || res.Total != 3 {
+		t.Fatalf("partial result = %+v, want incomplete total 3", res)
+	}
+}

@@ -7,13 +7,13 @@ import (
 
 	"mobicore/internal/core"
 	"mobicore/internal/cpufreq"
+	"mobicore/internal/fleet"
 	"mobicore/internal/games"
 	"mobicore/internal/hotplug"
 	"mobicore/internal/metrics"
 	"mobicore/internal/platform"
 	"mobicore/internal/policy"
 	"mobicore/internal/soc"
-	"mobicore/internal/workload"
 )
 
 // BigLittleRow is one policy's session on the big.LITTLE platform.
@@ -101,46 +101,45 @@ func sparkline(s metrics.Series, scale float64) string {
 	return out + "]"
 }
 
-// bigLittlePolicies enumerates the compared stacks: the clustered MobiCore
-// and three stock governors, each run per cluster as an independent
-// cpufreq policy domain with the global load hotplug.
-func bigLittlePolicies(plat platform.Platform) (map[string]func() (policy.Manager, error), []string) {
-	builders := map[string]func() (policy.Manager, error){
-		"mobicore": func() (policy.Manager, error) { return clusteredMobicoreManager(plat) },
-	}
-	order := []string{"mobicore"}
+// bigLittlePolicies enumerates the compared stacks as fleet policy
+// factories, in report order: the clustered MobiCore and three stock
+// governors, each run per cluster as an independent cpufreq policy domain
+// with the global load hotplug.
+func bigLittlePolicies() []fleet.PolicyFactory {
+	factories := []fleet.PolicyFactory{{Name: "mobicore", New: clusteredMobicoreManager}}
 	for _, gov := range []string{"ondemand", "interactive", "schedutil"} {
 		gov := gov
-		builders[gov] = func() (policy.Manager, error) { return clusteredGovernorManager(plat, gov) }
-		order = append(order, gov)
+		factories = append(factories, fleet.PolicyFactory{
+			Name: gov,
+			New:  func(p platform.Platform) (policy.Manager, error) { return clusteredGovernorManager(p, gov) },
+		})
 	}
-	return builders, order
+	return factories
 }
 
 // RunBigLittle plays a 2-minute Real Racing 3 session per policy on the
-// Nexus 6P profile and reports power, FPS, and per-cluster traces.
+// Nexus 6P profile and reports power, FPS, and per-cluster traces. The
+// policy comparison is declared as a fleet.Spec and runs on the batch
+// driver's worker pool (Options.Parallel).
 func RunBigLittle(opt Options) (Result, error) {
-	plat := platform.Nexus6P()
 	prof := games.RealRacing3()
-	builders, order := bigLittlePolicies(plat)
+	cells, err := runFleet(fleet.Spec{
+		Platforms: []platform.Platform{platform.Nexus6P()},
+		Policies:  bigLittlePolicies(),
+		Workloads: []fleet.WorkloadFactory{gameFactory(prof)},
+		Seeds:     []int64{opt.Seed},
+		Duration:  opt.dur(120 * time.Second),
+	}, opt)
+	if err != nil {
+		return nil, fmt.Errorf("biglittle: %w", err)
+	}
 	res := &BigLittleResult{Game: prof.Name}
-	for _, name := range order {
-		mgr, err := builders[name]()
-		if err != nil {
-			return nil, fmt.Errorf("biglittle %s: %w", name, err)
-		}
-		g, err := games.New(prof)
-		if err != nil {
-			return nil, fmt.Errorf("biglittle %s: %w", name, err)
-		}
-		rep, err := session(plat, mgr, []workload.Workload{g}, opt.dur(120*time.Second), opt.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("biglittle %s: %w", name, err)
-		}
+	for _, c := range cells {
+		rep := c.Report
 		row := BigLittleRow{
-			Policy:  name,
+			Policy:  c.Policy,
 			AvgW:    rep.AvgPowerW,
-			AvgFPS:  g.AvgFPS(),
+			AvgFPS:  c.AvgFPS,
 			AvgUtil: rep.AvgUtil,
 		}
 		for ci, cn := range rep.ClusterNames {

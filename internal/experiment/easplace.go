@@ -5,10 +5,11 @@ import (
 	"io"
 	"time"
 
+	"mobicore/internal/fleet"
 	"mobicore/internal/games"
 	"mobicore/internal/platform"
+	"mobicore/internal/policy"
 	"mobicore/internal/sim"
-	"mobicore/internal/workload"
 )
 
 // EASPlaceRow is one (platform, workload, placer) session.
@@ -84,37 +85,44 @@ func easplaceGames() []games.Profile {
 
 // RunEASPlace plays each workload on each heterogeneous platform twice —
 // once per placer — under the same per-cluster schedutil+load stack, and
-// reports energy, FPS, and per-cluster energy attribution.
+// reports energy, FPS, and per-cluster energy attribution. The matrix is
+// declared as a fleet.Spec, so sessions run on the batch driver's worker
+// pool (Options.Parallel) while the rows keep the platform → workload →
+// placer declaration order.
 func RunEASPlace(opt Options) (Result, error) {
+	workloads := make([]fleet.WorkloadFactory, 0, 2)
+	for _, prof := range easplaceGames() {
+		workloads = append(workloads, gameFactory(prof))
+	}
+	cells, err := runFleet(fleet.Spec{
+		Platforms: easplacePlatforms(),
+		Policies: []fleet.PolicyFactory{{
+			Name: "schedutil",
+			New: func(p platform.Platform) (policy.Manager, error) {
+				return clusteredGovernorManager(p, "schedutil")
+			},
+		}},
+		Workloads: workloads,
+		Placers:   []string{sim.PlacerGreedy, sim.PlacerEAS},
+		Seeds:     []int64{opt.Seed},
+		Duration:  opt.dur(60 * time.Second),
+	}, opt)
+	if err != nil {
+		return nil, fmt.Errorf("easplace: %w", err)
+	}
 	res := &EASPlaceResult{}
-	for _, plat := range easplacePlatforms() {
-		for _, prof := range easplaceGames() {
-			for _, placer := range []string{sim.PlacerGreedy, sim.PlacerEAS} {
-				mgr, err := clusteredGovernorManager(plat, "schedutil")
-				if err != nil {
-					return nil, fmt.Errorf("easplace %s/%s: %w", plat.Name, placer, err)
-				}
-				g, err := games.New(prof)
-				if err != nil {
-					return nil, fmt.Errorf("easplace %s/%s: %w", plat.Name, placer, err)
-				}
-				rep, err := sessionPlaced(plat, mgr, []workload.Workload{g}, opt.dur(60*time.Second), opt.Seed, placer)
-				if err != nil {
-					return nil, fmt.Errorf("easplace %s/%s: %w", plat.Name, placer, err)
-				}
-				res.Rows = append(res.Rows, EASPlaceRow{
-					Platform:       plat.Name,
-					Workload:       prof.Name,
-					Placer:         placer,
-					AvgW:           rep.AvgPowerW,
-					EnergyJ:        rep.EnergyJ,
-					AvgFPS:         g.AvgFPS(),
-					DropRate:       g.DropRate(),
-					ClusterNames:   rep.ClusterNames,
-					ClusterEnergyJ: rep.ClusterEnergyJ,
-				})
-			}
-		}
+	for _, c := range cells {
+		res.Rows = append(res.Rows, EASPlaceRow{
+			Platform:       c.Platform,
+			Workload:       c.Workload,
+			Placer:         c.Placer,
+			AvgW:           c.Report.AvgPowerW,
+			EnergyJ:        c.Report.EnergyJ,
+			AvgFPS:         c.AvgFPS,
+			DropRate:       c.DropRate,
+			ClusterNames:   c.Report.ClusterNames,
+			ClusterEnergyJ: c.Report.ClusterEnergyJ,
+		})
 	}
 	return res, nil
 }

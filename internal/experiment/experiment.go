@@ -6,14 +6,16 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
-	"sort"
-	"strings"
 	"time"
 
 	"mobicore/internal/core"
+	"mobicore/internal/fleet"
+	"mobicore/internal/games"
+	"mobicore/internal/natsort"
 	"mobicore/internal/platform"
 	"mobicore/internal/policy"
 	"mobicore/internal/power"
@@ -30,6 +32,11 @@ type Options struct {
 	Scale float64
 	// Seed drives workload randomness.
 	Seed int64
+	// Parallel bounds the fleet worker pool multi-cell experiments
+	// (biglittle, easplace, sustained) run their sessions on; 0 means
+	// GOMAXPROCS. Parallelism never changes results — each session owns
+	// its rng and rows keep declaration order — only wall-clock time.
+	Parallel int
 }
 
 func (o Options) scale() float64 {
@@ -97,52 +104,12 @@ func IDs() []string {
 	for id := range m {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool {
-		if naturalLess(ids[i], ids[j]) {
-			return true
-		}
-		if naturalLess(ids[j], ids[i]) {
-			return false
-		}
-		return ids[i] < ids[j] // total order for naturally-equal ids ("fig01" vs "fig1")
-	})
+	natsort.Strings(ids)
 	return ids
 }
 
-// naturalLess compares two ids with embedded numbers ordered numerically:
-// letters compare bytewise, maximal digit runs compare as integers
-// (ignoring leading zeros), ties fall back to the shorter string.
-func naturalLess(a, b string) bool {
-	isDigit := func(c byte) bool { return '0' <= c && c <= '9' }
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		ca, cb := a[i], b[j]
-		if isDigit(ca) && isDigit(cb) {
-			ia, jb := i, j
-			for ia < len(a) && isDigit(a[ia]) {
-				ia++
-			}
-			for jb < len(b) && isDigit(b[jb]) {
-				jb++
-			}
-			na, nb := strings.TrimLeft(a[i:ia], "0"), strings.TrimLeft(b[j:jb], "0")
-			if len(na) != len(nb) {
-				return len(na) < len(nb)
-			}
-			if na != nb {
-				return na < nb
-			}
-			i, j = ia, jb
-			continue
-		}
-		if ca != cb {
-			return ca < cb
-		}
-		i++
-		j++
-	}
-	return len(a)-i < len(b)-j
-}
+// naturalLess is the shared natural id ordering (see internal/natsort).
+func naturalLess(a, b string) bool { return natsort.Less(a, b) }
 
 // Lookup resolves an experiment id.
 func Lookup(id string) (Runner, error) {
@@ -163,6 +130,11 @@ func Run(id string, opt Options) (Result, error) {
 }
 
 // --- shared helpers -------------------------------------------------------
+//
+// Every session an experiment runs is described by a sim.SessionSpec, the
+// one construction path shared with the fleet driver — the helpers below
+// are thin spellings of a spec, so sim.Config can grow fields without the
+// experiment layer drifting.
 
 // session runs one simulation to completion and returns its report.
 func session(plat platform.Platform, mgr policy.Manager, wls []workload.Workload, d time.Duration, seed int64) (*sim.Report, error) {
@@ -172,28 +144,50 @@ func session(plat platform.Platform, mgr policy.Manager, wls []workload.Workload
 // sessionPlaced is session with an explicit scheduler placement rule
 // ("greedy" or "eas"; empty means the default greedy).
 func sessionPlaced(plat platform.Platform, mgr policy.Manager, wls []workload.Workload, d time.Duration, seed int64, placer string) (*sim.Report, error) {
-	s, err := sim.New(sim.Config{
+	return sim.SessionSpec{
 		Platform:  plat,
 		Manager:   mgr,
 		Workloads: wls,
+		Duration:  d,
 		Seed:      seed,
 		Placer:    placer,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return s.Run(d)
+	}.Run(context.Background())
 }
 
 // newSim builds a simulation without running it, for experiments that need
 // mid-run access (FPS series, thermal zone).
 func newSim(plat platform.Platform, mgr policy.Manager, wls []workload.Workload, seed int64) (*sim.Sim, error) {
-	return sim.New(sim.Config{
+	return sim.SessionSpec{
 		Platform:  plat,
 		Manager:   mgr,
 		Workloads: wls,
 		Seed:      seed,
-	})
+	}.New()
+}
+
+// runFleet executes a declared fleet matrix with the option's parallelism
+// and hands back the completed cells in declaration order.
+func runFleet(spec fleet.Spec, opt Options) ([]fleet.CellResult, error) {
+	spec.Parallel = opt.Parallel
+	res, err := fleet.Run(context.Background(), spec)
+	if err != nil {
+		return nil, err
+	}
+	return res.Cells, nil
+}
+
+// gameFactory builds a fresh instance of one game profile per fleet cell.
+func gameFactory(prof games.Profile) fleet.WorkloadFactory {
+	return fleet.WorkloadFactory{
+		Name: prof.Name,
+		New: func() ([]workload.Workload, error) {
+			g, err := games.New(prof)
+			if err != nil {
+				return nil, err
+			}
+			return []workload.Workload{g}, nil
+		},
+	}
 }
 
 // defaultManager builds the Android-default baseline (ondemand + load

@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFleetPortedExperimentsMatchGolden locks the multi-layer refactor's
+// compatibility contract: the experiments ported onto the fleet driver
+// (biglittle, easplace, sustained) render byte-identically to the serial
+// pre-fleet implementation, whose output at these scales and seed 42 is
+// checked into testdata. Any physics or formatting drift fails here.
+func TestFleetPortedExperimentsMatchGolden(t *testing.T) {
+	cases := []struct {
+		id    string
+		scale float64
+	}{
+		{"biglittle", 0.05},
+		{"easplace", 0.05},
+		{"sustained", 0.2},
+	}
+	for _, c := range cases {
+		for _, parallel := range []int{1, 8} {
+			res, err := Run(c.id, Options{Scale: c.scale, Seed: 42, Parallel: parallel})
+			if err != nil {
+				t.Fatalf("%s (parallel %d): %v", c.id, parallel, err)
+			}
+			var buf bytes.Buffer
+			if err := res.WriteText(&buf); err != nil {
+				t.Fatalf("%s: rendering: %v", c.id, err)
+			}
+			golden, err := os.ReadFile(filepath.Join("testdata", c.id+"_golden.txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), golden) {
+				t.Errorf("%s (parallel %d) drifted from the pre-fleet serial output:\n--- got ---\n%s\n--- want ---\n%s",
+					c.id, parallel, buf.Bytes(), golden)
+			}
+		}
+	}
+}

@@ -5,10 +5,10 @@ import (
 	"io"
 	"time"
 
+	"mobicore/internal/fleet"
 	"mobicore/internal/games"
 	"mobicore/internal/metrics"
 	"mobicore/internal/platform"
-	"mobicore/internal/workload"
 )
 
 // SustainedClusterRow is one cluster's thermal story across a session.
@@ -95,31 +95,30 @@ func sustainedRacing() games.Profile {
 
 // RunSustained plays a long (paper timing: 5-minute) sustained gaming
 // session per policy on the Nexus 6P profile and reports power, FPS, frame
-// drops, and each cluster's temperature trace and throttle residency.
+// drops, and each cluster's temperature trace and throttle residency. The
+// policy comparison is declared as a fleet.Spec and runs on the batch
+// driver's worker pool (Options.Parallel).
 func RunSustained(opt Options) (Result, error) {
-	plat := platform.Nexus6P()
 	prof := sustainedRacing()
-	builders, order := bigLittlePolicies(plat)
 	dur := opt.dur(5 * time.Minute)
+	cells, err := runFleet(fleet.Spec{
+		Platforms: []platform.Platform{platform.Nexus6P()},
+		Policies:  bigLittlePolicies(),
+		Workloads: []fleet.WorkloadFactory{gameFactory(prof)},
+		Seeds:     []int64{opt.Seed},
+		Duration:  dur,
+	}, opt)
+	if err != nil {
+		return nil, fmt.Errorf("sustained: %w", err)
+	}
 	res := &SustainedResult{Game: prof.Name, Duration: dur}
-	for _, name := range order {
-		mgr, err := builders[name]()
-		if err != nil {
-			return nil, fmt.Errorf("sustained %s: %w", name, err)
-		}
-		g, err := games.New(prof)
-		if err != nil {
-			return nil, fmt.Errorf("sustained %s: %w", name, err)
-		}
-		rep, err := session(plat, mgr, []workload.Workload{g}, dur, opt.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("sustained %s: %w", name, err)
-		}
+	for _, c := range cells {
+		rep := c.Report
 		row := SustainedRow{
-			Policy:   name,
+			Policy:   c.Policy,
 			AvgW:     rep.AvgPowerW,
-			AvgFPS:   g.AvgFPS(),
-			DropRate: g.DropRate(),
+			AvgFPS:   c.AvgFPS,
+			DropRate: c.DropRate,
 		}
 		for ci, cn := range rep.ClusterNames {
 			row.Clusters = append(row.Clusters, SustainedClusterRow{

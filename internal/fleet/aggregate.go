@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"time"
+
+	"mobicore/internal/metrics"
+)
+
+// Stat is one metric's distribution across a group's seeds.
+type Stat struct {
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+}
+
+// statOf summarizes vals with the metrics toolkit: Welford moments for the
+// mean and spread, nearest-rank percentiles for the quantiles.
+func statOf(vals []float64) Stat {
+	var sum metrics.Summary
+	var ser metrics.Series
+	for i, v := range vals {
+		sum.Add(v)
+		ser.Append(time.Duration(i), v)
+	}
+	p50, err := ser.Percentile(50)
+	if err != nil {
+		return Stat{}
+	}
+	p95, _ := ser.Percentile(95)
+	return Stat{
+		Mean:   sum.Mean(),
+		StdDev: sum.StdDev(),
+		Min:    sum.Min(),
+		Max:    sum.Max(),
+		P50:    p50,
+		P95:    p95,
+	}
+}
+
+// Aggregate is one matrix group — a (platform, policy, workload, placer)
+// combination — summarized across its seeds.
+type Aggregate struct {
+	Platform string `json:"platform"`
+	Policy   string `json:"policy"`
+	Workload string `json:"workload"`
+	Placer   string `json:"placer,omitempty"`
+	// Seeds is how many cells the group aggregates.
+	Seeds int `json:"seeds"`
+
+	EnergyJ     Stat `json:"energy_j"`
+	AvgFPS      Stat `json:"avg_fps"`
+	DropRate    Stat `json:"drop_rate"`
+	ThrottleSec Stat `json:"throttle_sec"`
+	// HasFrames says whether AvgFPS/DropRate are meaningful (every cell
+	// in the group rendered frames).
+	HasFrames bool `json:"has_frames,omitempty"`
+}
+
+// aggregate groups cells by matrix coordinates (seed excluded) in first-
+// appearance order and summarizes each group's energy, FPS, drop rate,
+// and thermal-throttle residency.
+func aggregate(cells []CellResult) []Aggregate {
+	type group struct {
+		agg                         Aggregate
+		energy, fps, drop, throttle []float64
+		frames                      bool
+	}
+	var order []string
+	groups := map[string]*group{}
+	for _, c := range cells {
+		key := c.Platform + "\x00" + c.Policy + "\x00" + c.Workload + "\x00" + c.Placer
+		g, ok := groups[key]
+		if !ok {
+			g = &group{
+				agg: Aggregate{
+					Platform: c.Platform,
+					Policy:   c.Policy,
+					Workload: c.Workload,
+					Placer:   c.Placer,
+				},
+				frames: true,
+			}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.energy = append(g.energy, c.Report.EnergyJ)
+		g.throttle = append(g.throttle, c.Report.ThermalCappedSec)
+		g.fps = append(g.fps, c.AvgFPS)
+		g.drop = append(g.drop, c.DropRate)
+		g.frames = g.frames && c.HasFrames
+	}
+	out := make([]Aggregate, 0, len(order))
+	for _, key := range order {
+		g := groups[key]
+		g.agg.Seeds = len(g.energy)
+		g.agg.EnergyJ = statOf(g.energy)
+		g.agg.ThrottleSec = statOf(g.throttle)
+		g.agg.HasFrames = g.frames
+		if g.frames {
+			g.agg.AvgFPS = statOf(g.fps)
+			g.agg.DropRate = statOf(g.drop)
+		}
+		out = append(out, g.agg)
+	}
+	return out
+}

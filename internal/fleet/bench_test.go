@@ -1,0 +1,45 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"mobicore/internal/platform"
+)
+
+// benchSpec is a 4-cell matrix (2 platforms × 2 seeds) of 2-second
+// busy-loop sessions — small enough for the CI bench smoke, long enough
+// that per-cell work dominates pool overhead.
+func benchSpec(par int) Spec {
+	return Spec{
+		Platforms: []platform.Platform{platform.Nexus5(), platform.Nexus6P()},
+		Policies:  []PolicyFactory{Policy("android-default")},
+		Workloads: []WorkloadFactory{busyFactory(0.5, 4)},
+		Seeds:     []int64{1, 2},
+		Duration:  2 * time.Second,
+		Parallel:  par,
+	}
+}
+
+// BenchmarkFleet measures the batch driver's wall-clock scaling: the same
+// 4-cell matrix serial (-parallel 1) and fanned out (-parallel 4). On a
+// ≥ 4-core host the parallel case should finish in under half the serial
+// wall-clock; b.ReportMetric exposes cells/s for the comparison.
+func BenchmarkFleet(b *testing.B) {
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallel%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Run(context.Background(), benchSpec(par))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Cells) != 4 {
+					b.Fatalf("cells = %d, want 4", len(res.Cells))
+				}
+			}
+			b.ReportMetric(float64(4*b.N)/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
+}

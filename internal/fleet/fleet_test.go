@@ -1,0 +1,318 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mobicore/internal/games"
+	"mobicore/internal/platform"
+	"mobicore/internal/policy"
+	"mobicore/internal/sim"
+	"mobicore/internal/workload"
+)
+
+// gameFactory builds a fresh Angry Birds session per cell.
+func gameFactory(t *testing.T) WorkloadFactory {
+	t.Helper()
+	return WorkloadFactory{
+		Name: "Angry Birds",
+		New: func() ([]workload.Workload, error) {
+			g, err := games.New(games.AngryBirds())
+			if err != nil {
+				return nil, err
+			}
+			return []workload.Workload{g}, nil
+		},
+	}
+}
+
+// busyFactory builds a fresh busy-loop workload per cell.
+func busyFactory(util float64, threads int) WorkloadFactory {
+	return WorkloadFactory{
+		Name: "busyloop",
+		New: func() ([]workload.Workload, error) {
+			w, err := workload.NewBusyLoop(workload.BusyLoopConfig{
+				TargetUtil: util,
+				Threads:    threads,
+				RefFreq:    2265600000,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return []workload.Workload{w}, nil
+		},
+	}
+}
+
+// matrixSpec is the 2-platform × 2-policy × 3-seed matrix the determinism
+// tests run.
+func matrixSpec(par int) Spec {
+	return Spec{
+		Platforms: []platform.Platform{platform.Nexus5(), platform.Nexus6P()},
+		Policies:  []PolicyFactory{Policy("android-default"), Policy("mobicore")},
+		Workloads: []WorkloadFactory{busyFactory(0.5, 4)},
+		Seeds:     []int64{1, 2, 3},
+		Duration:  time.Second,
+		Parallel:  par,
+	}
+}
+
+// TestCellsCrossProduct locks the expansion order: platform-major, then
+// policy, workload, placer, seed.
+func TestCellsCrossProduct(t *testing.T) {
+	spec := matrixSpec(1)
+	spec.Placers = []string{sim.PlacerGreedy, sim.PlacerEAS}
+	cells, err := spec.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2*2*1*2*3 {
+		t.Fatalf("cells = %d, want 24", len(cells))
+	}
+	first := cells[0]
+	if first.Platform.Name != "Nexus 5" || first.Policy.Name != "android-default" ||
+		first.Placer != sim.PlacerGreedy || first.Seed != 1 {
+		t.Errorf("first cell %+v out of order", first)
+	}
+	// Seed is the innermost dimension.
+	if cells[1].Seed != 2 || cells[1].Placer != sim.PlacerGreedy {
+		t.Errorf("second cell should advance seed first: %+v", cells[1])
+	}
+	// Placer advances before policy.
+	if cells[3].Placer != sim.PlacerEAS || cells[3].Policy.Name != "android-default" {
+		t.Errorf("fourth cell should advance placer before policy: %+v", cells[3])
+	}
+	if cells[len(cells)-1].Platform.Name != "Nexus 6P" || cells[len(cells)-1].Seed != 3 {
+		t.Errorf("last cell %+v out of order", cells[len(cells)-1])
+	}
+}
+
+func TestSpecRejectsEmptyAndInvalid(t *testing.T) {
+	if _, err := (Spec{}).Cells(); err == nil {
+		t.Error("empty spec accepted")
+	}
+	spec := matrixSpec(1)
+	spec.Duration = 0
+	if _, err := spec.Cells(); err == nil {
+		t.Error("zero-duration cross product accepted")
+	}
+	if _, err := Run(context.Background(), spec); err == nil {
+		t.Error("Run accepted invalid spec")
+	}
+}
+
+// TestRunDeterministicAcrossParallelism is the acceptance property: the
+// same matrix at Parallel 1 and Parallel 8 produces byte-identical text
+// and JSON, aggregates included.
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	render := func(par int) (string, string) {
+		t.Helper()
+		res, err := Run(context.Background(), matrixSpec(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Incomplete || len(res.Cells) != 12 {
+			t.Fatalf("parallel %d: incomplete %v, cells %d", par, res.Incomplete, len(res.Cells))
+		}
+		var txt bytes.Buffer
+		if err := res.WriteText(&txt); err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return txt.String(), string(js)
+	}
+	serialTxt, serialJSON := render(1)
+	parTxt, parJSON := render(8)
+	if serialTxt != parTxt {
+		t.Errorf("text output differs between Parallel 1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s", serialTxt, parTxt)
+	}
+	if serialJSON != parJSON {
+		t.Error("JSON output differs between Parallel 1 and 8")
+	}
+}
+
+// TestAggregates checks the cross-seed statistics: one group per matrix
+// coordinate, three seeds each, internally consistent distributions.
+func TestAggregates(t *testing.T) {
+	res, err := Run(context.Background(), matrixSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Aggregates) != 4 {
+		t.Fatalf("aggregates = %d, want 4 groups", len(res.Aggregates))
+	}
+	for _, a := range res.Aggregates {
+		if a.Seeds != 3 {
+			t.Errorf("%s/%s: seeds = %d, want 3", a.Platform, a.Policy, a.Seeds)
+		}
+		e := a.EnergyJ
+		if e.Mean <= 0 {
+			t.Errorf("%s/%s: energy mean %.3f not positive", a.Platform, a.Policy, e.Mean)
+		}
+		if e.Min > e.P50 || e.P50 > e.Max || e.Mean < e.Min || e.Mean > e.Max || e.P95 < e.P50 {
+			t.Errorf("%s/%s: inconsistent energy stat %+v", a.Platform, a.Policy, e)
+		}
+		if a.HasFrames {
+			t.Errorf("%s/%s: busyloop cells should not report frames", a.Platform, a.Policy)
+		}
+	}
+	// Grouping follows first-cell order: platform-major, policy within.
+	if res.Aggregates[0].Platform != "Nexus 5" || res.Aggregates[0].Policy != "android-default" ||
+		res.Aggregates[1].Policy != "mobicore" || res.Aggregates[2].Platform != "Nexus 6P" {
+		t.Errorf("aggregate order broken: %+v", res.Aggregates)
+	}
+}
+
+// TestRunCanceled: a canceled context surfaces the completed cells as a
+// partial result.
+func TestRunCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, matrixSpec(2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("canceled run should still return the partial result")
+	}
+	if !res.Incomplete {
+		t.Error("canceled run should be marked incomplete")
+	}
+	if res.Total != 12 {
+		t.Errorf("total = %d, want 12", res.Total)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "of 12 cells") {
+		t.Errorf("partial rendering missing cell count:\n%s", buf.String())
+	}
+}
+
+// TestRunDeadline: an expired deadline is cancellation, not a cell
+// failure — completed cells survive into the partial result.
+func TestRunDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, 1))
+	defer cancel()
+	res, err := Run(ctx, matrixSpec(2))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if res == nil || !res.Incomplete {
+		t.Fatalf("deadline run should return a partial result, got %+v", res)
+	}
+}
+
+// TestUntilDoneReportsFinished: duration-shaped cells finish by
+// definition; an UntilDone cell whose workloads never complete reports
+// Finished false instead of passing off a truncated run as done.
+func TestUntilDoneReportsFinished(t *testing.T) {
+	spec := Spec{
+		Platforms: []platform.Platform{platform.Nexus5()},
+		Policies:  []PolicyFactory{Policy("android-default")},
+		Workloads: []WorkloadFactory{busyFactory(0.5, 4)}, // never Done
+		Duration:  500 * time.Millisecond,
+	}
+	res, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cells[0].Finished {
+		t.Error("duration cell should report Finished")
+	}
+	spec.UntilDone = true
+	res, err = Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cells[0].Finished {
+		t.Error("UntilDone cell with unfinished workloads should report Finished false")
+	}
+}
+
+// TestRunCellError: a failing cell aborts the run with a deterministic,
+// cell-identifying error.
+func TestRunCellError(t *testing.T) {
+	spec := matrixSpec(4)
+	spec.Policies = append(spec.Policies, PolicyFactory{
+		Name: "broken",
+		New: func(platform.Platform) (policy.Manager, error) {
+			return nil, errors.New("boom")
+		},
+	})
+	_, err := Run(context.Background(), spec)
+	if err == nil {
+		t.Fatal("run with failing policy factory succeeded")
+	}
+	if !strings.Contains(err.Error(), "broken") || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("error %q does not identify the failing cell", err)
+	}
+}
+
+// TestRunMatchesSerialSessions: each fleet cell's report equals the report
+// of the same session run directly through sim — the driver adds ordering
+// and statistics, never different physics.
+func TestRunMatchesSerialSessions(t *testing.T) {
+	spec := matrixSpec(4)
+	res, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := spec.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []int{0, 5, 11} {
+		sess, err := cells[want].session()
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := sess.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Cells[want].Report
+		if got.EnergyJ != direct.EnergyJ || got.AvgFreqHz != direct.AvgFreqHz ||
+			got.ExecutedCycles != direct.ExecutedCycles {
+			t.Errorf("cell %d: fleet report differs from direct session (energy %v vs %v)",
+				want, got.EnergyJ, direct.EnergyJ)
+		}
+	}
+}
+
+// TestGameCellsReportFrames: game workloads surface FPS/drop in cells and
+// aggregates.
+func TestGameCellsReportFrames(t *testing.T) {
+	spec := Spec{
+		Platforms: []platform.Platform{platform.Nexus5()},
+		Policies:  []PolicyFactory{Policy("android-default")},
+		Workloads: []WorkloadFactory{gameFactory(t)},
+		Seeds:     []int64{1, 2},
+		Duration:  time.Second,
+		Parallel:  2,
+	}
+	res, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		if !c.HasFrames || c.AvgFPS <= 0 {
+			t.Errorf("cell %d: frames not reported (fps %.1f)", c.Index, c.AvgFPS)
+		}
+	}
+	if len(res.Aggregates) != 1 || !res.Aggregates[0].HasFrames {
+		t.Fatalf("aggregate should carry frame stats: %+v", res.Aggregates)
+	}
+	if res.Aggregates[0].AvgFPS.Mean <= 0 {
+		t.Errorf("aggregate fps mean %.1f not positive", res.Aggregates[0].AvgFPS.Mean)
+	}
+}

@@ -1,0 +1,74 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+
+	"mobicore/internal/sim"
+)
+
+// placerName renders a cell's placement rule, naming the engine default.
+func placerName(p string) string {
+	if p == "" {
+		return sim.PlacerGreedy
+	}
+	return p
+}
+
+// WriteText renders the fleet result as aligned human-readable text: one
+// row per cell in spec order, then the cross-seed aggregates. Because
+// cells are index-ordered, the rendering is byte-identical whatever
+// parallelism produced the result.
+func (r *Result) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "fleet: %d of %d cells\n", len(r.Cells), r.Total); err != nil {
+		return err
+	}
+	if len(r.Cells) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "%-16s %-18s %-16s %-8s %5s %10s %10s %8s %8s %10s\n",
+		"platform", "policy", "workload", "placer", "seed",
+		"energy J", "avg mW", "fps", "drop%", "throttle s"); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		fps, drop := "-", "-"
+		if c.HasFrames {
+			fps = fmt.Sprintf("%.1f", c.AvgFPS)
+			drop = fmt.Sprintf("%.1f", c.DropRate*100)
+		}
+		if _, err := fmt.Fprintf(w, "%-16s %-18s %-16s %-8s %5d %10.2f %10.1f %8s %8s %10.2f\n",
+			c.Platform, c.Policy, c.Workload, placerName(c.Placer), c.Seed,
+			c.Report.EnergyJ, c.Report.AvgPowerW*1000, fps, drop,
+			c.Report.ThermalCappedSec); err != nil {
+			return err
+		}
+	}
+	for _, a := range r.Aggregates {
+		if _, err := fmt.Fprintf(w, "%s / %s / %s / %s (%d seeds)\n",
+			a.Platform, a.Policy, a.Workload, placerName(a.Placer), a.Seeds); err != nil {
+			return err
+		}
+		if err := writeStat(w, "energy J", a.EnergyJ); err != nil {
+			return err
+		}
+		if a.HasFrames {
+			if err := writeStat(w, "fps", a.AvgFPS); err != nil {
+				return err
+			}
+			if err := writeStat(w, "drop rate", a.DropRate); err != nil {
+				return err
+			}
+		}
+		if err := writeStat(w, "throttle s", a.ThrottleSec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeStat(w io.Writer, label string, s Stat) error {
+	_, err := fmt.Fprintf(w, "  %-11s mean %.4g ± %.3g  [%.4g, %.4g]  p50 %.4g  p95 %.4g\n",
+		label+":", s.Mean, s.StdDev, s.Min, s.Max, s.P50, s.P95)
+	return err
+}

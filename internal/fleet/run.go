@@ -1,0 +1,191 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mobicore/internal/sim"
+	"mobicore/internal/workload"
+)
+
+// CellResult is one completed session of a fleet run.
+type CellResult struct {
+	// Index is the cell's position in Spec.Cells order.
+	Index int `json:"index"`
+	// The cell's coordinates in the matrix.
+	Platform string `json:"platform"`
+	Policy   string `json:"policy"`
+	Workload string `json:"workload"`
+	Placer   string `json:"placer,omitempty"`
+	Seed     int64  `json:"seed"`
+
+	// Report is the session's full simulation report.
+	Report *sim.Report `json:"report"`
+	// Finished says whether the session's workloads all completed: always
+	// true for duration-shaped cells, RunUntilDone's verdict for
+	// UntilDone cells (a benchmark truncated by Duration reports false).
+	Finished bool `json:"finished"`
+
+	// AvgFPS and DropRate are filled when the cell's workload set renders
+	// frames (games); HasFrames says whether they are meaningful.
+	AvgFPS    float64 `json:"avg_fps"`
+	DropRate  float64 `json:"drop_rate"`
+	HasFrames bool    `json:"has_frames"`
+
+	// Workloads are the very instances the cell ran, so callers can read
+	// workload-side statistics the report does not carry.
+	Workloads []workload.Workload `json:"-"`
+}
+
+// Result is a fleet run's outcome: every completed cell in spec order,
+// plus cross-seed aggregates per (platform, policy, workload, placer)
+// group.
+type Result struct {
+	// Cells holds the completed cells in Spec.Cells order. On a canceled
+	// run it holds only the cells that finished.
+	Cells []CellResult `json:"cells"`
+	// Aggregates summarizes each matrix group across its seeds, in first-
+	// cell order.
+	Aggregates []Aggregate `json:"aggregates"`
+	// Total is the number of cells the spec declared.
+	Total int `json:"total"`
+	// Incomplete marks a canceled run whose Cells are partial.
+	Incomplete bool `json:"incomplete,omitempty"`
+}
+
+// frameSource is the workload-side statistics surface games expose.
+type frameSource interface {
+	AvgFPS() float64
+	DropRate() float64
+}
+
+// isCancellation reports whether err is context cancellation noise — a
+// parent Cancel or an expired deadline — rather than a genuine cell
+// failure. Both must surface as the partial-result path, not as a cell
+// error that would discard every completed cell.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Run executes every cell of the spec on a worker pool bounded by
+// spec.Parallel (default GOMAXPROCS) and returns the assembled result.
+// Results are ordered by cell index, and each session owns a private rng
+// seeded from its cell, so output is byte-identical at any parallelism.
+//
+// When ctx is canceled mid-run the completed cells come back in a partial
+// Result (Incomplete set) alongside ctx's error, so callers can report
+// what finished. A failing cell cancels the rest and Run returns the
+// lowest-indexed cell error — deterministic, because cell failures are.
+func Run(ctx context.Context, spec Spec) (*Result, error) {
+	cells, err := spec.Cells()
+	if err != nil {
+		return nil, err
+	}
+	par := spec.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(cells) {
+		par = len(cells)
+	}
+
+	results := make([]*CellResult, len(cells))
+	errs := make([]error, len(cells))
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(cells) {
+					return
+				}
+				if err := runCtx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				res, err := runCell(runCtx, i, cells[i])
+				if err != nil {
+					errs[i] = err
+					if !isCancellation(err) {
+						cancel()
+					}
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+
+	// A genuine cell failure wins over cancellation noise; the lowest
+	// index keeps the error deterministic under any scheduling.
+	for i, err := range errs {
+		if err != nil && !isCancellation(err) {
+			c := cells[i]
+			return nil, fmt.Errorf("fleet: cell %d (%s/%s/%s seed %d): %w",
+				i, c.Platform.Name, c.Policy.Name, c.Workload.Name, c.Seed, err)
+		}
+	}
+
+	out := &Result{Total: len(cells)}
+	for _, r := range results {
+		if r != nil {
+			out.Cells = append(out.Cells, *r)
+		}
+	}
+	out.Incomplete = len(out.Cells) < out.Total
+	out.Aggregates = aggregate(out.Cells)
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	if out.Incomplete {
+		// No parent cancellation and no cell error, yet cells are missing:
+		// only possible if a worker saw the run context die some other
+		// way. Surface it rather than pass off a partial run as complete.
+		return out, errors.New("fleet: run incomplete")
+	}
+	return out, nil
+}
+
+// runCell builds and runs one cell's session.
+func runCell(ctx context.Context, idx int, c Cell) (*CellResult, error) {
+	spec, err := c.session()
+	if err != nil {
+		return nil, err
+	}
+	rep, done, err := spec.RunDone(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res := &CellResult{
+		Index:     idx,
+		Platform:  c.Platform.Name,
+		Policy:    c.Policy.Name,
+		Workload:  c.Workload.Name,
+		Placer:    c.Placer,
+		Seed:      c.Seed,
+		Report:    rep,
+		Finished:  done,
+		Workloads: spec.Workloads,
+	}
+	for _, w := range spec.Workloads {
+		if fs, ok := w.(frameSource); ok {
+			res.AvgFPS = fs.AvgFPS()
+			res.DropRate = fs.DropRate()
+			res.HasFrames = true
+			break
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,186 @@
+// Package fleet is the batch simulation driver: a declarative Spec names a
+// matrix of sessions (platforms × policies × workloads × placers × seeds),
+// Run executes the cells on a bounded worker pool, and the result carries
+// every per-cell report plus cross-seed aggregate statistics. The engine is
+// single-threaded per Sim and embarrassingly parallel across sessions —
+// fleet exploits that without giving up determinism: results are ordered
+// by cell index, so a parallel run renders byte-identically to a serial
+// one.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mobicore/internal/platform"
+	"mobicore/internal/policy"
+	"mobicore/internal/sim"
+	"mobicore/internal/stack"
+	"mobicore/internal/workload"
+)
+
+// PolicyFactory names a policy stack and builds fresh manager instances
+// for it. Managers are stateful, so every cell gets its own; New is called
+// concurrently from the worker pool and must be safe to call from multiple
+// goroutines (pure construction — the common case — is).
+type PolicyFactory struct {
+	// Name labels the policy in reports and groups aggregates.
+	Name string
+	// New builds one fresh manager for a platform.
+	New func(platform.Platform) (policy.Manager, error)
+}
+
+// Policy is the name-based PolicyFactory: any name internal/stack accepts
+// ("mobicore", "android-default", "oracle", "<governor>+<hotplug>").
+func Policy(name string) PolicyFactory {
+	return PolicyFactory{
+		Name: name,
+		New:  func(plat platform.Platform) (policy.Manager, error) { return stack.Build(name, plat) },
+	}
+}
+
+// WorkloadFactory names a demand recipe and builds fresh workload
+// instances for it. Workloads are stateful, so every cell gets its own;
+// like PolicyFactory.New, New must be callable concurrently.
+type WorkloadFactory struct {
+	// Name labels the workload in reports and groups aggregates.
+	Name string
+	// New builds the cell's fresh workload set.
+	New func() ([]workload.Workload, error)
+}
+
+// Spec declares a fleet: the cross-product of the dimension slices, plus
+// any explicit extra cells. The zero value of each optional dimension
+// selects the engine default (greedy placement, seed 0, default tick and
+// sampling).
+type Spec struct {
+	// Platforms, Policies, and Workloads are the required dimensions of
+	// the cross-product; every combination of the three (times Placers
+	// and Seeds) becomes one cell.
+	Platforms []platform.Platform
+	Policies  []PolicyFactory
+	Workloads []WorkloadFactory
+	// Placers lists scheduler placement rules (sim.PlacerGreedy,
+	// sim.PlacerEAS); empty means the default greedy.
+	Placers []string
+	// Seeds lists workload randomness seeds; empty means the single seed
+	// 0. Cross-seed aggregate statistics group over this dimension.
+	Seeds []int64
+
+	// Duration is the simulated length of every cross-product cell;
+	// required when the cross-product is non-empty.
+	Duration time.Duration
+	// UntilDone stops each session early once its workloads finish
+	// (benchmark-style cells), with Duration as the cap.
+	UntilDone bool
+	// Tick and SamplePeriod override the engine defaults for every cell.
+	Tick         time.Duration
+	SamplePeriod time.Duration
+
+	// ExtraCells run after the cross-product, for matrices that are not
+	// rectangular (one-off calibration cells, asymmetric baselines).
+	ExtraCells []Cell
+
+	// Parallel bounds the worker pool; 0 means GOMAXPROCS. Parallelism
+	// never changes results, only wall-clock time.
+	Parallel int
+}
+
+// Cell is one fully-resolved session of a fleet.
+type Cell struct {
+	Platform platform.Platform
+	Policy   PolicyFactory
+	Workload WorkloadFactory
+	Placer   string
+	Seed     int64
+
+	Duration     time.Duration
+	UntilDone    bool
+	Tick         time.Duration
+	SamplePeriod time.Duration
+}
+
+func (c Cell) validate() error {
+	if c.Policy.New == nil {
+		return errors.New("fleet: cell needs a policy factory")
+	}
+	if c.Workload.New == nil {
+		return errors.New("fleet: cell needs a workload factory")
+	}
+	if c.Duration <= 0 {
+		return errors.New("fleet: cell needs a positive duration")
+	}
+	return nil
+}
+
+// Cells expands the spec into its ordered cell list: the cross-product in
+// platform → policy → workload → placer → seed nesting order, then the
+// extra cells. The order is part of the contract — results and text output
+// follow it exactly, whatever the parallelism.
+func (s Spec) Cells() ([]Cell, error) {
+	placers := s.Placers
+	if len(placers) == 0 {
+		placers = []string{""}
+	}
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{0}
+	}
+	var cells []Cell
+	for _, plat := range s.Platforms {
+		for _, pol := range s.Policies {
+			for _, wl := range s.Workloads {
+				for _, placer := range placers {
+					for _, seed := range seeds {
+						cells = append(cells, Cell{
+							Platform:     plat,
+							Policy:       pol,
+							Workload:     wl,
+							Placer:       placer,
+							Seed:         seed,
+							Duration:     s.Duration,
+							UntilDone:    s.UntilDone,
+							Tick:         s.Tick,
+							SamplePeriod: s.SamplePeriod,
+						})
+					}
+				}
+			}
+		}
+	}
+	cells = append(cells, s.ExtraCells...)
+	if len(cells) == 0 {
+		return nil, errors.New("fleet: spec declares no cells")
+	}
+	for i, c := range cells {
+		if err := c.validate(); err != nil {
+			return nil, fmt.Errorf("%w (cell %d)", err, i)
+		}
+	}
+	return cells, nil
+}
+
+// session lowers the cell to the engine's session description with fresh
+// manager and workload instances.
+func (c Cell) session() (sim.SessionSpec, error) {
+	mgr, err := c.Policy.New(c.Platform)
+	if err != nil {
+		return sim.SessionSpec{}, fmt.Errorf("fleet: building policy %q for %s: %w", c.Policy.Name, c.Platform.Name, err)
+	}
+	wls, err := c.Workload.New()
+	if err != nil {
+		return sim.SessionSpec{}, fmt.Errorf("fleet: building workload %q: %w", c.Workload.Name, err)
+	}
+	return sim.SessionSpec{
+		Platform:     c.Platform,
+		Manager:      mgr,
+		Workloads:    wls,
+		Duration:     c.Duration,
+		UntilDone:    c.UntilDone,
+		Seed:         c.Seed,
+		Placer:       c.Placer,
+		Tick:         c.Tick,
+		SamplePeriod: c.SamplePeriod,
+	}, nil
+}

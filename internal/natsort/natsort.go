@@ -1,0 +1,64 @@
+// Package natsort provides the natural string ordering the reproduction
+// uses wherever ids with embedded numbers are listed: experiment ids
+// (fig2 before fig10), platform aliases (nexus5 before nexus6p), seed
+// labels (seed2 before seed10). Letters compare bytewise; maximal digit
+// runs compare as integers, ignoring leading zeros.
+package natsort
+
+import "sort"
+
+// Less reports whether a orders before b naturally: digit runs compare
+// numerically, ties fall back to the shorter string.
+func Less(a, b string) bool {
+	isDigit := func(c byte) bool { return '0' <= c && c <= '9' }
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		ca, cb := a[i], b[j]
+		if isDigit(ca) && isDigit(cb) {
+			ia, jb := i, j
+			for ia < len(a) && isDigit(a[ia]) {
+				ia++
+			}
+			for jb < len(b) && isDigit(b[jb]) {
+				jb++
+			}
+			na, nb := trimZeros(a[i:ia]), trimZeros(b[j:jb])
+			if len(na) != len(nb) {
+				return len(na) < len(nb)
+			}
+			if na != nb {
+				return na < nb
+			}
+			i, j = ia, jb
+			continue
+		}
+		if ca != cb {
+			return ca < cb
+		}
+		i++
+		j++
+	}
+	return len(a)-i < len(b)-j
+}
+
+func trimZeros(s string) string {
+	for len(s) > 0 && s[0] == '0' {
+		s = s[1:]
+	}
+	return s
+}
+
+// Strings sorts ss in place into a stable total natural order: naturally
+// equal ids ("fig01" vs "fig1") tie-break bytewise so the result is
+// deterministic regardless of input order.
+func Strings(ss []string) {
+	sort.Slice(ss, func(i, j int) bool {
+		if Less(ss[i], ss[j]) {
+			return true
+		}
+		if Less(ss[j], ss[i]) {
+			return false
+		}
+		return ss[i] < ss[j]
+	})
+}

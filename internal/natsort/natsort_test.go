@@ -1,0 +1,38 @@
+package natsort
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLess(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"fig2", "fig10", true},
+		{"fig10", "fig2", false},
+		{"fig9a", "fig10", true},
+		{"fig9a", "fig9b", true},
+		{"fig1", "fig1", false},
+		{"fig01", "fig1", false}, // leading zeros tie numerically: equal rank
+		{"fig1", "fig01", false},
+		{"a", "b", true},
+		{"nexus5", "nexus6p", true},
+		{"seed2", "seed10", true},
+	}
+	for _, c := range cases {
+		if got := Less(c.a, c.b); got != c.want {
+			t.Errorf("Less(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	got := []string{"fig10", "fig9a", "fig2", "fig01", "fig1", "table2", "table1"}
+	Strings(got)
+	want := []string{"fig01", "fig1", "fig2", "fig9a", "fig10", "table1", "table2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Strings = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"context"
+	"time"
+
+	"mobicore/internal/platform"
+	"mobicore/internal/policy"
+	"mobicore/internal/workload"
+)
+
+// SessionSpec describes one complete simulation session as a value: the
+// platform, the policy under test, the demand, and every knob that selects
+// a run. A session is data — the same spec always constructs the same
+// sim.Config, so higher layers (the experiment helpers, the fleet driver)
+// share one construction path instead of each assembling a Config by hand.
+//
+// The zero values of the optional fields select the engine defaults (1 ms
+// tick, 50 ms sampling, greedy placement), so a spec carrying only
+// Platform, Manager, Workloads, and Duration is a valid session.
+type SessionSpec struct {
+	// Platform is the device profile; required.
+	Platform platform.Platform
+	// Manager is the CPU management policy under test; required. Managers
+	// are stateful — a spec must carry a fresh instance, never one that
+	// already ran.
+	Manager policy.Manager
+	// Workloads generate demand; at least one is required. Like Manager,
+	// instances are stateful and single-session.
+	Workloads []workload.Workload
+
+	// Duration is how long the session runs (simulated time); required
+	// for RunSession. UntilDone sessions treat it as the deadline.
+	Duration time.Duration
+	// UntilDone stops the session as soon as every workload reports Done,
+	// with Duration as the cap — the RunUntilDone shape benchmarks use.
+	UntilDone bool
+
+	// Seed drives all workload randomness.
+	Seed int64
+	// Placer selects the scheduler placement rule: "" or PlacerGreedy for
+	// the default greedy, PlacerEAS for energy-aware placement.
+	Placer string
+	// Tick is the integration step (default 1 ms).
+	Tick time.Duration
+	// SamplePeriod is how often the manager runs (default 50 ms).
+	SamplePeriod time.Duration
+}
+
+// Config lowers the spec to the engine's Config (defaults still unfilled;
+// New applies them).
+func (sp SessionSpec) Config() Config {
+	return Config{
+		Platform:     sp.Platform,
+		Manager:      sp.Manager,
+		Workloads:    sp.Workloads,
+		Tick:         sp.Tick,
+		SamplePeriod: sp.SamplePeriod,
+		Seed:         sp.Seed,
+		Placer:       sp.Placer,
+	}
+}
+
+// New builds the session's simulation without running it, for callers that
+// need mid-run access (FPS series, thermal zones).
+func (sp SessionSpec) New() (*Sim, error) {
+	return New(sp.Config())
+}
+
+// Run builds and runs the session to completion (or until ctx is done) and
+// returns the report. Cancellation surfaces as a partial report alongside
+// ctx's error, exactly like Sim.RunCtx.
+func (sp SessionSpec) Run(ctx context.Context) (*Report, error) {
+	rep, _, err := sp.RunDone(ctx)
+	return rep, err
+}
+
+// RunDone is Run for callers that need the finish flag: whether every
+// workload reported Done within Duration. Duration-shaped sessions (the
+// default) finish by definition when they run to the end; an UntilDone
+// session reports what RunUntilDoneCtx observed.
+func (sp SessionSpec) RunDone(ctx context.Context) (*Report, bool, error) {
+	s, err := sp.New()
+	if err != nil {
+		return nil, false, err
+	}
+	if sp.UntilDone {
+		return s.RunUntilDoneCtx(ctx, sp.Duration)
+	}
+	rep, err := s.RunCtx(ctx, sp.Duration)
+	return rep, err == nil, err
+}

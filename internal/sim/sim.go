@@ -9,6 +9,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -558,11 +559,23 @@ func (s *Sim) applyFrequencies() error {
 // Run advances the simulation by d and returns the report for the whole
 // session so far.
 func (s *Sim) Run(d time.Duration) (*Report, error) {
+	return s.RunCtx(context.Background(), d)
+}
+
+// RunCtx is Run with cooperative cancellation: when ctx is done the loop
+// stops between ticks and returns the report accumulated so far alongside
+// ctx's error, so callers can render partial results after a SIGINT.
+func (s *Sim) RunCtx(ctx context.Context, d time.Duration) (*Report, error) {
 	if d <= 0 {
 		return nil, errors.New("sim: run duration must be positive")
 	}
 	end := s.now + d
 	for s.now < end {
+		select {
+		case <-ctx.Done():
+			return s.report(), ctx.Err()
+		default:
+		}
 		if err := s.Step(); err != nil {
 			return nil, err
 		}
@@ -574,6 +587,13 @@ func (s *Sim) Run(d time.Duration) (*Report, error) {
 // elapses, whichever is first. It returns the report and whether all
 // workloads finished.
 func (s *Sim) RunUntilDone(maxDur time.Duration) (*Report, bool, error) {
+	return s.RunUntilDoneCtx(context.Background(), maxDur)
+}
+
+// RunUntilDoneCtx is RunUntilDone with cooperative cancellation: when ctx
+// is done the loop stops between ticks and returns the partial report, a
+// false done flag, and ctx's error.
+func (s *Sim) RunUntilDoneCtx(ctx context.Context, maxDur time.Duration) (*Report, bool, error) {
 	if maxDur <= 0 {
 		return nil, false, errors.New("sim: max duration must be positive")
 	}
@@ -581,6 +601,11 @@ func (s *Sim) RunUntilDone(maxDur time.Duration) (*Report, bool, error) {
 	for s.now < end {
 		if allDone(s.cfg.Workloads) {
 			return s.report(), true, nil
+		}
+		select {
+		case <-ctx.Done():
+			return s.report(), false, ctx.Err()
+		default:
 		}
 		if err := s.Step(); err != nil {
 			return nil, false, err

@@ -1,0 +1,139 @@
+// Package stack resolves policy-stack names to policy.Manager instances:
+// the named managers of the thesis ("mobicore", "android-default",
+// "oracle") and the composable "<governor>+<hotplug>" forms, each built
+// appropriately for homogeneous and heterogeneous (big.LITTLE) platforms.
+// It is the single construction path shared by the public facade, the
+// fleet driver's name-based specs, and the CLIs, so the set of accepted
+// names cannot drift between layers.
+package stack
+
+import (
+	"fmt"
+	"strings"
+
+	"mobicore/internal/core"
+	"mobicore/internal/cpufreq"
+	"mobicore/internal/hotplug"
+	"mobicore/internal/platform"
+	"mobicore/internal/policy"
+	"mobicore/internal/power"
+	"mobicore/internal/soc"
+)
+
+// Named policy stacks.
+const (
+	// MobiCore is the paper's contribution: the full energy-model guided
+	// hybrid manager (DVFS + DCS + bandwidth in one decision).
+	MobiCore = "mobicore"
+	// MobiCoreThreshold is MobiCore with the §5.2 threshold rule for core
+	// re-evaluation instead of the energy-model search.
+	MobiCoreThreshold = "mobicore-threshold"
+	// AndroidDefault is the baseline the thesis evaluates against: the
+	// ondemand governor plus the default load hotplug.
+	AndroidDefault = "android-default"
+	// Oracle is the §4.2 exhaustive energy-model optimizer.
+	Oracle = "oracle"
+)
+
+// Names lists the named stacks (the composable "<governor>+<hotplug>"
+// forms are additional).
+func Names() []string {
+	return []string{AndroidDefault, MobiCore, MobiCoreThreshold, Oracle}
+}
+
+// Build resolves a policy name against a platform. On heterogeneous
+// platforms MobiCore runs one instance per cluster with an energy-aware
+// gate, and stock governors run one instance per cluster as independent
+// cpufreq policy domains, as Linux does. Each call returns a fresh
+// manager, so one name can seed many concurrent sessions.
+func Build(name string, plat platform.Platform) (policy.Manager, error) {
+	if name == "" {
+		name = AndroidDefault
+	}
+	switch name {
+	case AndroidDefault:
+		if plat.Heterogeneous() {
+			return composed("ondemand+load", plat)
+		}
+		return policy.AndroidDefault(plat.Table)
+	case MobiCore:
+		if plat.Heterogeneous() {
+			return clusteredMobiCore(plat, true)
+		}
+		model, err := power.NewModel(plat.Power, plat.Table)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewWithModel(plat.Table, core.DefaultTunables(), model)
+	case MobiCoreThreshold:
+		if plat.Heterogeneous() {
+			return clusteredMobiCore(plat, false)
+		}
+		return core.New(plat.Table, core.DefaultTunables())
+	case Oracle:
+		if plat.Heterogeneous() {
+			o, err := core.NewClusteredOracleForPlatform(plat, 0.15)
+			if err != nil {
+				return nil, err
+			}
+			return o, nil
+		}
+		model, err := power.NewModel(plat.Power, plat.Table)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewOracle(plat.Table, model, 0.15)
+	}
+	return composed(name, plat)
+}
+
+// clusteredMobiCore builds the per-cluster MobiCore manager; withModel
+// attaches each cluster's calibrated energy model for the §4.2 search.
+func clusteredMobiCore(plat platform.Platform, withModel bool) (policy.Manager, error) {
+	mgr, err := core.NewClusteredForPlatform(plat, core.DefaultTunables(), core.DefaultClusterTunables(), withModel)
+	if err != nil {
+		return nil, err
+	}
+	return mgr, nil
+}
+
+// composed parses "<governor>+<hotplug>".
+func composed(name string, plat platform.Platform) (policy.Manager, error) {
+	govName, plugName, ok := strings.Cut(name, "+")
+	if !ok || govName == "" || plugName == "" {
+		return nil, fmt.Errorf("unknown policy %q (want one of %v or \"governor+hotplug\")",
+			name, Names())
+	}
+	plug, err := buildHotplug(plugName)
+	if err != nil {
+		return nil, err
+	}
+	if plat.Heterogeneous() {
+		mgr, err := policy.ComposeClustered(govName,
+			func(t *soc.OPPTable) (cpufreq.Governor, error) { return cpufreq.New(govName, t) },
+			plug, plat.ClusterTables())
+		if err != nil {
+			return nil, err
+		}
+		return mgr, nil
+	}
+	gov, err := cpufreq.New(govName, plat.Table)
+	if err != nil {
+		return nil, err
+	}
+	return policy.Compose(gov, plug)
+}
+
+func buildHotplug(name string) (hotplug.Policy, error) {
+	switch name {
+	case "load":
+		return hotplug.NewLoad(hotplug.DefaultLoadTunables())
+	case "mpdecision":
+		return hotplug.MPDecision{}, nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(name, "fixed-%d", &n); err == nil {
+		return hotplug.NewFixed(n)
+	}
+	return nil, fmt.Errorf("unknown hotplug policy %q (want load, mpdecision, or fixed-N)", name)
+}

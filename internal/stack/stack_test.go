@@ -1,0 +1,36 @@
+package stack
+
+import (
+	"testing"
+
+	"mobicore/internal/platform"
+)
+
+// TestBuildNamedStacks: every named stack resolves on both a homogeneous
+// and a heterogeneous profile, and each call returns a distinct manager
+// instance (managers are stateful; the fleet driver builds one per cell).
+func TestBuildNamedStacks(t *testing.T) {
+	for _, plat := range []platform.Platform{platform.Nexus5(), platform.Nexus6P()} {
+		for _, name := range append(Names(), "", "interactive+load", "userspace+fixed-2") {
+			a, err := Build(name, plat)
+			if err != nil {
+				t.Fatalf("Build(%q, %s): %v", name, plat.Name, err)
+			}
+			b, err := Build(name, plat)
+			if err != nil {
+				t.Fatalf("Build(%q, %s) second call: %v", name, plat.Name, err)
+			}
+			if a == b {
+				t.Errorf("Build(%q, %s) returned the same instance twice", name, plat.Name)
+			}
+		}
+	}
+}
+
+func TestBuildRejectsUnknown(t *testing.T) {
+	for _, name := range []string{"nope", "ondemand", "ondemand+", "+load", "ondemand+nope"} {
+		if _, err := Build(name, platform.Nexus5()); err == nil {
+			t.Errorf("Build(%q) accepted", name)
+		}
+	}
+}

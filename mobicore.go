@@ -33,22 +33,20 @@
 package mobicore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
-	"strings"
 	"time"
 
-	"mobicore/internal/core"
 	"mobicore/internal/cpufreq"
 	"mobicore/internal/experiment"
-	"mobicore/internal/hotplug"
 	"mobicore/internal/platform"
 	"mobicore/internal/policy"
-	"mobicore/internal/power"
 	"mobicore/internal/sim"
 	"mobicore/internal/soc"
+	"mobicore/internal/stack"
 	"mobicore/internal/workload"
 )
 
@@ -56,17 +54,17 @@ import (
 const (
 	// PolicyMobiCore is the paper's contribution: the full energy-model
 	// guided hybrid manager (DVFS + DCS + bandwidth in one decision).
-	PolicyMobiCore = "mobicore"
+	PolicyMobiCore = stack.MobiCore
 	// PolicyMobiCoreThreshold is MobiCore with the §5.2 threshold rule
 	// for core re-evaluation instead of the energy-model search.
-	PolicyMobiCoreThreshold = "mobicore-threshold"
+	PolicyMobiCoreThreshold = stack.MobiCoreThreshold
 	// PolicyAndroidDefault is the baseline the thesis evaluates against:
 	// the ondemand governor plus the default load hotplug (mpdecision
 	// disabled).
-	PolicyAndroidDefault = "android-default"
+	PolicyAndroidDefault = stack.AndroidDefault
 	// PolicyOracle is the §4.2 exhaustive energy-model optimizer,
 	// re-evaluated every sampling period.
-	PolicyOracle = "oracle"
+	PolicyOracle = stack.Oracle
 )
 
 // Config assembles a simulated device.
@@ -159,9 +157,22 @@ func NewDevice(cfg Config, workloads ...Workload) (*Device, error) {
 // Run advances the simulation by d and returns the cumulative report.
 func (d *Device) Run(dur time.Duration) (*Report, error) { return d.sim.Run(dur) }
 
+// RunCtx is Run with cooperative cancellation: when ctx is done the
+// simulation stops between ticks and returns the report accumulated so
+// far alongside ctx's error, so a SIGINT still yields partial results.
+func (d *Device) RunCtx(ctx context.Context, dur time.Duration) (*Report, error) {
+	return d.sim.RunCtx(ctx, dur)
+}
+
 // RunUntilDone advances until every workload finishes or maxDur elapses.
 func (d *Device) RunUntilDone(maxDur time.Duration) (*Report, bool, error) {
 	return d.sim.RunUntilDone(maxDur)
+}
+
+// RunUntilDoneCtx is RunUntilDone with cooperative cancellation; like
+// RunCtx it returns the partial report alongside ctx's error.
+func (d *Device) RunUntilDoneCtx(ctx context.Context, maxDur time.Duration) (*Report, bool, error) {
+	return d.sim.RunUntilDoneCtx(ctx, maxDur)
 }
 
 // Now returns the current simulated time.
@@ -209,104 +220,17 @@ func lookupPlatform(name string) (platform.Platform, error) {
 
 // Policies lists the accepted policy names (the composable
 // "<governor>+<hotplug>" forms are additional).
-func Policies() []string {
-	return []string{PolicyAndroidDefault, PolicyMobiCore, PolicyMobiCoreThreshold, PolicyOracle}
-}
+func Policies() []string { return stack.Names() }
 
-// buildPolicy resolves a policy name against a platform. On heterogeneous
-// (big.LITTLE) platforms MobiCore runs one instance per cluster with an
-// energy-aware gate, and stock governors run one instance per cluster as
-// independent cpufreq policy domains.
+// buildPolicy resolves a policy name against a platform; the shared
+// resolution lives in internal/stack so the facade, the fleet driver, and
+// the CLIs accept exactly the same names.
 func buildPolicy(name string, plat platform.Platform) (policy.Manager, error) {
-	if name == "" {
-		name = PolicyAndroidDefault
-	}
-	switch name {
-	case PolicyAndroidDefault:
-		if plat.Heterogeneous() {
-			return composedPolicy("ondemand+load", plat)
-		}
-		return policy.AndroidDefault(plat.Table)
-	case PolicyMobiCore:
-		if plat.Heterogeneous() {
-			return clusteredMobiCore(plat, true)
-		}
-		model, err := power.NewModel(plat.Power, plat.Table)
-		if err != nil {
-			return nil, fmt.Errorf("mobicore: %w", err)
-		}
-		return core.NewWithModel(plat.Table, core.DefaultTunables(), model)
-	case PolicyMobiCoreThreshold:
-		if plat.Heterogeneous() {
-			return clusteredMobiCore(plat, false)
-		}
-		return core.New(plat.Table, core.DefaultTunables())
-	case PolicyOracle:
-		if plat.Heterogeneous() {
-			o, err := core.NewClusteredOracleForPlatform(plat, 0.15)
-			if err != nil {
-				return nil, fmt.Errorf("mobicore: %w", err)
-			}
-			return o, nil
-		}
-		model, err := power.NewModel(plat.Power, plat.Table)
-		if err != nil {
-			return nil, fmt.Errorf("mobicore: %w", err)
-		}
-		return core.NewOracle(plat.Table, model, 0.15)
-	}
-	return composedPolicy(name, plat)
-}
-
-// clusteredMobiCore builds the per-cluster MobiCore manager; withModel
-// attaches each cluster's calibrated energy model for the §4.2 search.
-func clusteredMobiCore(plat platform.Platform, withModel bool) (policy.Manager, error) {
-	mgr, err := core.NewClusteredForPlatform(plat, core.DefaultTunables(), core.DefaultClusterTunables(), withModel)
+	mgr, err := stack.Build(name, plat)
 	if err != nil {
 		return nil, fmt.Errorf("mobicore: %w", err)
 	}
 	return mgr, nil
-}
-
-// composedPolicy parses "<governor>+<hotplug>".
-func composedPolicy(name string, plat platform.Platform) (policy.Manager, error) {
-	govName, plugName, ok := strings.Cut(name, "+")
-	if !ok || govName == "" || plugName == "" {
-		return nil, fmt.Errorf("mobicore: unknown policy %q (want one of %v or \"governor+hotplug\")",
-			name, Policies())
-	}
-	plug, err := buildHotplug(plugName)
-	if err != nil {
-		return nil, err
-	}
-	if plat.Heterogeneous() {
-		mgr, err := policy.ComposeClustered(govName,
-			func(t *soc.OPPTable) (cpufreq.Governor, error) { return cpufreq.New(govName, t) },
-			plug, plat.ClusterTables())
-		if err != nil {
-			return nil, fmt.Errorf("mobicore: %w", err)
-		}
-		return mgr, nil
-	}
-	gov, err := cpufreq.New(govName, plat.Table)
-	if err != nil {
-		return nil, fmt.Errorf("mobicore: %w", err)
-	}
-	return policy.Compose(gov, plug)
-}
-
-func buildHotplug(name string) (hotplug.Policy, error) {
-	switch name {
-	case "load":
-		return hotplug.NewLoad(hotplug.DefaultLoadTunables())
-	case "mpdecision":
-		return hotplug.MPDecision{}, nil
-	}
-	var n int
-	if _, err := fmt.Sscanf(name, "fixed-%d", &n); err == nil {
-		return hotplug.NewFixed(n)
-	}
-	return nil, fmt.Errorf("mobicore: unknown hotplug policy %q (want load, mpdecision, or fixed-N)", name)
 }
 
 // Governors lists the available cpufreq governors.
