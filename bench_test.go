@@ -434,6 +434,9 @@ func perTickPlaced(b *testing.B, plat platform.Platform, mgr policy.Manager, thr
 	if _, err := s.Run(100 * time.Millisecond); err != nil {
 		b.Fatal(err)
 	}
+	// allocs/op guards the pooled per-tick scratch (threads, core loads);
+	// TestStepAllocs in internal/sim enforces the budget.
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := s.Step(); err != nil {

@@ -8,14 +8,28 @@
 //	mobifleet -seeds 8 -parallel 4 -json -dur 10s
 //
 // -seeds N runs every cell at N consecutive seeds starting from -seed;
-// the report aggregates mean/stddev/min/max/p50/p95 of energy, FPS, drop
-// rate, and throttle residency across them. -parallel bounds the worker
-// pool (default GOMAXPROCS); parallelism never changes output, only
-// wall-clock time. SIGINT cancels cleanly and reports the cells that
-// finished.
+// the report aggregates mean/stddev/min/max/p50/p95 — plus the mean's 95%
+// confidence interval — of energy, FPS, drop rate, and throttle residency
+// across them, and appends paired matched-seed deltas (policy vs policy,
+// placer vs placer) with their own CIs. -parallel bounds the worker pool
+// (default GOMAXPROCS); parallelism never changes output, only wall-clock
+// time. SIGINT cancels cleanly and reports the cells that finished.
+//
+// The study pipeline:
+//
+//	mobifleet -platforms nexus6p -policies all -seeds 100 -dur 30s -store out/
+//	mobifleet -platforms nexus6p -policies all -seeds 100 -dur 30s -store out/ -resume -csv out/cells.csv
+//
+// -store persists every completed cell to <store>/cells.jsonl keyed by a
+// canonical identity hash (merged across invocations, byte-stable at any
+// parallelism); -resume answers already-stored cells from the store and
+// executes only the missing ones — a fully-cached matrix executes zero
+// sessions and reproduces the cold run's CSV byte for byte. -traces adds
+// per-cell gzip JSONL power traces under <store>/traces. -csv exports the
+// per-cell rows ("-" for stdout).
 //
 // -json emits the fleet result as one JSON document (cells in matrix
-// order, then aggregates).
+// order, then aggregates and paired comparisons).
 package main
 
 import (
@@ -41,7 +55,7 @@ func main() {
 func run() int {
 	var (
 		platforms = flag.String("platforms", "nexus5", "comma-separated device profiles, or \"all\"")
-		policies  = flag.String("policies", "android-default", "comma-separated CPU management policies")
+		policies  = flag.String("policies", "android-default", "comma-separated CPU management policies, or \"all\"")
 		scheds    = flag.String("scheds", "greedy", "comma-separated placement rules: greedy, eas, or \"all\"")
 		seeds     = flag.Int("seeds", 1, "number of consecutive seeds per cell")
 		seed      = flag.Int64("seed", 1, "first workload randomness seed")
@@ -54,12 +68,16 @@ func run() int {
 		iters     = flag.Int("iterations", 3, "geekbench iterations per thread")
 		asJSON    = flag.Bool("json", false, "emit the fleet result as a JSON document")
 		list      = flag.Bool("list", false, "list platforms, policies, scheds, and games")
+		storeDir  = flag.String("store", "", "persistent result store directory (JSONL per cell, merged across runs)")
+		resume    = flag.Bool("resume", false, "load cached cells from -store and execute only the missing ones")
+		traces    = flag.Bool("traces", false, "export per-cell power traces (gzip JSONL) under <store>/traces")
+		csvPath   = flag.String("csv", "", "write per-cell results as CSV to this path (\"-\" for stdout)")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println("platforms: ", mobicore.Platforms())
-		fmt.Println("policies:  ", mobicore.Policies(), `plus "<governor>+<hotplug>"`)
+		fmt.Println("policies:  ", mobicore.Policies(), `plus "<governor>+<hotplug>"; "all" =`, allPolicies())
 		fmt.Println("scheds:    ", mobicore.Scheds())
 		fmt.Println("games:     ", mobicore.GameNames())
 		return 0
@@ -80,11 +98,14 @@ func run() int {
 	}
 	cfg := mobicore.FleetConfig{
 		Platforms: expandList(*platforms, mobicore.Platforms()),
-		Policies:  splitList(*policies),
+		Policies:  expandList(*policies, allPolicies()),
 		Scheds:    expandList(*scheds, mobicore.Scheds()),
 		Seeds:     seedList,
 		Duration:  *dur,
 		Parallel:  *parallel,
+		Store:     *storeDir,
+		Resume:    *resume,
+		Traces:    *traces,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -110,10 +131,40 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "mobifleet:", err)
 		return 1
 	}
+	if *csvPath != "" {
+		if err := writeCSV(res, *csvPath); err != nil {
+			fmt.Fprintln(os.Stderr, "mobifleet:", err)
+			return 1
+		}
+	}
 	if canceled {
 		return 130
 	}
 	return 0
+}
+
+// writeCSV exports the per-cell results to a file, or stdout for "-".
+func writeCSV(res *mobicore.FleetResult, path string) error {
+	if path == "-" {
+		return res.WriteCSV(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// allPolicies is what "-policies all" expands to: the named stacks plus
+// the stock per-cluster governor stacks the paper's comparisons run
+// against (ondemand+load is android-default, so it is not repeated).
+func allPolicies() []string {
+	return append(mobicore.Policies(),
+		"conservative+load", "interactive+load", "schedutil+load")
 }
 
 // workloadFactory builds the per-cell workload recipe from the flags.

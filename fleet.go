@@ -3,6 +3,7 @@ package mobicore
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"mobicore/internal/fleet"
@@ -36,6 +37,21 @@ type FleetConfig struct {
 	// never changes results — output is ordered by cell index — only
 	// wall-clock time.
 	Parallel int
+
+	// Store names a directory for the persistent result store: every
+	// completed cell is merged into <Store>/cells.jsonl keyed by its
+	// canonical identity hash, so sweeps compose across invocations.
+	// Empty disables persistence.
+	Store string
+	// Resume loads cached cells from Store before running, executing only
+	// the cells the store does not hold yet. Requires Store. A fully-
+	// cached matrix executes zero sessions and reproduces the cold run's
+	// aggregates and CSV byte for byte.
+	Resume bool
+	// Traces exports each executed cell's per-tick power trace (system
+	// plus per-cluster watts) as gzip JSONL under <Store>/traces.
+	// Requires Store.
+	Traces bool
 }
 
 // FleetWorkload names a workload recipe for fleet cells. Workload
@@ -59,8 +75,17 @@ type FleetCell = fleet.CellResult
 // FleetAggregate is one matrix group summarized across its seeds.
 type FleetAggregate = fleet.Aggregate
 
-// FleetStat is one metric's distribution across a group's seeds.
+// FleetStat is one metric's distribution across a group's seeds,
+// including the mean's 95% confidence interval.
 type FleetStat = fleet.Stat
+
+// FleetComparison is a paired matched-seed difference between two
+// policies (or two placers) in the same matrix context.
+type FleetComparison = fleet.Comparison
+
+// FleetPairedStat is one metric's paired-difference summary inside a
+// FleetComparison.
+type FleetPairedStat = fleet.PairedStat
 
 // RunFleet executes the matrix cfg declares over the given workload
 // factories and returns every session's report plus cross-seed aggregates
@@ -102,6 +127,16 @@ func RunFleet(ctx context.Context, cfg FleetConfig, workloads ...FleetWorkload) 
 		}
 		pols = append(pols, fleetPolicy(name))
 	}
+	if cfg.Traces && cfg.Store == "" {
+		return nil, fmt.Errorf("mobicore: FleetConfig.Traces requires Store")
+	}
+	if cfg.Resume && cfg.Store == "" {
+		return nil, fmt.Errorf("mobicore: FleetConfig.Resume requires Store")
+	}
+	traceDir := ""
+	if cfg.Traces {
+		traceDir = filepath.Join(cfg.Store, "traces")
+	}
 	res, err := fleet.Run(ctx, fleet.Spec{
 		Platforms:    plats,
 		Policies:     pols,
@@ -112,6 +147,9 @@ func RunFleet(ctx context.Context, cfg FleetConfig, workloads ...FleetWorkload) 
 		Tick:         cfg.Tick,
 		SamplePeriod: cfg.SamplePeriod,
 		Parallel:     cfg.Parallel,
+		StoreDir:     cfg.Store,
+		Resume:       cfg.Resume,
+		TraceDir:     traceDir,
 	})
 	if err != nil && res == nil {
 		return nil, fmt.Errorf("mobicore: %w", err)

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -77,6 +78,69 @@ func TestRunFleetValidation(t *testing.T) {
 	cfg.Policies = []string{"nope"}
 	if _, err := mobicore.RunFleet(context.Background(), cfg, busyFleetWorkload(t)); err == nil {
 		t.Error("unknown policy accepted")
+	}
+}
+
+// TestRunFleetStudyPipeline: the facade's store/resume/traces wiring — a
+// stored run resumes with zero executions and byte-identical CSV, traces
+// land under <store>/traces, and the flags validate.
+func TestRunFleetStudyPipeline(t *testing.T) {
+	dir := t.TempDir()
+	cfg := mobicore.FleetConfig{
+		Platforms: []string{"nexus5"},
+		Policies:  []string{mobicore.PolicyMobiCore, "interactive+load"},
+		Seeds:     []int64{1, 2, 3},
+		Duration:  time.Second,
+		Store:     dir,
+		Traces:    true,
+	}
+	res, err := mobicore.RunFleet(context.Background(), cfg, busyFleetWorkload(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cold bytes.Buffer
+	if err := res.WriteCSV(&cold); err != nil {
+		t.Fatal(err)
+	}
+	traces, err := filepath.Glob(filepath.Join(dir, "traces", "*.trace.jsonl.gz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 6 {
+		t.Errorf("%d trace files, want 6", len(traces))
+	}
+
+	cfg.Resume = true
+	res, err = mobicore.RunFleet(context.Background(), cfg, busyFleetWorkload(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached != 6 || res.Cached != res.Total {
+		t.Errorf("resume cached %d of %d, want all 6", res.Cached, res.Total)
+	}
+	var warm bytes.Buffer
+	if err := res.WriteCSV(&warm); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Error("resumed CSV differs from cold CSV")
+	}
+	// Aggregates and paired comparisons survive the cache round trip.
+	if len(res.Aggregates) != 2 || res.Aggregates[0].EnergyJ.CI95Hi < res.Aggregates[0].EnergyJ.CI95Lo {
+		t.Errorf("cached aggregates malformed: %+v", res.Aggregates)
+	}
+	if len(res.Comparisons) != 1 || res.Comparisons[0].Seeds != 3 {
+		t.Errorf("cached comparisons malformed: %+v", res.Comparisons)
+	}
+
+	// Traces and Resume require Store.
+	for _, bad := range []mobicore.FleetConfig{
+		{Duration: time.Second, Traces: true},
+		{Duration: time.Second, Resume: true},
+	} {
+		if _, err := mobicore.RunFleet(context.Background(), bad, busyFleetWorkload(t)); err == nil {
+			t.Errorf("config %+v accepted without Store", bad)
+		}
 	}
 }
 

@@ -41,6 +41,11 @@ type BigLittleClusterRow struct {
 type BigLittleResult struct {
 	Game string
 	Rows []BigLittleRow
+	// CrossSeed carries the distribution block (per-policy mean ± 95% CI
+	// and paired MobiCore-vs-governor deltas) when run at Options.Seeds
+	// > 1; nil on single-seed runs. The Rows always describe the first
+	// seed, so single-seed output is unchanged.
+	CrossSeed *CrossSeedStats
 }
 
 // ID implements Result.
@@ -78,7 +83,7 @@ func (r *BigLittleResult) WriteText(w io.Writer) error {
 				sparkline(cl.FreqSeries, 1e6), sparkline(cl.CoreSeries, 1))
 		}
 	}
-	return nil
+	return r.CrossSeed.writeText(w)
 }
 
 // sparkline renders up to 12 evenly spaced samples of a series, scaled.
@@ -123,18 +128,21 @@ func bigLittlePolicies() []fleet.PolicyFactory {
 // driver's worker pool (Options.Parallel).
 func RunBigLittle(opt Options) (Result, error) {
 	prof := games.RealRacing3()
-	cells, err := runFleet(fleet.Spec{
+	fres, err := runFleet(fleet.Spec{
 		Platforms: []platform.Platform{platform.Nexus6P()},
 		Policies:  bigLittlePolicies(),
 		Workloads: []fleet.WorkloadFactory{gameFactory(prof)},
-		Seeds:     []int64{opt.Seed},
+		Seeds:     opt.seedList(),
 		Duration:  opt.dur(120 * time.Second),
 	}, opt)
 	if err != nil {
 		return nil, fmt.Errorf("biglittle: %w", err)
 	}
-	res := &BigLittleResult{Game: prof.Name}
-	for _, c := range cells {
+	res := &BigLittleResult{Game: prof.Name, CrossSeed: crossSeed(fres, opt)}
+	for _, c := range fres.Cells {
+		if c.Seed != opt.Seed {
+			continue // rows describe the first seed; stats cover the rest
+		}
 		rep := c.Report
 		row := BigLittleRow{
 			Policy:  c.Policy,

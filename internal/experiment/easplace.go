@@ -37,6 +37,10 @@ type EASPlaceRow struct {
 // placer actually spent the joules.
 type EASPlaceResult struct {
 	Rows []EASPlaceRow
+	// CrossSeed carries the distribution block (per-cell mean ± 95% CI
+	// and paired eas-vs-greedy deltas on matched seeds) when run at
+	// Options.Seeds > 1; nil on single-seed runs.
+	CrossSeed *CrossSeedStats
 }
 
 // ID implements Result.
@@ -67,7 +71,7 @@ func (r *EASPlaceResult) WriteText(w io.Writer) error {
 		}
 		fmt.Fprintln(w)
 	}
-	return nil
+	return r.CrossSeed.writeText(w)
 }
 
 // easplacePlatforms lists the heterogeneous profiles under comparison: the
@@ -94,7 +98,7 @@ func RunEASPlace(opt Options) (Result, error) {
 	for _, prof := range easplaceGames() {
 		workloads = append(workloads, gameFactory(prof))
 	}
-	cells, err := runFleet(fleet.Spec{
+	fres, err := runFleet(fleet.Spec{
 		Platforms: easplacePlatforms(),
 		Policies: []fleet.PolicyFactory{{
 			Name: "schedutil",
@@ -104,14 +108,17 @@ func RunEASPlace(opt Options) (Result, error) {
 		}},
 		Workloads: workloads,
 		Placers:   []string{sim.PlacerGreedy, sim.PlacerEAS},
-		Seeds:     []int64{opt.Seed},
+		Seeds:     opt.seedList(),
 		Duration:  opt.dur(60 * time.Second),
 	}, opt)
 	if err != nil {
 		return nil, fmt.Errorf("easplace: %w", err)
 	}
-	res := &EASPlaceResult{}
-	for _, c := range cells {
+	res := &EASPlaceResult{CrossSeed: crossSeed(fres, opt)}
+	for _, c := range fres.Cells {
+		if c.Seed != opt.Seed {
+			continue // rows describe the first seed; stats cover the rest
+		}
 		res.Rows = append(res.Rows, EASPlaceRow{
 			Platform:       c.Platform,
 			Workload:       c.Workload,

@@ -37,6 +37,12 @@ type Options struct {
 	// GOMAXPROCS. Parallelism never changes results — each session owns
 	// its rng and rows keep declaration order — only wall-clock time.
 	Parallel int
+	// Seeds runs the fleet-driven experiments (biglittle, easplace,
+	// sustained) at this many consecutive seeds starting from Seed and
+	// appends cross-seed statistics to the report: per-group mean ± 95%
+	// CI and paired matched-seed deltas on the headline comparisons. 0 or
+	// 1 keeps the single-seed output byte-identical to earlier releases.
+	Seeds int
 }
 
 func (o Options) scale() float64 {
@@ -165,15 +171,113 @@ func newSim(plat platform.Platform, mgr policy.Manager, wls []workload.Workload,
 	}.New()
 }
 
-// runFleet executes a declared fleet matrix with the option's parallelism
-// and hands back the completed cells in declaration order.
-func runFleet(spec fleet.Spec, opt Options) ([]fleet.CellResult, error) {
-	spec.Parallel = opt.Parallel
-	res, err := fleet.Run(context.Background(), spec)
-	if err != nil {
-		return nil, err
+// seedList expands Options into the fleet seed dimension: Seeds
+// consecutive seeds from Seed (a single seed when Seeds <= 1).
+func (o Options) seedList() []int64 {
+	n := o.Seeds
+	if n < 1 {
+		n = 1
 	}
-	return res.Cells, nil
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = o.Seed + int64(i)
+	}
+	return out
+}
+
+// runFleet executes a declared fleet matrix with the option's parallelism
+// and hands back the full result (cells in declaration order, cross-seed
+// aggregates, paired comparisons).
+func runFleet(spec fleet.Spec, opt Options) (*fleet.Result, error) {
+	spec.Parallel = opt.Parallel
+	return fleet.Run(context.Background(), spec)
+}
+
+// CrossSeedStats is the distribution block a fleet-driven experiment
+// carries when run at Options.Seeds > 1: each matrix group's cross-seed
+// aggregates (mean ± stddev and the mean's 95% CI) plus the paired
+// matched-seed deltas on the experiment's headline comparisons. Nil on
+// single-seed runs, whose output stays byte-identical to earlier releases.
+type CrossSeedStats struct {
+	// Seeds is the seed count every group ran.
+	Seeds int `json:"seeds"`
+	// Aggregates holds one entry per matrix group, in first-cell order.
+	Aggregates []fleet.Aggregate `json:"aggregates"`
+	// Comparisons holds the paired deltas (policy vs policy, placer vs
+	// placer) on matched seeds.
+	Comparisons []fleet.Comparison `json:"comparisons"`
+}
+
+// crossSeed builds the stats block from a fleet result, nil unless the
+// options asked for a multi-seed run.
+func crossSeed(res *fleet.Result, opt Options) *CrossSeedStats {
+	if opt.Seeds <= 1 {
+		return nil
+	}
+	return &CrossSeedStats{
+		Seeds:       opt.Seeds,
+		Aggregates:  res.Aggregates,
+		Comparisons: res.Comparisons,
+	}
+}
+
+// writeText renders the stats block: per-group intervals first, then the
+// paired deltas that answer "does A beat B, and by how much ± what".
+func (cs *CrossSeedStats) writeText(w io.Writer) error {
+	if cs == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "cross-seed statistics (%d seeds, mean ± stddev, 95%% CI):\n", cs.Seeds); err != nil {
+		return err
+	}
+	for _, a := range cs.Aggregates {
+		placer := a.Placer
+		if placer == "" {
+			placer = "greedy"
+		}
+		if _, err := fmt.Fprintf(w, "  %s / %s / %s / %s: energy %.4g ± %.3g J ci95 [%.4g, %.4g]",
+			a.Platform, a.Policy, a.Workload, placer,
+			a.EnergyJ.Mean, a.EnergyJ.StdDev, a.EnergyJ.CI95Lo, a.EnergyJ.CI95Hi); err != nil {
+			return err
+		}
+		if a.HasFrames {
+			if _, err := fmt.Fprintf(w, "; fps %.3g ci95 [%.3g, %.3g]",
+				a.AvgFPS.Mean, a.AvgFPS.CI95Lo, a.AvgFPS.CI95Hi); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "; throttle %.3g s ci95 [%.3g, %.3g]\n",
+			a.ThrottleSec.Mean, a.ThrottleSec.CI95Lo, a.ThrottleSec.CI95Hi); err != nil {
+			return err
+		}
+	}
+	if len(cs.Comparisons) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "paired deltas (B-A on matched seeds, 95% CI):"); err != nil {
+		return err
+	}
+	for _, c := range cs.Comparisons {
+		context := c.Placer
+		if c.Dimension == "placer" {
+			context = c.Policy
+		}
+		if _, err := fmt.Fprintf(w, "  %s / %s / %s: %s - %s: energy %+.4g J ci95 [%+.4g, %+.4g] (%+.1f%%)",
+			c.Platform, c.Workload, context, c.B, c.A,
+			c.EnergyJ.MeanDelta, c.EnergyJ.CI95Lo, c.EnergyJ.CI95Hi, c.EnergyJ.Rel*100); err != nil {
+			return err
+		}
+		if c.HasFrames {
+			if _, err := fmt.Fprintf(w, "; fps %+.3g ci95 [%+.3g, %+.3g]",
+				c.AvgFPS.MeanDelta, c.AvgFPS.CI95Lo, c.AvgFPS.CI95Hi); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // gameFactory builds a fresh instance of one game profile per fleet cell.

@@ -2,10 +2,13 @@ package experiment
 
 import (
 	"bytes"
+	"flag"
 	"os"
 	"path/filepath"
 	"testing"
 )
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files from current output")
 
 // TestFleetPortedExperimentsMatchGolden locks the multi-layer refactor's
 // compatibility contract: the experiments ported onto the fleet driver
@@ -38,6 +41,57 @@ func TestFleetPortedExperimentsMatchGolden(t *testing.T) {
 			if !bytes.Equal(buf.Bytes(), golden) {
 				t.Errorf("%s (parallel %d) drifted from the pre-fleet serial output:\n--- got ---\n%s\n--- want ---\n%s",
 					c.id, parallel, buf.Bytes(), golden)
+			}
+		}
+	}
+}
+
+// TestCrossSeedExperimentsMatchGolden locks the multi-seed output: the
+// per-seed rows stay exactly the single-seed rendering, and the appended
+// cross-seed block (per-group mean ± 95% CI, paired matched-seed deltas)
+// is byte-stable at any parallelism. Regenerate with -update-golden after
+// an intentional physics or formatting change.
+func TestCrossSeedExperimentsMatchGolden(t *testing.T) {
+	cases := []struct {
+		id    string
+		scale float64
+	}{
+		{"biglittle", 0.05},
+		{"easplace", 0.05},
+		{"sustained", 0.2},
+	}
+	for _, c := range cases {
+		golden := filepath.Join("testdata", c.id+"_ci_golden.txt")
+		for _, parallel := range []int{1, 8} {
+			res, err := Run(c.id, Options{Scale: c.scale, Seed: 42, Seeds: 3, Parallel: parallel})
+			if err != nil {
+				t.Fatalf("%s (parallel %d): %v", c.id, parallel, err)
+			}
+			var buf bytes.Buffer
+			if err := res.WriteText(&buf); err != nil {
+				t.Fatalf("%s: rendering: %v", c.id, err)
+			}
+			// The multi-seed output must extend — never alter — the
+			// single-seed golden: its first bytes are that file exactly.
+			base, err := os.ReadFile(filepath.Join("testdata", c.id+"_golden.txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.HasPrefix(buf.Bytes(), base) {
+				t.Errorf("%s: multi-seed output does not extend the single-seed golden:\n%s", c.id, buf.Bytes())
+			}
+			if *updateGolden && parallel == 1 {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s (parallel %d) drifted from the cross-seed golden:\n--- got ---\n%s\n--- want ---\n%s",
+					c.id, parallel, buf.Bytes(), want)
 			}
 		}
 	}

@@ -40,6 +40,10 @@ type SustainedResult struct {
 	Game     string
 	Duration time.Duration
 	Rows     []SustainedRow
+	// CrossSeed carries the distribution block (per-policy mean ± 95% CI
+	// on energy/FPS/throttle and paired policy deltas on matched seeds)
+	// when run at Options.Seeds > 1; nil on single-seed runs.
+	CrossSeed *CrossSeedStats
 }
 
 // ID implements Result.
@@ -76,7 +80,7 @@ func (r *SustainedResult) WriteText(w io.Writer) error {
 			fmt.Fprintf(w, "%s / %s: temp C %s\n", row.Policy, cl.Name, sparkline(cl.TempSeries, 1))
 		}
 	}
-	return nil
+	return r.CrossSeed.writeText(w)
 }
 
 // sustainedRacing is Real Racing 3 at the asset tier a 2015 flagship is
@@ -101,18 +105,21 @@ func sustainedRacing() games.Profile {
 func RunSustained(opt Options) (Result, error) {
 	prof := sustainedRacing()
 	dur := opt.dur(5 * time.Minute)
-	cells, err := runFleet(fleet.Spec{
+	fres, err := runFleet(fleet.Spec{
 		Platforms: []platform.Platform{platform.Nexus6P()},
 		Policies:  bigLittlePolicies(),
 		Workloads: []fleet.WorkloadFactory{gameFactory(prof)},
-		Seeds:     []int64{opt.Seed},
+		Seeds:     opt.seedList(),
 		Duration:  dur,
 	}, opt)
 	if err != nil {
 		return nil, fmt.Errorf("sustained: %w", err)
 	}
-	res := &SustainedResult{Game: prof.Name, Duration: dur}
-	for _, c := range cells {
+	res := &SustainedResult{Game: prof.Name, Duration: dur, CrossSeed: crossSeed(fres, opt)}
+	for _, c := range fres.Cells {
+		if c.Seed != opt.Seed {
+			continue // rows describe the first seed; stats cover the rest
+		}
 		rep := c.Report
 		row := SustainedRow{
 			Policy:   c.Policy,

@@ -1,9 +1,11 @@
 package fleet
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 
+	"mobicore/internal/fleet/store"
 	"mobicore/internal/sim"
 )
 
@@ -16,11 +18,16 @@ func placerName(p string) string {
 }
 
 // WriteText renders the fleet result as aligned human-readable text: one
-// row per cell in spec order, then the cross-seed aggregates. Because
-// cells are index-ordered, the rendering is byte-identical whatever
-// parallelism produced the result.
+// row per cell in spec order, then the cross-seed aggregates (mean ±
+// stddev, extremes, quantiles, and the mean's 95% CI), then the paired
+// matched-seed deltas. Because cells are index-ordered, the rendering is
+// byte-identical whatever parallelism produced the result.
 func (r *Result) WriteText(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "fleet: %d of %d cells\n", len(r.Cells), r.Total); err != nil {
+	cached := ""
+	if r.Cached > 0 {
+		cached = fmt.Sprintf(" (%d cached)", r.Cached)
+	}
+	if _, err := fmt.Fprintf(w, "fleet: %d of %d cells%s\n", len(r.Cells), r.Total, cached); err != nil {
 		return err
 	}
 	if len(r.Cells) == 0 {
@@ -64,11 +71,65 @@ func (r *Result) WriteText(w io.Writer) error {
 			return err
 		}
 	}
+	return r.writeComparisons(w)
+}
+
+// writeComparisons renders the paired matched-seed deltas, when any pair
+// shares enough seeds to bound.
+func (r *Result) writeComparisons(w io.Writer) error {
+	if len(r.Comparisons) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "paired deltas (B-A on matched seeds, 95% CI):"); err != nil {
+		return err
+	}
+	for _, c := range r.Comparisons {
+		context := c.Placer
+		if c.Dimension == "placer" {
+			context = c.Policy
+		}
+		if _, err := fmt.Fprintf(w, "  %s / %s / %s: %s - %s (%d seeds): energy %+.4g J ci95 [%+.4g, %+.4g] (%+.1f%%)",
+			c.Platform, c.Workload, context, c.B, c.A, c.Seeds,
+			c.EnergyJ.MeanDelta, c.EnergyJ.CI95Lo, c.EnergyJ.CI95Hi, c.EnergyJ.Rel*100); err != nil {
+			return err
+		}
+		if c.HasFrames {
+			if _, err := fmt.Fprintf(w, "; fps %+.3g ci95 [%+.3g, %+.3g]",
+				c.AvgFPS.MeanDelta, c.AvgFPS.CI95Lo, c.AvgFPS.CI95Hi); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 func writeStat(w io.Writer, label string, s Stat) error {
-	_, err := fmt.Fprintf(w, "  %-11s mean %.4g ± %.3g  [%.4g, %.4g]  p50 %.4g  p95 %.4g\n",
-		label+":", s.Mean, s.StdDev, s.Min, s.Max, s.P50, s.P95)
+	_, err := fmt.Fprintf(w, "  %-11s mean %.4g ± %.3g  ci95 [%.4g, %.4g]  [%.4g, %.4g]  p50 %.4g  p95 %.4g\n",
+		label+":", s.Mean, s.StdDev, s.CI95Lo, s.CI95Hi, s.Min, s.Max, s.P50, s.P95)
 	return err
+}
+
+// WriteCSV exports every completed cell as one CSV row in spec order,
+// using the result store's column set — so a per-run CSV and a store-wide
+// export join on identical columns. Rows are byte-stable: a resumed run
+// that answered cells from the store emits exactly the bytes the cold run
+// did.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(store.CSVHeader()); err != nil {
+		return fmt.Errorf("fleet: writing csv header: %w", err)
+	}
+	for i := range r.Cells {
+		if err := cw.Write(r.Cells[i].rec.CSVRow()); err != nil {
+			return fmt.Errorf("fleet: writing csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("fleet: flushing csv: %w", err)
+	}
+	return nil
 }

@@ -4,10 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"mobicore/internal/fleet/store"
 	"mobicore/internal/sim"
 	"mobicore/internal/workload"
 )
@@ -16,6 +19,9 @@ import (
 type CellResult struct {
 	// Index is the cell's position in Spec.Cells order.
 	Index int `json:"index"`
+	// Key is the cell's canonical identity hash — the name it persists
+	// under in the result store and the trace directory.
+	Key string `json:"key"`
 	// The cell's coordinates in the matrix.
 	Platform string `json:"platform"`
 	Policy   string `json:"policy"`
@@ -23,12 +29,18 @@ type CellResult struct {
 	Placer   string `json:"placer,omitempty"`
 	Seed     int64  `json:"seed"`
 
-	// Report is the session's full simulation report.
+	// Report is the session's full simulation report. For cells loaded
+	// from the result store (Cached) it is a condensed reconstruction:
+	// every scalar the aggregates, text, and CSV reports consume is
+	// present, but the sampled series are empty.
 	Report *sim.Report `json:"report"`
 	// Finished says whether the session's workloads all completed: always
 	// true for duration-shaped cells, RunUntilDone's verdict for
 	// UntilDone cells (a benchmark truncated by Duration reports false).
 	Finished bool `json:"finished"`
+	// Cached marks a cell loaded from the result store instead of
+	// executed this run.
+	Cached bool `json:"cached,omitempty"`
 
 	// AvgFPS and DropRate are filled when the cell's workload set renders
 	// frames (games); HasFrames says whether they are meaningful.
@@ -37,22 +49,33 @@ type CellResult struct {
 	HasFrames bool    `json:"has_frames"`
 
 	// Workloads are the very instances the cell ran, so callers can read
-	// workload-side statistics the report does not carry.
+	// workload-side statistics the report does not carry. Nil for Cached
+	// cells.
 	Workloads []workload.Workload `json:"-"`
+
+	// rec is the cell's persisted form, kept for CSV export.
+	rec store.Record
 }
 
 // Result is a fleet run's outcome: every completed cell in spec order,
-// plus cross-seed aggregates per (platform, policy, workload, placer)
+// plus cross-seed aggregates and paired-difference comparisons per matrix
 // group.
 type Result struct {
 	// Cells holds the completed cells in Spec.Cells order. On a canceled
 	// run it holds only the cells that finished.
 	Cells []CellResult `json:"cells"`
 	// Aggregates summarizes each matrix group across its seeds, in first-
-	// cell order.
+	// cell order. Every Stat carries the mean's 95% confidence interval.
 	Aggregates []Aggregate `json:"aggregates"`
+	// Comparisons holds the matched-seed paired differences: policy vs
+	// policy within each context, then placer vs placer. Present only
+	// when a pair shares at least two seeds.
+	Comparisons []Comparison `json:"comparisons,omitempty"`
 	// Total is the number of cells the spec declared.
 	Total int `json:"total"`
+	// Cached counts the cells loaded from the result store rather than
+	// executed.
+	Cached int `json:"cached,omitempty"`
 	// Incomplete marks a canceled run whose Cells are partial.
 	Incomplete bool `json:"incomplete,omitempty"`
 }
@@ -76,6 +99,12 @@ func isCancellation(err error) bool {
 // Results are ordered by cell index, and each session owns a private rng
 // seeded from its cell, so output is byte-identical at any parallelism.
 //
+// With StoreDir set, completed cells are merged into the persistent result
+// store (sorted by identity key, so the store's bytes are independent of
+// parallelism and invocation count); with Resume also set, cells already
+// in the store are loaded instead of executed. Partial runs flush what
+// completed, so an interrupted sweep resumes where it stopped.
+//
 // When ctx is canceled mid-run the completed cells come back in a partial
 // Result (Incomplete set) alongside ctx's error, so callers can report
 // what finished. A failing cell cancels the rest and Run returns the
@@ -85,15 +114,53 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if spec.Resume && spec.StoreDir == "" {
+		return nil, errors.New("fleet: Resume requires StoreDir")
+	}
+
+	ids := make([]store.Identity, len(cells))
+	keys := make([]string, len(cells))
+	for i, c := range cells {
+		ids[i] = c.identity()
+		keys[i] = ids[i].Key()
+	}
+	var st *store.Store
+	if spec.StoreDir != "" {
+		st, err = store.Open(spec.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if spec.TraceDir != "" {
+		if err := os.MkdirAll(spec.TraceDir, 0o755); err != nil {
+			return nil, fmt.Errorf("fleet: creating trace dir: %w", err)
+		}
+	}
+
+	// Split the matrix into cached cells (answered from the store) and
+	// pending ones (executed on the pool).
+	results := make([]*CellResult, len(cells))
+	var pending []int
+	cached := 0
+	for i := range cells {
+		if st != nil && spec.Resume {
+			if rec, ok := st.Get(keys[i]); ok {
+				results[i] = cellFromRecord(i, rec)
+				cached++
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+
 	par := spec.Parallel
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	if par > len(cells) {
-		par = len(cells)
+	if par > len(pending) {
+		par = len(pending)
 	}
 
-	results := make([]*CellResult, len(cells))
 	errs := make([]error, len(cells))
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -106,15 +173,16 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1))
-				if i >= len(cells) {
+				n := int(next.Add(1))
+				if n >= len(pending) {
 					return
 				}
+				i := pending[n]
 				if err := runCtx.Err(); err != nil {
 					errs[i] = err
 					continue
 				}
-				res, err := runCell(runCtx, i, cells[i])
+				res, err := runCell(runCtx, i, cells[i], keys[i], spec.TraceDir)
 				if err != nil {
 					errs[i] = err
 					if !isCancellation(err) {
@@ -122,11 +190,25 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 					}
 					continue
 				}
+				res.rec = recordOf(res, ids[i])
 				results[i] = res
 			}
 		}()
 	}
 	wg.Wait()
+
+	// Persist whatever completed before reporting anything else: a failed
+	// or interrupted sweep must still be resumable from the cells it
+	// finished.
+	var storeErr error
+	if st != nil {
+		for _, r := range results {
+			if r != nil && !r.Cached {
+				st.Put(r.rec)
+			}
+		}
+		storeErr = st.Flush()
+	}
 
 	// A genuine cell failure wins over cancellation noise; the lowest
 	// index keeps the error deterministic under any scheduling.
@@ -138,7 +220,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		}
 	}
 
-	out := &Result{Total: len(cells)}
+	out := &Result{Total: len(cells), Cached: cached}
 	for _, r := range results {
 		if r != nil {
 			out.Cells = append(out.Cells, *r)
@@ -146,6 +228,13 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	}
 	out.Incomplete = len(out.Cells) < out.Total
 	out.Aggregates = aggregate(out.Cells)
+	out.Comparisons = compare(out.Cells)
+	if storeErr != nil {
+		// The sweep itself succeeded; losing the persistence must not
+		// lose hours of completed simulation, so the result rides along
+		// with the error.
+		return out, storeErr
+	}
 	if err := ctx.Err(); err != nil {
 		return out, err
 	}
@@ -158,22 +247,43 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	return out, nil
 }
 
-// runCell builds and runs one cell's session.
-func runCell(ctx context.Context, idx int, c Cell) (*CellResult, error) {
+// runCell builds and runs one cell's session, exporting its power trace
+// when traceDir is set.
+func runCell(ctx context.Context, idx int, c Cell, key, traceDir string) (*CellResult, error) {
 	spec, err := c.session()
 	if err != nil {
 		return nil, err
 	}
+	var tw *traceWriter
+	if traceDir != "" {
+		tw, err = newTraceWriter(traceDir, key)
+		if err != nil {
+			return nil, err
+		}
+		spec.PowerTrace = tw.hook
+	}
 	rep, done, err := spec.RunDone(ctx)
+	if tw != nil {
+		if err != nil {
+			// A canceled or failed session leaves a truncated trace that
+			// would read as a complete (just shorter) run — discard it.
+			tw.Abort()
+		} else if cerr := tw.Close(); cerr != nil {
+			return nil, cerr
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
 	res := &CellResult{
-		Index:     idx,
-		Platform:  c.Platform.Name,
-		Policy:    c.Policy.Name,
-		Workload:  c.Workload.Name,
-		Placer:    c.Placer,
+		Index:    idx,
+		Key:      key,
+		Platform: c.Platform.Name,
+		Policy:   c.Policy.Name,
+		Workload: c.Workload.Name,
+		// The placer is canonicalized ("" → greedy) so fresh and cached
+		// cells land in the same aggregate groups.
+		Placer:    placerName(c.Placer),
 		Seed:      c.Seed,
 		Report:    rep,
 		Finished:  done,
@@ -188,4 +298,73 @@ func runCell(ctx context.Context, idx int, c Cell) (*CellResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// recordOf condenses a completed cell into its persisted form.
+func recordOf(c *CellResult, id store.Identity) store.Record {
+	rep := c.Report
+	return store.Record{
+		Key:       c.Key,
+		Identity:  id,
+		Finished:  c.Finished,
+		ElapsedNS: int64(rep.Duration),
+		HasFrames: c.HasFrames,
+		AvgFPS:    c.AvgFPS,
+		DropRate:  c.DropRate,
+
+		AvgPowerW:         rep.AvgPowerW,
+		PeakPowerW:        rep.PeakPowerW,
+		EnergyJ:           rep.EnergyJ,
+		AvgFreqHz:         rep.AvgFreqHz,
+		AvgOnlineCores:    rep.AvgOnlineCores,
+		AvgUtil:           rep.AvgUtil,
+		AvgQuota:          rep.AvgQuota,
+		AvgTempC:          rep.AvgTempC,
+		MaxTempC:          rep.MaxTempC,
+		ExecutedCycles:    rep.ExecutedCycles,
+		QuotaThrottledSec: rep.QuotaThrottledSec,
+		ThermalCappedSec:  rep.ThermalCappedSec,
+	}
+}
+
+// cellFromRecord rebuilds a cached cell from its persisted form. The
+// report is condensed — every scalar the aggregates and reports read, no
+// series.
+func cellFromRecord(idx int, rec store.Record) *CellResult {
+	return &CellResult{
+		Index:     idx,
+		Key:       rec.Key,
+		Platform:  rec.Platform,
+		Policy:    rec.Policy,
+		Workload:  rec.Workload,
+		Placer:    rec.Placer,
+		Seed:      rec.Seed,
+		Finished:  rec.Finished,
+		Cached:    true,
+		AvgFPS:    rec.AvgFPS,
+		DropRate:  rec.DropRate,
+		HasFrames: rec.HasFrames,
+		rec:       rec,
+		Report: &sim.Report{
+			Policy:   rec.Policy,
+			Platform: rec.Platform,
+			Placer:   rec.Placer,
+			// The actual simulated length, not the spec's cap — an
+			// UntilDone cell that finished early keeps its true elapsed
+			// time through the cache round trip.
+			Duration:          time.Duration(rec.ElapsedNS),
+			AvgPowerW:         rec.AvgPowerW,
+			PeakPowerW:        rec.PeakPowerW,
+			EnergyJ:           rec.EnergyJ,
+			AvgFreqHz:         rec.AvgFreqHz,
+			AvgOnlineCores:    rec.AvgOnlineCores,
+			AvgUtil:           rec.AvgUtil,
+			AvgQuota:          rec.AvgQuota,
+			AvgTempC:          rec.AvgTempC,
+			MaxTempC:          rec.MaxTempC,
+			ExecutedCycles:    rec.ExecutedCycles,
+			QuotaThrottledSec: rec.QuotaThrottledSec,
+			ThermalCappedSec:  rec.ThermalCappedSec,
+		},
+	}
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"mobicore/internal/fleet/store"
 	"mobicore/internal/platform"
 	"mobicore/internal/policy"
 	"mobicore/internal/sim"
@@ -85,6 +86,24 @@ type Spec struct {
 	// Parallel bounds the worker pool; 0 means GOMAXPROCS. Parallelism
 	// never changes results, only wall-clock time.
 	Parallel int
+
+	// StoreDir names the persistent result store: every completed cell is
+	// written to <StoreDir>/cells.jsonl keyed by its canonical identity
+	// hash, merged with whatever the store already holds and rewritten
+	// sorted by key — so sweeps compose across invocations and the file's
+	// bytes never depend on execution order or parallelism. Empty disables
+	// persistence.
+	StoreDir string
+	// Resume loads cached cells from StoreDir before running: cells whose
+	// identity hash is already stored come back from the store (Cached
+	// set, condensed report) and only the missing ones execute. Requires
+	// StoreDir.
+	Resume bool
+	// TraceDir, when set, exports each executed cell's per-tick power
+	// trace as <TraceDir>/<key>.trace.jsonl.gz — one gzip JSONL line per
+	// integration tick with the system watts and every cluster's share.
+	// Cached cells are not re-traced.
+	TraceDir string
 }
 
 // Cell is one fully-resolved session of a fleet.
@@ -159,6 +178,36 @@ func (s Spec) Cells() ([]Cell, error) {
 		}
 	}
 	return cells, nil
+}
+
+// identity is the cell's canonical store coordinate. Engine defaults are
+// canonicalized (empty placer → greedy, zero tick → 1 ms, zero sample
+// period → 50 ms) so a cell spelled with defaults and one spelled
+// explicitly name the same record.
+func (c Cell) identity() store.Identity {
+	placer := c.Placer
+	if placer == "" {
+		placer = sim.PlacerGreedy
+	}
+	tick := c.Tick
+	if tick == 0 {
+		tick = time.Millisecond
+	}
+	sample := c.SamplePeriod
+	if sample == 0 {
+		sample = 50 * time.Millisecond
+	}
+	return store.Identity{
+		Platform:   c.Platform.Name,
+		Policy:     c.Policy.Name,
+		Workload:   c.Workload.Name,
+		Placer:     placer,
+		Seed:       c.Seed,
+		DurationNS: int64(c.Duration),
+		UntilDone:  c.UntilDone,
+		TickNS:     int64(tick),
+		SampleNS:   int64(sample),
+	}
 }
 
 // session lowers the cell to the engine's session description with fresh

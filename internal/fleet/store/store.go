@@ -1,0 +1,285 @@
+// Package store is the fleet driver's persistent result store: one JSONL
+// record per completed cell, keyed by a canonical identity hash, so sweeps
+// compose across sequential invocations. A re-run of the same Spec loads
+// its cached cells from the store and executes only the missing ones; the
+// merged store is rewritten sorted by key, so the file's bytes depend only
+// on which cells exist — never on execution order, parallelism, or how
+// many invocations it took to fill the matrix.
+//
+// The store assumes one writer at a time: Flush is load-at-Open, merge in
+// memory, rewrite whole file (atomically, via rename). Two processes
+// flushing the same directory concurrently would each rewrite the file
+// from their own view and the last rename wins, silently dropping the
+// other's records. Sharding a sweep across processes needs disjoint store
+// directories merged afterwards (Open + Put + Flush), not a shared one.
+package store
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/csv"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// CellsFile is the name of the per-cell JSONL file inside a store
+// directory.
+const CellsFile = "cells.jsonl"
+
+// Identity is the canonical coordinate of one fleet cell — everything that
+// selects a deterministic session. Two cells with equal identities run the
+// same physics, so their records are interchangeable. Engine defaults are
+// canonicalized by the caller (empty placer → "greedy", zero tick → 1 ms,
+// zero sample period → 50 ms) so a spec spelled with defaults and one
+// spelled explicitly hash identically. Workload names must encode their
+// parameters ("busyloop-50%x4"), as the store cannot hash a factory.
+type Identity struct {
+	Platform   string `json:"platform"`
+	Policy     string `json:"policy"`
+	Workload   string `json:"workload"`
+	Placer     string `json:"placer"`
+	Seed       int64  `json:"seed"`
+	DurationNS int64  `json:"duration_ns"`
+	UntilDone  bool   `json:"until_done,omitempty"`
+	TickNS     int64  `json:"tick_ns"`
+	SampleNS   int64  `json:"sample_ns"`
+}
+
+// Key returns the cell's identity hash: the first 16 bytes of the SHA-256
+// over the canonical field encoding, hex-encoded. It names the cell in the
+// store and the per-cell trace files.
+func (id Identity) Key() string {
+	h := sha256.New()
+	for _, s := range []string{
+		id.Platform, id.Policy, id.Workload, id.Placer,
+		strconv.FormatInt(id.Seed, 10),
+		strconv.FormatInt(id.DurationNS, 10),
+		strconv.FormatBool(id.UntilDone),
+		strconv.FormatInt(id.TickNS, 10),
+		strconv.FormatInt(id.SampleNS, 10),
+	} {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// Record is one cell's persisted outcome: its identity plus the summary
+// metrics the aggregates, CSV export, and text reports consume. It is a
+// condensation of sim.Report — the sampled series stay out of the store
+// (the power-trace export carries the per-tick data when asked for).
+type Record struct {
+	// Key is the identity hash; redundant with Identity but stored so the
+	// file is self-describing and greppable by key.
+	Key string `json:"key"`
+	Identity
+
+	// Finished is the session's completion verdict (RunUntilDone's for
+	// UntilDone cells, true for duration-shaped ones).
+	Finished bool `json:"finished"`
+	// ElapsedNS is the session's actual simulated length — equal to the
+	// identity's DurationNS for duration-shaped cells, possibly shorter
+	// for UntilDone cells that finished early.
+	ElapsedNS int64 `json:"elapsed_ns"`
+	// HasFrames says whether AvgFPS/DropRate are meaningful.
+	HasFrames bool    `json:"has_frames"`
+	AvgFPS    float64 `json:"avg_fps"`
+	DropRate  float64 `json:"drop_rate"`
+
+	AvgPowerW         float64 `json:"avg_power_w"`
+	PeakPowerW        float64 `json:"peak_power_w"`
+	EnergyJ           float64 `json:"energy_j"`
+	AvgFreqHz         float64 `json:"avg_freq_hz"`
+	AvgOnlineCores    float64 `json:"avg_online_cores"`
+	AvgUtil           float64 `json:"avg_util"`
+	AvgQuota          float64 `json:"avg_quota"`
+	AvgTempC          float64 `json:"avg_temp_c"`
+	MaxTempC          float64 `json:"max_temp_c"`
+	ExecutedCycles    float64 `json:"executed_cycles"`
+	QuotaThrottledSec float64 `json:"quota_throttled_sec"`
+	ThermalCappedSec  float64 `json:"thermal_capped_sec"`
+}
+
+// Store is a load-then-merge view of one store directory. Open loads the
+// existing records; Put adds or replaces records in memory; Flush rewrites
+// the JSONL file sorted by key (atomically, via a temp file rename). Not
+// safe for concurrent use — the fleet driver mutates it only from its
+// single assembly goroutine.
+type Store struct {
+	dir  string
+	recs map[string]Record
+}
+
+// Open creates the store directory if needed and loads any existing
+// records from its cells file. A missing cells file is an empty store; a
+// malformed line is an error (the store is a cache of expensive runs —
+// silently dropping records would silently re-run them).
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, recs: map[string]Record{}}
+	path := filepath.Join(dir, CellsFile)
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("store: %s line %d: %w", path, line, err)
+		}
+		if rec.Key == "" {
+			return nil, fmt.Errorf("store: %s line %d: record without key", path, line)
+		}
+		s.recs[rec.Key] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of records held.
+func (s *Store) Len() int { return len(s.recs) }
+
+// Get returns the record for a key, if present.
+func (s *Store) Get(key string) (Record, bool) {
+	rec, ok := s.recs[key]
+	return rec, ok
+}
+
+// Put adds or replaces a record. Records with equal keys describe the same
+// deterministic session, so replacement is idempotent by construction.
+func (s *Store) Put(rec Record) {
+	s.recs[rec.Key] = rec
+}
+
+// Keys returns every key in sorted order — the file order of Flush and
+// WriteCSV.
+func (s *Store) Keys() []string {
+	keys := make([]string, 0, len(s.recs))
+	for k := range s.recs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Flush rewrites the cells file: one JSON line per record, sorted by key,
+// written to a temp file and renamed into place so readers never observe a
+// torn store. The bytes depend only on the record set — a parallel run, a
+// serial run, and a resumed run that filled the same cells all flush
+// byte-identical files.
+func (s *Store) Flush() error {
+	tmp, err := os.CreateTemp(s.dir, CellsFile+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: creating temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	for _, key := range s.Keys() {
+		b, err := json.Marshal(s.recs[key])
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: encoding record %s: %w", key, err)
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: writing record %s: %w", key, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: flushing: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing temp file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, CellsFile)); err != nil {
+		return fmt.Errorf("store: installing cells file: %w", err)
+	}
+	return nil
+}
+
+// CSVHeader is the column list of the CSV export, shared by the store-wide
+// export and the fleet result's per-run export so the two files join
+// cleanly.
+func CSVHeader() []string {
+	return []string{
+		"key", "platform", "policy", "workload", "placer", "seed",
+		"duration_s", "elapsed_s", "until_done", "tick_s", "sample_s",
+		"finished", "has_frames", "avg_fps", "drop_rate",
+		"avg_power_w", "peak_power_w", "energy_j",
+		"avg_freq_hz", "avg_online_cores", "avg_util", "avg_quota",
+		"avg_temp_c", "max_temp_c", "executed_cycles",
+		"quota_throttled_sec", "thermal_capped_sec",
+	}
+}
+
+// CSVRow renders the record as one row of CSVHeader columns. Floats use
+// the shortest round-trip encoding, so rows are byte-stable across runs.
+func (r Record) CSVRow() []string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	return []string{
+		r.Key, r.Platform, r.Policy, r.Workload, r.Placer,
+		strconv.FormatInt(r.Seed, 10),
+		f(time.Duration(r.DurationNS).Seconds()),
+		f(time.Duration(r.ElapsedNS).Seconds()),
+		strconv.FormatBool(r.UntilDone),
+		f(time.Duration(r.TickNS).Seconds()),
+		f(time.Duration(r.SampleNS).Seconds()),
+		strconv.FormatBool(r.Finished),
+		strconv.FormatBool(r.HasFrames),
+		f(r.AvgFPS), f(r.DropRate),
+		f(r.AvgPowerW), f(r.PeakPowerW), f(r.EnergyJ),
+		f(r.AvgFreqHz), f(r.AvgOnlineCores), f(r.AvgUtil), f(r.AvgQuota),
+		f(r.AvgTempC), f(r.MaxTempC), f(r.ExecutedCycles),
+		f(r.QuotaThrottledSec), f(r.ThermalCappedSec),
+	}
+}
+
+// WriteCSV exports every record as CSV, sorted by key — the whole-store
+// view that composes across invocations (the fleet result's WriteCSV is
+// the per-run view in matrix order).
+func (s *Store) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(CSVHeader()); err != nil {
+		return fmt.Errorf("store: writing csv header: %w", err)
+	}
+	for _, key := range s.Keys() {
+		if err := cw.Write(s.recs[key].CSVRow()); err != nil {
+			return fmt.Errorf("store: writing csv row %s: %w", key, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("store: flushing csv: %w", err)
+	}
+	return nil
+}

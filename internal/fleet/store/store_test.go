@@ -1,0 +1,223 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testRecord(seed int64) Record {
+	id := Identity{
+		Platform:   "Nexus 5",
+		Policy:     "mobicore",
+		Workload:   "busyloop-50%x4",
+		Placer:     "greedy",
+		Seed:       seed,
+		DurationNS: int64(30 * time.Second),
+		TickNS:     int64(time.Millisecond),
+		SampleNS:   int64(50 * time.Millisecond),
+	}
+	return Record{
+		Key:       id.Key(),
+		Identity:  id,
+		Finished:  true,
+		EnergyJ:   10.5 + float64(seed),
+		AvgPowerW: 0.35,
+	}
+}
+
+func TestIdentityKeyStableAndDistinct(t *testing.T) {
+	a := testRecord(1).Identity
+	if a.Key() != a.Key() {
+		t.Error("key not deterministic")
+	}
+	if len(a.Key()) != 32 {
+		t.Errorf("key %q not 32 hex chars", a.Key())
+	}
+	// Every field participates in the hash.
+	variants := []Identity{a, a, a, a, a, a, a, a, a}
+	variants[1].Platform = "Nexus 6P"
+	variants[2].Policy = "android-default"
+	variants[3].Workload = "busyloop-30%x4"
+	variants[4].Placer = "eas"
+	variants[5].Seed = 2
+	variants[6].DurationNS++
+	variants[7].UntilDone = true
+	variants[8].TickNS++
+	seen := map[string]int{}
+	for i, v := range variants[1:] {
+		seen[v.Key()]++
+		if v.Key() == a.Key() {
+			t.Errorf("variant %d hashes like the original", i+1)
+		}
+	}
+	for k, n := range seen {
+		if n > 1 {
+			t.Errorf("key %s produced by %d distinct identities", k, n)
+		}
+	}
+	// Field-boundary confusion: moving a byte across the separator must
+	// change the hash.
+	b := a
+	b.Platform, b.Policy = "Nexus 5m", "obicore"
+	if b.Key() == a.Key() {
+		t.Error("field boundary not separated in the hash")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("fresh store has %d records", s.Len())
+	}
+	for seed := int64(3); seed >= 1; seed-- { // insert out of order
+		s.Put(testRecord(seed))
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 3 {
+		t.Fatalf("reloaded %d records, want 3", re.Len())
+	}
+	want := testRecord(2)
+	got, ok := re.Get(want.Key)
+	if !ok || got != want {
+		t.Errorf("round trip: got %+v, want %+v", got, want)
+	}
+}
+
+// TestFlushDeterministic: the file bytes depend only on the record set —
+// insertion order and flush count never show through.
+func TestFlushDeterministic(t *testing.T) {
+	write := func(order []int64) []byte {
+		t.Helper()
+		dir := t.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seed := range order {
+			s.Put(testRecord(seed))
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Flush(); err != nil { // double flush must be idempotent
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dir, CellsFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a := write([]int64{1, 2, 3, 4})
+	b := write([]int64{4, 2, 1, 3})
+	if !bytes.Equal(a, b) {
+		t.Error("flush bytes depend on insertion order")
+	}
+}
+
+// TestIncrementalMergeMatchesCold: filling a store in two invocations
+// produces the same bytes as one cold pass — the property resume rides on.
+func TestIncrementalMergeMatchesCold(t *testing.T) {
+	cold := t.TempDir()
+	s, err := Open(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		s.Put(testRecord(seed))
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := t.TempDir()
+	first, err := Open(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Put(testRecord(2))
+	first.Put(testRecord(4))
+	if err := first.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	second, err := Open(warm) // reload the partial store
+	if err != nil {
+		t.Fatal(err)
+	}
+	second.Put(testRecord(1))
+	second.Put(testRecord(3))
+	if err := second.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := os.ReadFile(filepath.Join(cold, CellsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(warm, CellsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two-invocation store differs from cold store")
+	}
+}
+
+func TestOpenRejectsCorruptLine(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, CellsFile), []byte("{\"key\":\"ab\"}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("corrupt line not rejected with position: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, CellsFile), []byte("{\"energy_j\":1}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("keyless record accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(testRecord(2))
+	s.Put(testRecord(1))
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv has %d lines, want header + 2 rows:\n%s", len(lines), buf.String())
+	}
+	if got, want := lines[0], strings.Join(CSVHeader(), ","); got != want {
+		t.Errorf("header = %q, want %q", got, want)
+	}
+	if len(strings.Split(lines[1], ",")) != len(CSVHeader()) {
+		t.Errorf("row width != header width: %q", lines[1])
+	}
+	// Rows are key-sorted like the JSONL.
+	keys := s.Keys()
+	if !strings.HasPrefix(lines[1], keys[0]) || !strings.HasPrefix(lines[2], keys[1]) {
+		t.Errorf("csv rows not in key order:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,100 @@
+package fleet
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// TraceSample is one line of a per-cell power-trace export: one
+// integration tick's power sample.
+type TraceSample struct {
+	// TSec is the tick's start time in simulated seconds.
+	TSec float64 `json:"t_s"`
+	// DtSec is the tick length in seconds.
+	DtSec float64 `json:"dt_s"`
+	// SystemW is the total system power over the tick; integrating
+	// SystemW·DtSec across a trace reproduces the cell's EnergyJ.
+	SystemW float64 `json:"system_w"`
+	// ClusterW is each cluster's share (cores + uncore, platform floor
+	// excluded), indexed like the platform's ClusterSpecs.
+	ClusterW []float64 `json:"cluster_w"`
+}
+
+// TraceFileName returns the trace file a cell key exports to.
+func TraceFileName(key string) string { return key + ".trace.jsonl.gz" }
+
+// traceWriter streams TraceSamples to a gzip JSONL file. Write errors are
+// latched and surfaced at Close, because the sim's trace hook has no error
+// return.
+type traceWriter struct {
+	f    *os.File
+	buf  *bufio.Writer
+	gz   *gzip.Writer
+	enc  *json.Encoder
+	err  error
+	path string
+}
+
+// newTraceWriter creates <dir>/<key>.trace.jsonl.gz for writing.
+func newTraceWriter(dir, key string) (*traceWriter, error) {
+	path := filepath.Join(dir, TraceFileName(key))
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: creating trace %s: %w", path, err)
+	}
+	tw := &traceWriter{f: f, path: path}
+	tw.buf = bufio.NewWriterSize(f, 64*1024)
+	tw.gz = gzip.NewWriter(tw.buf)
+	tw.enc = json.NewEncoder(tw.gz)
+	return tw, nil
+}
+
+// hook is the sim.Config.PowerTrace adapter. The cluster slice is the
+// engine's reused scratch; json encoding reads it synchronously, so no
+// copy is needed.
+func (tw *traceWriter) hook(now, dt time.Duration, systemW float64, clusterW []float64) {
+	if tw.err != nil {
+		return
+	}
+	tw.err = tw.enc.Encode(TraceSample{
+		TSec:     now.Seconds(),
+		DtSec:    dt.Seconds(),
+		SystemW:  systemW,
+		ClusterW: clusterW,
+	})
+}
+
+// Abort closes and deletes the trace — the path for sessions that ended
+// early (cancellation, cell failure), whose partial trace would otherwise
+// pass for a complete shorter run.
+func (tw *traceWriter) Abort() {
+	tw.gz.Close()
+	tw.f.Close()
+	os.Remove(tw.path)
+}
+
+// Close flushes and closes the trace, returning the first error from any
+// stage. On error the partial file is removed — a truncated trace is worse
+// than no trace.
+func (tw *traceWriter) Close() error {
+	err := tw.err
+	if e := tw.gz.Close(); err == nil {
+		err = e
+	}
+	if e := tw.buf.Flush(); err == nil {
+		err = e
+	}
+	if e := tw.f.Close(); err == nil {
+		err = e
+	}
+	if err != nil {
+		os.Remove(tw.path)
+		return fmt.Errorf("fleet: writing trace %s: %w", tw.path, err)
+	}
+	return nil
+}

@@ -1,0 +1,314 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// tTable holds two-sided 95% critical values t(0.975, df) from standard
+// tables — the independent reference the inverse-CDF implementation is
+// checked against.
+var tTable = map[int]float64{
+	1:   12.7062,
+	2:   4.3027,
+	3:   3.1824,
+	4:   2.7764,
+	5:   2.5706,
+	9:   2.2622,
+	10:  2.2281,
+	29:  2.0452,
+	30:  2.0423,
+	99:  1.9842,
+	100: 1.9840,
+}
+
+func TestStudentTQuantileAgainstTable(t *testing.T) {
+	for df, want := range tTable {
+		got := StudentTQuantile(0.975, df)
+		if math.Abs(got-want) > 1e-3 {
+			t.Errorf("t(0.975, %d) = %.5f, want %.4f", df, got, want)
+		}
+	}
+	// Symmetry and the median.
+	if got := StudentTQuantile(0.025, 5); math.Abs(got+StudentTQuantile(0.975, 5)) > 1e-9 {
+		t.Errorf("lower-tail quantile not symmetric: %v", got)
+	}
+	if got := StudentTQuantile(0.5, 7); got != 0 {
+		t.Errorf("median quantile = %v, want 0", got)
+	}
+	// Large df approaches the normal 1.95996.
+	if got := StudentTQuantile(0.975, 100000); math.Abs(got-1.95996) > 1e-3 {
+		t.Errorf("t(0.975, 1e5) = %v, want ~1.96", got)
+	}
+	// Out-of-domain inputs are zeros, not NaNs.
+	for _, got := range []float64{
+		StudentTQuantile(0.975, 0), StudentTQuantile(0, 5), StudentTQuantile(1, 5),
+	} {
+		if got != 0 {
+			t.Errorf("out-of-domain quantile = %v, want 0", got)
+		}
+	}
+}
+
+// naivePercentile is the independent sort-based nearest-rank reference.
+func naivePercentile(vals []float64, p float64) float64 {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	if p == 0 {
+		return sorted[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestPercentileOfProperty: PercentileOf agrees with the naive reference on
+// randomized inputs (fixed quick seed), leaves the input unmutated, and
+// matches Series.Percentile.
+func TestPercentileOfProperty(t *testing.T) {
+	prop := func(raw []uint32, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r%1_000_000)/100 - 5000
+		}
+		p := float64(pRaw) / 255 * 100
+		orig := append([]float64(nil), vals...)
+		got, err := PercentileOf(vals, p)
+		if err != nil {
+			return false
+		}
+		for i := range vals {
+			if vals[i] != orig[i] {
+				return false // mutated its input
+			}
+		}
+		var ser Series
+		for i, v := range vals {
+			ser.Append(time.Duration(i), v)
+		}
+		fromSeries, err := ser.Percentile(p)
+		if err != nil {
+			return false
+		}
+		return got == naivePercentile(vals, p) && got == fromSeries
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileOfDegenerate(t *testing.T) {
+	if _, err := PercentileOf(nil, 50); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := PercentileOf([]float64{1}, 101); err == nil {
+		t.Error("out-of-range percentile accepted")
+	}
+	if got, _ := PercentileOf([]float64{7}, 50); got != 7 {
+		t.Errorf("single-sample percentile = %v, want 7", got)
+	}
+	if got, _ := PercentileOf([]float64{3, 3, 3}, 95); got != 3 {
+		t.Errorf("all-equal percentile = %v, want 3", got)
+	}
+}
+
+// TestMeanCIProperty: the analytic interval matches the naive reference
+// (mean ± t·s/√n computed from scratch), is centered on the mean, ordered,
+// and NaN-free on randomized inputs.
+func TestMeanCIProperty(t *testing.T) {
+	prop := func(raw []uint32) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r%2_000_000)/1000 - 1000
+		}
+		ci, err := MeanCI(vals, 0.95)
+		if err != nil {
+			return false
+		}
+		// Naive reference from first principles.
+		n := float64(len(vals))
+		var mean float64
+		for _, v := range vals {
+			mean += v
+		}
+		mean /= n
+		var ss float64
+		for _, v := range vals {
+			ss += (v - mean) * (v - mean)
+		}
+		sd := math.Sqrt(ss / (n - 1))
+		var want CI
+		if sd == 0 {
+			want = CI{Level: 0.95, Lo: mean, Hi: mean}
+		} else {
+			h := StudentTQuantile(0.975, len(vals)-1) * sd / math.Sqrt(n)
+			want = CI{Level: 0.95, Lo: mean - h, Hi: mean + h}
+		}
+		tol := 1e-9 * (1 + math.Abs(mean) + sd)
+		return !math.IsNaN(ci.Lo) && !math.IsNaN(ci.Hi) &&
+			ci.Lo <= ci.Hi &&
+			math.Abs(ci.Lo-want.Lo) < tol && math.Abs(ci.Hi-want.Hi) < tol
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(12))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanCIDegenerate(t *testing.T) {
+	if _, err := MeanCI(nil, 0.95); err == nil {
+		t.Error("empty input accepted")
+	}
+	for _, lvl := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := MeanCI([]float64{1, 2}, lvl); err == nil {
+			t.Errorf("level %v accepted", lvl)
+		}
+	}
+	// n = 1: zero-width at the sample.
+	ci, err := MeanCI([]float64{42}, 0.95)
+	if err != nil || ci.Lo != 42 || ci.Hi != 42 {
+		t.Errorf("single-sample CI = %+v (%v), want [42,42]", ci, err)
+	}
+	// All-equal: zero-width at the mean, no NaN from 0/0.
+	ci, err = MeanCI([]float64{5, 5, 5, 5}, 0.95)
+	if err != nil || ci.Lo != 5 || ci.Hi != 5 || ci.HalfWidth() != 0 {
+		t.Errorf("all-equal CI = %+v (%v), want [5,5]", ci, err)
+	}
+}
+
+// TestMeanCIShrinksWithN: quadrupling the sample count of an i.i.d. draw
+// roughly halves the interval width — the 1/√n law the seed-count bump
+// tests at the fleet layer rely on.
+func TestMeanCIShrinksWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	big := make([]float64, 400)
+	for i := range big {
+		big[i] = rng.NormFloat64()
+	}
+	small, _ := MeanCI(big[:100], 0.95)
+	full, _ := MeanCI(big, 0.95)
+	if full.HalfWidth() >= small.HalfWidth() {
+		t.Errorf("CI did not shrink: n=100 ±%.4f, n=400 ±%.4f", small.HalfWidth(), full.HalfWidth())
+	}
+	if ratio := full.HalfWidth() / small.HalfWidth(); ratio > 0.75 {
+		t.Errorf("CI shrink ratio %.3f, want near 0.5", ratio)
+	}
+}
+
+func TestBootstrapMeanCI(t *testing.T) {
+	vals := []float64{3, 5, 7, 9, 11, 13, 15, 17}
+	a, err := BootstrapMeanCI(vals, 0.95, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BootstrapMeanCI(vals, 0.95, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed produced different intervals: %+v vs %+v", a, b)
+	}
+	mean := SummaryOf(vals).Mean()
+	if a.Lo > mean || a.Hi < mean {
+		t.Errorf("bootstrap CI %+v excludes the sample mean %v", a, mean)
+	}
+	if math.IsNaN(a.Lo) || math.IsNaN(a.Hi) || a.Lo > a.Hi {
+		t.Errorf("malformed bootstrap CI %+v", a)
+	}
+	// Degenerates mirror the analytic interval.
+	if _, err := BootstrapMeanCI(nil, 0.95, 100, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+	one, err := BootstrapMeanCI([]float64{4}, 0.95, 100, 1)
+	if err != nil || one.Lo != 4 || one.Hi != 4 {
+		t.Errorf("single-sample bootstrap CI = %+v (%v)", one, err)
+	}
+	eq, err := BootstrapMeanCI([]float64{2, 2, 2}, 0.95, 100, 1)
+	if err != nil || eq.Lo != 2 || eq.Hi != 2 {
+		t.Errorf("all-equal bootstrap CI = %+v (%v)", eq, err)
+	}
+	// The analytic and bootstrap intervals agree to first order on a
+	// well-behaved sample.
+	analytic, _ := MeanCI(vals, 0.95)
+	if math.Abs(a.Lo-analytic.Lo) > analytic.HalfWidth() ||
+		math.Abs(a.Hi-analytic.Hi) > analytic.HalfWidth() {
+		t.Errorf("bootstrap %+v far from analytic %+v", a, analytic)
+	}
+}
+
+// TestPairedDiffProperty: the paired summary equals MeanCI applied to the
+// elementwise differences, with the means and relative change consistent.
+func TestPairedDiffProperty(t *testing.T) {
+	prop := func(raw []uint32) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		a := make([]float64, len(raw))
+		b := make([]float64, len(raw))
+		for i, r := range raw {
+			a[i] = float64(r%1000) + 1 // keep MeanA away from 0
+			b[i] = float64((r/7)%1500) + 1
+		}
+		ps, err := PairedDiff(a, b, 0.95)
+		if err != nil {
+			return false
+		}
+		diffs := make([]float64, len(a))
+		for i := range a {
+			diffs[i] = b[i] - a[i]
+		}
+		want, err := MeanCI(diffs, 0.95)
+		if err != nil {
+			return false
+		}
+		tol := 1e-9 * (1 + math.Abs(want.Hi) + math.Abs(want.Lo))
+		return ps.N == len(a) &&
+			math.Abs(ps.CI.Lo-want.Lo) < tol && math.Abs(ps.CI.Hi-want.Hi) < tol &&
+			math.Abs(ps.MeanDelta-SummaryOf(diffs).Mean()) < tol &&
+			math.Abs(ps.MeanDelta-(ps.MeanB-ps.MeanA)) < 1e-9*(1+math.Abs(ps.MeanDelta)) &&
+			math.Abs(ps.Rel-ps.MeanDelta/ps.MeanA) < 1e-12*(1+math.Abs(ps.Rel)) &&
+			!math.IsNaN(ps.StdDev)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(13))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairedDiffDegenerate(t *testing.T) {
+	if _, err := PairedDiff(nil, nil, 0.95); err == nil {
+		t.Error("empty pairs accepted")
+	}
+	if _, err := PairedDiff([]float64{1, 2}, []float64{1}, 0.95); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	// Identical conditions: zero delta, zero-width interval, zero Rel.
+	ps, err := PairedDiff([]float64{4, 6, 8}, []float64{4, 6, 8}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.MeanDelta != 0 || ps.CI.Lo != 0 || ps.CI.Hi != 0 || ps.Rel != 0 {
+		t.Errorf("identical-condition summary = %+v, want all-zero deltas", ps)
+	}
+	// Zero baseline mean: Rel stays 0 instead of dividing by zero.
+	ps, err = PairedDiff([]float64{-1, 1}, []float64{2, 4}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Rel != 0 || math.IsNaN(ps.Rel) {
+		t.Errorf("zero-baseline Rel = %v, want 0", ps.Rel)
+	}
+}

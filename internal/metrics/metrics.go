@@ -76,6 +76,16 @@ func (s Summary) Variance() float64 {
 // StdDev returns the population standard deviation.
 func (s Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
 
+// SampleStdDev returns the sample (n-1, Bessel-corrected) standard
+// deviation — the spread estimate the confidence intervals are built on;
+// 0 for fewer than two samples.
+func (s Summary) SampleStdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
 // Merge folds other into s, as if every sample of other had been Added.
 func (s *Summary) Merge(other Summary) {
 	if other.n == 0 {

@@ -38,6 +38,10 @@ type SessionSpec struct {
 
 	// Seed drives all workload randomness.
 	Seed int64
+	// PowerTrace, when non-nil, receives every integration tick's power
+	// sample (see Config.PowerTrace); the fleet driver uses it for
+	// per-cell trace export. The cluster slice is reused between ticks.
+	PowerTrace func(now, dt time.Duration, systemW float64, clusterW []float64)
 	// Placer selects the scheduler placement rule: "" or PlacerGreedy for
 	// the default greedy, PlacerEAS for energy-aware placement.
 	Placer string
@@ -58,6 +62,7 @@ func (sp SessionSpec) Config() Config {
 		SamplePeriod: sp.SamplePeriod,
 		Seed:         sp.Seed,
 		Placer:       sp.Placer,
+		PowerTrace:   sp.PowerTrace,
 	}
 }
 

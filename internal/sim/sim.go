@@ -50,6 +50,15 @@ type Config struct {
 	// sessions reproduce bit for bit.
 	Placer string
 
+	// PowerTrace, when non-nil, receives every integration tick's power
+	// sample before the tick commits: the tick's start time, its length,
+	// the total system watts, and each cluster's share (cores + uncore,
+	// platform floor excluded), indexed like the platform's ClusterSpecs.
+	// The cluster slice is scratch reused between ticks — callers that
+	// retain samples must copy it. Integrating systemW·dt over a session
+	// reproduces the report's EnergyJ exactly.
+	PowerTrace func(now, dt time.Duration, systemW float64, clusterW []float64)
+
 	// InitialFreq is the boot frequency (default: table max, as the
 	// kernel boots before a governor takes over). Must be an OPP.
 	InitialFreq soc.Hz
@@ -151,11 +160,13 @@ type Sim struct {
 	requested []soc.Hz // manager-requested per-core frequency, pre thermal clamp
 
 	// per-tick scratch, reused to keep the hot loop allocation-free
-	clusterWatts []float64 // per-cluster power share from the system model
-	zoneWatts    []float64 // per-zone watts fed to the thermal network
-	capped       []bool    // per-core thermal-cap flags for the scheduler
-	capScale     []float64 // per-core headroom-aware capacity scale
-	clusterFmax  []float64 // per-cluster ladder top, for the cap scale
+	clusterWatts []float64        // per-cluster power share from the system model
+	zoneWatts    []float64        // per-zone watts fed to the thermal network
+	capped       []bool           // per-core thermal-cap flags for the scheduler
+	capScale     []float64        // per-core headroom-aware capacity scale
+	clusterFmax  []float64        // per-cluster ladder top, for the cap scale
+	threads      []*sched.Thread  // demand gathered from workloads this tick
+	loads        []power.CoreLoad // per-core load view fed to the power model
 
 	// window accumulators between manager samples
 	winBusySec []float64
@@ -240,6 +251,8 @@ func New(cfg Config) (*Sim, error) {
 		capped:              make([]bool, cfg.Platform.NumCores),
 		capScale:            make([]float64, cfg.Platform.NumCores),
 		clusterFmax:         make([]float64, len(specs)),
+		threads:             make([]*sched.Thread, 0, 8),
+		loads:               make([]power.CoreLoad, cfg.Platform.NumCores),
 		winBusySec:          make([]float64, cfg.Platform.NumCores),
 		clusterFreqSum:      make([]metrics.Summary, len(specs)),
 		clusterCoreSum:      make([]metrics.Summary, len(specs)),
@@ -301,12 +314,14 @@ func (s *Sim) Quota() float64 { return s.quota }
 func (s *Sim) Step() error {
 	dt := s.cfg.Tick
 
-	// 1. Demand generation.
-	threads := make([]*sched.Thread, 0, 8)
+	// 1. Demand generation. The thread slice is per-tick scratch — the
+	// scheduler never retains it past the call.
+	threads := s.threads[:0]
 	for _, w := range s.cfg.Workloads {
 		w.Tick(s.now, dt, s.rng)
 		threads = append(threads, w.Threads()...)
 	}
+	s.threads = threads
 
 	// 2. Scheduling and execution under the remaining bandwidth pool
 	// (CFS group-quota semantics: full speed until the period's shared
@@ -338,9 +353,10 @@ func (s *Sim) Step() error {
 		s.quotaPool = 0
 	}
 
-	// 3. Power and thermal integration.
+	// 3. Power and thermal integration. The load slice is fixed-size
+	// scratch; every entry is rewritten below.
 	snap := s.cpu.Snapshot()
-	loads := make([]power.CoreLoad, len(snap))
+	loads := s.loads
 	util := res.Utilization(dt)
 	onlineCount := 0
 	var freqAcc float64
@@ -365,6 +381,9 @@ func (s *Sim) Step() error {
 	}
 	if err := s.mon.Observe(s.now, watts, dt); err != nil {
 		return fmt.Errorf("sim: power observation: %w", err)
+	}
+	if s.cfg.PowerTrace != nil {
+		s.cfg.PowerTrace(s.now, dt, watts, per)
 	}
 	// Each zone integrates its own cluster's share plus an even split of
 	// the platform floor; the network adds the shared-die coupling. The

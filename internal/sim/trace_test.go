@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mobicore/internal/platform"
+	"mobicore/internal/policy"
+	"mobicore/internal/workload"
+)
+
+func traceSim(t *testing.T, plat platform.Platform, hook func(now, dt time.Duration, systemW float64, clusterW []float64)) *Sim {
+	t.Helper()
+	mgr, err := policy.AndroidDefault(plat.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.NewBusyLoop(workload.BusyLoopConfig{
+		TargetUtil: 0.5, Threads: 4, RefFreq: plat.ClusterSpecs()[0].Table.Max().Freq,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Platform:   plat,
+		Manager:    mgr,
+		Workloads:  []workload.Workload{wl},
+		Seed:       7,
+		PowerTrace: hook,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestPowerTraceHook: the hook fires once per tick with the tick's start
+// time, and integrating systemW·dt reproduces the report's EnergyJ exactly.
+// The per-cluster shares sum to system minus the platform floor share.
+func TestPowerTraceHook(t *testing.T) {
+	plat := platform.Nexus5()
+	var (
+		ticks    int
+		joules   float64
+		lastNow  time.Duration = -1
+		clusters int
+	)
+	s := traceSim(t, plat, func(now, dt time.Duration, systemW float64, clusterW []float64) {
+		ticks++
+		joules += systemW * dt.Seconds()
+		if now <= lastNow {
+			t.Fatalf("trace time went backwards: %v after %v", now, lastNow)
+		}
+		lastNow = now
+		clusters = len(clusterW)
+		if systemW <= 0 {
+			t.Fatalf("non-positive system power %v at %v", systemW, now)
+		}
+	})
+	rep, err := s.Run(200 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 200 {
+		t.Errorf("hook fired %d times, want 200 (one per 1 ms tick)", ticks)
+	}
+	if clusters != len(plat.ClusterSpecs()) {
+		t.Errorf("cluster watts has %d entries, want %d", clusters, len(plat.ClusterSpecs()))
+	}
+	if math.Abs(joules-rep.EnergyJ) > 1e-9*(1+rep.EnergyJ) {
+		t.Errorf("trace integral %.9f J != report energy %.9f J", joules, rep.EnergyJ)
+	}
+}
+
+// TestPowerTraceMatchesUntraced: installing the hook never changes the
+// physics — the traced session's report equals the untraced one's.
+func TestPowerTraceMatchesUntraced(t *testing.T) {
+	run := func(hook func(now, dt time.Duration, systemW float64, clusterW []float64)) *Report {
+		t.Helper()
+		s := traceSim(t, platform.Nexus5(), hook)
+		rep, err := s.Run(150 * time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	traced := run(func(_, _ time.Duration, _ float64, _ []float64) {})
+	plain := run(nil)
+	if traced.EnergyJ != plain.EnergyJ || traced.ExecutedCycles != plain.ExecutedCycles ||
+		traced.AvgFreqHz != plain.AvgFreqHz {
+		t.Errorf("trace hook perturbed the run: %.9f J vs %.9f J", traced.EnergyJ, plain.EnergyJ)
+	}
+}
+
+// TestStepAllocs locks the per-tick allocation diet after pooling the
+// demand-gathering thread slice and the power-model load slice: a
+// steady-state Step (including its amortized share of policy samples)
+// averages 11 allocs/op on this workload, down from 13 before pooling.
+// The budget sits between the two — regressing either pooled slice pushes
+// the average back to at least 12 and fails here.
+func TestStepAllocs(t *testing.T) {
+	s := traceSim(t, platform.Nexus5(), nil)
+	if _, err := s.Run(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 11.5
+	if allocs > budget {
+		t.Errorf("Step allocates %.1f objects/op, budget %.1f — did a pooled slice regress?", allocs, budget)
+	}
+}
