@@ -434,8 +434,10 @@ func perTickPlaced(b *testing.B, plat platform.Platform, mgr policy.Manager, thr
 	if _, err := s.Run(100 * time.Millisecond); err != nil {
 		b.Fatal(err)
 	}
-	// allocs/op guards the pooled per-tick scratch (threads, core loads);
-	// TestStepAllocs in internal/sim enforces the budget.
+	// allocs/op guards the pooled per-tick scratch (threads, scheduler
+	// budget/online/freq/runnable, core snapshots, utilization);
+	// TestStepAllocs in internal/sim enforces the budget and the
+	// hotalloc analyzer (cmd/mobilint) guards the annotated functions.
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,96 @@
+// Command mobilint is the repo's own static-analysis gate: it loads
+// every package of the module from source (stdlib-only — go/ast and
+// go/types, no export data, no network) and runs the project-specific
+// analyzers that enforce byte-determinism and the hot-path allocation
+// diet. Findings print as file:line: analyzer: message and the exit
+// status is non-zero when any survive.
+//
+// Usage:
+//
+//	mobilint [-only detrand,maporder] [-skip hotalloc] [packages]
+//
+// Packages default to ./... resolved against the enclosing module.
+// Suppress a documented false positive with a trailing or preceding
+// comment: //mobilint:ignore <reason>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mobicore/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzers to run (default: all)")
+	skip := flag.String("skip", "", "comma-separated analyzers to skip")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mobilint [flags] [packages]\n\nanalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers, err := analysis.Select(*only, *skip)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mobilint:", err)
+		os.Exit(2)
+	}
+	if len(analyzers) == 0 {
+		fmt.Fprintln(os.Stderr, "mobilint: selection leaves no analyzers to run")
+		os.Exit(2)
+	}
+
+	modRoot, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mobilint:", err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewLoader(modRoot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mobilint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadPatterns(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mobilint:", err)
+		os.Exit(2)
+	}
+
+	findings := analysis.RunAnalyzers(pkgs, analyzers)
+	for _, f := range findings {
+		rel, err := filepath.Rel(modRoot, f.Position.Filename)
+		if err == nil {
+			f.Position.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "mobilint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

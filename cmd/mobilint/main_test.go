@@ -1,0 +1,23 @@
+package main
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestMobilintExitsZeroOnTree runs the actual driver over the whole
+// module and requires a silent, zero-status pass — the contract the CI
+// gate step depends on. The test's working directory is cmd/mobilint,
+// inside the module, so findModuleRoot resolves the repo root.
+func TestMobilintExitsZeroOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the driver over the whole module")
+	}
+	out, err := exec.Command("go", "run", ".", "./...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("mobilint ./... failed: %v\n%s", err, out)
+	}
+	if len(out) != 0 {
+		t.Errorf("mobilint ./... printed output on a clean tree:\n%s", out)
+	}
+}

@@ -1,0 +1,229 @@
+// Package analysis is mobilint's engine: a stdlib-only static-analysis
+// suite (go/ast + go/types, source-based loading, no external modules)
+// with project-specific analyzers that enforce the invariants the test
+// suite can only spot-check — byte-determinism of the study pipeline and
+// the allocation diet of the per-tick hot path.
+//
+// Four analyzers ship today:
+//
+//   - detrand: deterministic packages must not read wall clocks or the
+//     global math/rand source.
+//   - maporder: iteration over a map must not feed order-sensitive sinks
+//     (slice appends, output writes, float accumulation) without a
+//     subsequent sort.
+//   - hotalloc: functions annotated //mobicore:hotpath must not contain
+//     allocating constructs on their warm path.
+//   - unitcheck: identifiers with unit suffixes (J, W, Hz, MHz, Sec, C)
+//     must not mix units across + and -.
+//
+// A finding on line L is suppressed by a "//mobilint:ignore reason"
+// comment on line L or L-1; the reason is mandatory, so every
+// suppression documents why the construct is acceptable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only/-skip flags.
+	Name string
+	// Doc is a one-line description shown by the driver's usage text.
+	Doc string
+	// Run inspects the package and reports diagnostics through the pass.
+	Run func(*Pass)
+}
+
+// All lists every analyzer in the suite, in diagnostic-prefix order.
+func All() []*Analyzer {
+	return []*Analyzer{DetRand, MapOrder, HotAlloc, UnitCheck}
+}
+
+// Select resolves -only/-skip analyzer selections against All. Both are
+// comma-separated analyzer names; empty strings mean "no restriction".
+func Select(only, skip string) ([]*Analyzer, error) {
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	parse := func(list string) (map[string]bool, error) {
+		if strings.TrimSpace(list) == "" {
+			return nil, nil
+		}
+		set := map[string]bool{}
+		for _, name := range strings.Split(list, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if byName[name] == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, strings.Join(Names(), ", "))
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	onlySet, err := parse(only)
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := parse(skip)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Analyzer
+	for _, a := range All() {
+		if onlySet != nil && !onlySet[a.Name] {
+			continue
+		}
+		if skipSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Names returns every analyzer name in order.
+func Names() []string {
+	var out []string
+	for _, a := range All() {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []diag
+}
+
+type diag struct {
+	pos token.Pos
+	msg string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, diag{pos: pos, msg: fmt.Sprintf(format, args...)})
+}
+
+// Finding is one resolved diagnostic.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the driver's file:line: analyzer: message format.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Position.Filename, f.Position.Line, f.Analyzer, f.Message)
+}
+
+// ignoreDirective is the comment prefix that suppresses a finding on its
+// own line or the line below.
+const ignoreDirective = "//mobilint:ignore"
+
+// ignoreSet maps filename -> suppressed lines for one package.
+type ignoreSet map[string]map[int]bool
+
+func (s ignoreSet) suppressed(pos token.Position) bool {
+	return s[pos.Filename][pos.Line]
+}
+
+// collectIgnores scans a package's comments for mobilint:ignore
+// directives. A directive suppresses findings on its own line (trailing
+// comment) and the next line (comment above the construct). Directives
+// without a reason are themselves reported, so suppressions stay
+// documented.
+func collectIgnores(pkg *Package) (ignoreSet, []Finding) {
+	set := ignoreSet{}
+	var bad []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				reason := strings.TrimSpace(strings.TrimPrefix(c.Text, ignoreDirective))
+				if reason == "" {
+					bad = append(bad, Finding{
+						Position: pos,
+						Analyzer: "mobilint",
+						Message:  "mobilint:ignore directive needs a reason",
+					})
+					continue
+				}
+				if set[pos.Filename] == nil {
+					set[pos.Filename] = map[int]bool{}
+				}
+				set[pos.Filename][pos.Line] = true
+				set[pos.Filename][pos.Line+1] = true
+			}
+		}
+	}
+	return set, bad
+}
+
+// RunAnalyzers runs the given analyzers over the loaded packages and
+// returns the surviving findings sorted by file and line. Suppressed
+// diagnostics are dropped; malformed ignore directives are reported.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		ignores, bad := collectIgnores(pkg)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				pos := pkg.Fset.Position(d.pos)
+				if ignores.suppressed(pos) {
+					continue
+				}
+				out = append(out, Finding{Position: pos, Analyzer: a.Name, Message: d.msg})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// pkgNameOf resolves the package an identifier qualifies, or nil when the
+// expression is not a package selector base.
+func pkgNameOf(info *types.Info, x ast.Expr) *types.PkgName {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, _ := info.Uses[id].(*types.PkgName)
+	return pn
+}

@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixturePkg loads one testdata fixture package. rel is the path under
+// testdata/src, which doubles as the fixture's import path — detrand
+// fixtures rely on that to land inside (or outside) the deterministic
+// package set.
+func fixturePkg(t *testing.T, rel string) *Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(rel))
+	pkg, err := LoadDir(dir, rel)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", rel, err)
+	}
+	return pkg
+}
+
+// wantRe pulls the quoted expectations out of a // want "..." comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	line    int
+	substr  string
+	matched bool
+}
+
+// collectWants scans a fixture package for // want "substr" comments.
+// Each expectation must be matched by a finding on the same line whose
+// "analyzer: message" rendering contains substr.
+func collectWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				ms := wantRe.FindAllStringSubmatch(rest, -1)
+				if len(ms) == 0 {
+					t.Errorf("%s:%d: malformed want comment %q", pkg.Path, line, c.Text)
+					continue
+				}
+				for _, m := range ms {
+					wants = append(wants, &expectation{line: line, substr: m[1]})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs one analyzer over one fixture and diffs the
+// findings against the fixture's want comments: every finding must be
+// expected, every expectation must fire. A fixture without want
+// comments therefore asserts the analyzer stays silent.
+func checkFixture(t *testing.T, a *Analyzer, rel string) {
+	t.Helper()
+	pkg := fixturePkg(t, rel)
+	wants := collectWants(t, pkg)
+	findings := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	for _, f := range findings {
+		rendered := f.Analyzer + ": " + f.Message
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.line == f.Position.Line && strings.Contains(rendered, w.substr) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding: %s", rel, f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a finding containing %q, got none", rel, w.line, w.substr)
+		}
+	}
+}
+
+func TestDetRand(t *testing.T) {
+	checkFixture(t, DetRand, "detrand/sim")
+	checkFixture(t, DetRand, "detrand/clean")
+}
+
+func TestMapOrder(t *testing.T) {
+	checkFixture(t, MapOrder, "maporder/fire")
+	checkFixture(t, MapOrder, "maporder/clean")
+}
+
+func TestHotAlloc(t *testing.T) {
+	checkFixture(t, HotAlloc, "hotalloc/fire")
+	checkFixture(t, HotAlloc, "hotalloc/clean")
+}
+
+func TestUnitCheck(t *testing.T) {
+	checkFixture(t, UnitCheck, "unitcheck/fire")
+	checkFixture(t, UnitCheck, "unitcheck/clean")
+}
+
+// TestIgnoreNeedsReason: a bare mobilint:ignore is itself a finding, so
+// every suppression in the tree stays documented.
+func TestIgnoreNeedsReason(t *testing.T) {
+	pkg := fixturePkg(t, "ignore/bad")
+	findings := RunAnalyzers([]*Package{pkg}, All())
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "mobilint" || !strings.Contains(f.Message, "needs a reason") {
+		t.Errorf("unexpected finding for bare directive: %s", f)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	names := func(as []*Analyzer) string {
+		var out []string
+		for _, a := range as {
+			out = append(out, a.Name)
+		}
+		return strings.Join(out, ",")
+	}
+	all, err := Select("", "")
+	if err != nil || names(all) != "detrand,maporder,hotalloc,unitcheck" {
+		t.Errorf("Select(\"\",\"\") = %s, %v", names(all), err)
+	}
+	only, err := Select("detrand, unitcheck", "")
+	if err != nil || names(only) != "detrand,unitcheck" {
+		t.Errorf("Select(only) = %s, %v", names(only), err)
+	}
+	skipped, err := Select("", "hotalloc")
+	if err != nil || names(skipped) != "detrand,maporder,unitcheck" {
+		t.Errorf("Select(skip) = %s, %v", names(skipped), err)
+	}
+	if _, err := Select("nosuch", ""); err == nil {
+		t.Error("Select with unknown analyzer did not error")
+	}
+}
+
+// TestRepoIsClean loads the whole module through the same loader the
+// driver uses and asserts the full analyzer suite finds nothing — the
+// library-level half of the "mobilint exits 0 on the tree" gate.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire module from source")
+	}
+	loader, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the ./... expansion looks broken", len(pkgs))
+	}
+	findings := RunAnalyzers(pkgs, All())
+	for _, f := range findings {
+		t.Errorf("finding on the real tree: %s", f)
+	}
+}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"strings"
+)
+
+// MapOrder flags range statements over maps whose body feeds an
+// order-sensitive sink — appending to a slice, writing output, or
+// accumulating floating-point values — without a subsequent sort in the
+// same function. Go randomizes map iteration order, so any of these
+// turns a byte-deterministic pipeline into a coin flip: the store's
+// cells.jsonl, resumed CSVs, and parallel-equals-serial reports all
+// depend on never letting map order reach an output.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration feeding order-sensitive sinks without a subsequent sort",
+	Run:  runMapOrder,
+}
+
+// outputMethods are receiver methods that emit bytes in call order —
+// strings.Builder, bytes.Buffer, io.Writer and friends.
+var outputMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true, "Encode": true,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRanges(pass, fd.Body)
+		}
+	}
+}
+
+// checkMapRanges finds every range-over-map inside fn and reports the
+// ones whose body hits an order-sensitive sink with no sort call later
+// in the same function body.
+func checkMapRanges(pass *Pass, fn *ast.BlockStmt) {
+	ast.Inspect(fn, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		sink := orderSink(pass, rng.Body)
+		if sink == "" {
+			return true
+		}
+		if sortCallAfter(pass, fn, rng.End()) {
+			return true
+		}
+		pass.Reportf(rng.Pos(), "map iteration %s without a subsequent sort: Go randomizes map order, so the result is nondeterministic", sink)
+		return true
+	})
+}
+
+// orderSink classifies the first order-sensitive operation in a range
+// body, or returns "" when the body is order-insensitive.
+func orderSink(pass *Pass, body *ast.BlockStmt) string {
+	sink := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(pass.Info, x.Fun, "append") {
+				sink = "appends to a slice"
+				return false
+			}
+			if name, ok := outputCall(pass, x); ok {
+				sink = "writes output via " + name
+				return false
+			}
+		case *ast.AssignStmt:
+			if x.Tok != token.ADD_ASSIGN && x.Tok != token.SUB_ASSIGN {
+				return true
+			}
+			for _, lhs := range x.Lhs {
+				if t := pass.Info.TypeOf(lhs); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+						sink = "accumulates floating-point values"
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// outputCall reports whether the call writes ordered output: a fmt
+// package function or an output-shaped method (Write*, Print*, Encode).
+func outputCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if pn := pkgNameOf(pass.Info, sel.X); pn != nil {
+		if pn.Imported().Path() == "fmt" {
+			return "fmt." + sel.Sel.Name, true
+		}
+		return "", false
+	}
+	if outputMethods[sel.Sel.Name] && pass.Info.Selections[sel] != nil {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// sortCallAfter reports whether fn contains a sorting call positioned
+// after pos — the idiom of collecting map contents then imposing a
+// deterministic order. A call sorts when it resolves into package sort
+// or slices, into any package whose name mentions sort (the repo's
+// natsort), or to a function whose own name mentions sort.
+func sortCallAfter(pass *Pass, fn *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if pn := pkgNameOf(pass.Info, fun.X); pn != nil {
+				p := pn.Imported().Path()
+				if p == "sort" || p == "slices" || strings.Contains(path.Base(p), "sort") {
+					found = true
+					return false
+				}
+			}
+			if strings.Contains(strings.ToLower(fun.Sel.Name), "sort") {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if strings.Contains(strings.ToLower(fun.Name), "sort") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isBuiltin reports whether fun names the given builtin.
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,19 @@
+// Package clean is the detrand clean fixture: its import path does not
+// end in a deterministic package name, so wall-clock reads and global
+// rand draws are allowed here and nothing fires.
+package clean
+
+import (
+	"math/rand"
+	"time"
+)
+
+// WallClock is fine outside the deterministic set.
+func WallClock() time.Time {
+	return time.Now()
+}
+
+// GlobalDraw is fine outside the deterministic set.
+func GlobalDraw() int {
+	return rand.Intn(10)
+}

@@ -1,0 +1,39 @@
+// Package sim is a detrand firing fixture: its import path ends in
+// /sim, so it is a deterministic package where wall clocks and the
+// global math/rand source are forbidden.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock — the canonical violation.
+func Stamp() time.Time {
+	return time.Now() // want "detrand: time.Now in deterministic package"
+}
+
+// Elapsed measures against the wall clock.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "detrand: time.Since in deterministic package"
+}
+
+// Draw pulls from the global math/rand source.
+func Draw() int {
+	return rand.Intn(10) // want "detrand: rand.Intn in deterministic package"
+}
+
+// Seeded is the sanctioned route: an explicitly seeded generator.
+// rand.New and rand.NewSource are allowed constructors, and method
+// calls on the resulting *rand.Rand resolve through a value, not the
+// package, so none of this fires.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Clock arithmetic on time.Duration values is fine; only the wall-clock
+// readers are flagged.
+func Advance(now, dt time.Duration) time.Duration {
+	return now + dt
+}

@@ -1,0 +1,7 @@
+// Package bad carries a mobilint:ignore directive with no reason — the
+// framework reports the directive itself so suppressions stay
+// documented.
+package bad
+
+//mobilint:ignore
+var placeholder = 1

@@ -1,0 +1,47 @@
+// Package clean holds maporder clean cases: map iteration is fine once
+// a sort imposes a deterministic order, or when the sink is
+// order-insensitive.
+package clean
+
+import "sort"
+
+// SortedKeys is the blessed idiom: collect, then sort.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count only tallies; integers commute, so order cannot show.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// ViaHelper sorts through a helper whose name mentions sort — the
+// repo's natsort package resolves the same way.
+func ViaHelper(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortKeys(out)
+	return out
+}
+
+func sortKeys(s []string) { sort.Strings(s) }
+
+// SliceRange is not a map range at all.
+func SliceRange(vals []float64) float64 {
+	var total float64
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}

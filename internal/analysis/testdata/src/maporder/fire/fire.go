@@ -1,0 +1,31 @@
+// Package fire holds maporder firing cases: each function ranges over a
+// map, feeds an order-sensitive sink, and never sorts afterwards.
+package fire
+
+import "fmt"
+
+// KeysOf collects map keys without sorting them.
+func KeysOf(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want "maporder: map iteration appends to a slice"
+		out = append(out, k)
+	}
+	return out
+}
+
+// PrintAll writes map entries straight to stdout in iteration order.
+func PrintAll(m map[string]int) {
+	for k, v := range m { // want "maporder: map iteration writes output via fmt.Println"
+		fmt.Println(k, v)
+	}
+}
+
+// Sum accumulates floats in map order; float addition is not
+// associative, so the total depends on the iteration order.
+func Sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want "maporder: map iteration accumulates floating-point values"
+		total += v
+	}
+	return total
+}

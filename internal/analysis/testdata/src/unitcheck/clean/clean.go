@@ -1,0 +1,27 @@
+// Package clean holds unitcheck clean cases: same-unit sums, explicit
+// conversions through * and /, and unitless operands.
+package clean
+
+// TotalEnergy sums joules with joules.
+func TotalEnergy(energyJ, deltaJ float64) float64 {
+	return energyJ + deltaJ
+}
+
+// AvgPower divides joules by seconds — conversion, not addition, so the
+// analyzer stays quiet.
+func AvgPower(energyJ, busySec float64) float64 {
+	if busySec <= 0 {
+		return 0
+	}
+	return energyJ / busySec
+}
+
+// ConvertedSum converts megahertz to hertz before adding.
+func ConvertedSum(freqHz, freqMHz float64) float64 {
+	return freqHz + freqMHz*1e6
+}
+
+// Offset adds a unitless constant; one bare operand never fires.
+func Offset(tempC float64) float64 {
+	return tempC + 5
+}

@@ -1,0 +1,30 @@
+// Package fire holds unitcheck firing cases: every function mixes two
+// unit suffixes across + or -.
+package fire
+
+// AddEnergyToPower adds joules to watts — dimensionally meaningless.
+func AddEnergyToPower(energyJ, powerW float64) float64 {
+	return energyJ + powerW // want "unitcheck: unit mismatch: J operand"
+}
+
+// MixFrequencies subtracts megahertz from hertz without converting.
+func MixFrequencies(freqHz, freqMHz float64) float64 {
+	return freqHz - freqMHz // want "unitcheck: unit mismatch: Hz operand"
+}
+
+// Accumulate compounds the mix through +=.
+func Accumulate(energyJ, powerW float64) float64 {
+	energyJ += powerW // want "unitcheck: unit mismatch: J operand"
+	return energyJ
+}
+
+// Fields works through selectors too.
+type report struct {
+	EnergyJ float64
+	BusySec float64
+}
+
+// DrainBudget subtracts seconds from joules.
+func DrainBudget(r report) float64 {
+	return r.EnergyJ - r.BusySec // want "unitcheck: unit mismatch: J operand"
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// UnitCheck flags + and - expressions whose operands carry different
+// unit suffixes: adding joules to watts, or hertz to megahertz, type-
+// checks fine (they are all float64s) but is a modeling bug. The
+// internal/em tables are pure unit arithmetic — J, W, Hz — which is
+// exactly where a silent unit mix corrupts every downstream figure.
+//
+// Recognized suffixes: J, W, MHz, Hz, Sec (and Seconds), C. A suffix
+// counts only when preceded by a lowercase letter or digit, so the unit
+// is a camelCase word of its own (EnergyJ, busySec, maxTempC).
+var UnitCheck = &Analyzer{
+	Name: "unitcheck",
+	Doc:  "forbid mixing unit suffixes (J, W, Hz, MHz, Sec, C) across + and -",
+	Run:  runUnitCheck,
+}
+
+// unitSuffixes maps identifier suffixes to their canonical unit, checked
+// longest-first so Seconds beats Sec and MHz beats Hz.
+var unitSuffixes = []struct{ suffix, unit string }{
+	{"Seconds", "Sec"},
+	{"MHz", "MHz"},
+	{"Sec", "Sec"},
+	{"Hz", "Hz"},
+	{"J", "J"},
+	{"W", "W"},
+	{"C", "C"},
+}
+
+func runUnitCheck(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op == token.ADD || x.Op == token.SUB {
+					checkUnits(pass, x.Pos(), x.Op, x.X, x.Y)
+				}
+			case *ast.AssignStmt:
+				if (x.Tok == token.ADD_ASSIGN || x.Tok == token.SUB_ASSIGN) && len(x.Lhs) == 1 && len(x.Rhs) == 1 {
+					op := token.ADD
+					if x.Tok == token.SUB_ASSIGN {
+						op = token.SUB
+					}
+					checkUnits(pass, x.Pos(), op, x.Lhs[0], x.Rhs[0])
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkUnits reports when both operands carry units and the units
+// disagree. Non-numeric operands (string concatenation) are exempt.
+func checkUnits(pass *Pass, pos token.Pos, op token.Token, a, b ast.Expr) {
+	ua, ub := exprUnit(a), exprUnit(b)
+	if ua == "" || ub == "" || ua == ub {
+		return
+	}
+	if !isNumericExpr(pass, a) || !isNumericExpr(pass, b) {
+		return
+	}
+	pass.Reportf(pos, "unit mismatch: %s operand in %s with %s operand — convert one side explicitly", ua, op, ub)
+}
+
+// exprUnit extracts the unit suffix of the identifier an operand
+// ultimately names, looking through selectors, indexing, calls, and
+// parentheses.
+func exprUnit(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return unitOfName(x.Name)
+	case *ast.SelectorExpr:
+		return unitOfName(x.Sel.Name)
+	case *ast.IndexExpr:
+		return exprUnit(x.X)
+	case *ast.ParenExpr:
+		return exprUnit(x.X)
+	case *ast.CallExpr:
+		return exprUnit(x.Fun)
+	}
+	return ""
+}
+
+// unitOfName resolves an identifier's unit suffix, requiring the suffix
+// to start a new camelCase word (preceded by a lowercase letter or
+// digit) so SystemW matches but CSV does not.
+func unitOfName(name string) string {
+	for _, s := range unitSuffixes {
+		n := len(name) - len(s.suffix)
+		if n <= 0 || name[n:] != s.suffix {
+			continue
+		}
+		if prev := name[n-1]; (prev >= 'a' && prev <= 'z') || (prev >= '0' && prev <= '9') {
+			return s.unit
+		}
+	}
+	return ""
+}
+
+// isNumericExpr reports whether the operand's type is numeric (including
+// named numeric types like soc.Hz and time.Duration).
+func isNumericExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}

@@ -109,6 +109,8 @@ func (g *Ondemand) Target(in Input) ([]soc.Hz, error) {
 // TargetOne computes the ondemand decision for a single core. It is
 // exported because MobiCore's Eq. 9 re-evaluates "the frequency which has
 // been chosen by the ondemand governor" and needs the same primitive.
+//
+//mobicore:hotpath
 func (g *Ondemand) TargetOne(util float64, cur soc.Hz) soc.Hz {
 	if util >= g.tun.UpThreshold {
 		return g.table.Max().Freq

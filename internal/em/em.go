@@ -72,12 +72,16 @@ func (d *Domain) ActiveWattsAt(i int) float64 { return d.activeWatts[i] }
 
 // CostPerCycleAt returns the energy of one cycle executed at OPP i, in
 // joules — the kernel EM "cost" column divided by frequency.
+//
+//mobicore:hotpath
 func (d *Domain) CostPerCycleAt(i int) float64 { return d.costPerCycle[i] }
 
 // UncorePerCycleAt returns the additional per-cycle cost of powering the
 // domain's shared uncore (cache, bus) at OPP i. Placement charges it when
 // the thread under decision would be the domain's only work — waking an
 // idle cluster pays its uncore; joining an already-busy one does not.
+//
+//mobicore:hotpath
 func (d *Domain) UncorePerCycleAt(i int) float64 { return d.uncorePerCycle[i] }
 
 // Capacity returns the domain's per-core capacity: its top frequency in
@@ -88,6 +92,8 @@ func (d *Domain) Capacity() float64 { return d.freqs[len(d.freqs)-1] }
 // frequency serves a per-core demand rate (cycles/sec) — the point a
 // CPUFREQ_RELATION_L governor would pick. Rates above the ladder clamp to
 // the top. Allocation-free.
+//
+//mobicore:hotpath
 func (d *Domain) OPPForRate(rate float64) int {
 	i := sort.SearchFloat64s(d.freqs, rate)
 	if i == len(d.freqs) {
@@ -99,6 +105,8 @@ func (d *Domain) OPPForRate(rate float64) int {
 // EnergyPerCycle returns the cost of one cycle executed at the OPP the
 // governor would pick for a per-core rate — the EAS placement figure of
 // merit. Allocation-free.
+//
+//mobicore:hotpath
 func (d *Domain) EnergyPerCycle(rate float64) float64 {
 	return d.costPerCycle[d.OPPForRate(rate)]
 }
@@ -222,6 +230,8 @@ func (m *Model) Domain(di int) *Domain { return &m.domains[di] }
 
 // DomainOf returns the domain index owning core id, or -1 for an unknown
 // id.
+//
+//mobicore:hotpath
 func (m *Model) DomainOf(id int) int {
 	if id < 0 || id >= len(m.coreDomain) {
 		return -1

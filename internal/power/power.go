@@ -101,12 +101,16 @@ func NewModel(params Params, table *soc.OPPTable) (*Model, error) {
 func (m *Model) Params() Params { return m.params }
 
 // LeakWatts returns per-core static power at supply voltage v.
+//
+//mobicore:hotpath
 func (m *Model) LeakWatts(v soc.Volt) float64 {
 	return m.params.LeakCoeffWatts * math.Pow(float64(v), m.params.LeakExponent)
 }
 
 // DynamicWatts returns per-core dynamic power at operating point opp with
 // the core busy fraction util in [0,1] (Eq. 1: P_d ∝ C·f·V²).
+//
+//mobicore:hotpath
 func (m *Model) DynamicWatts(opp soc.OPP, util float64) float64 {
 	util = clamp01(util)
 	return util * m.params.CeffFarads * float64(opp.Freq) * float64(opp.Volt) * float64(opp.Volt)
@@ -117,6 +121,8 @@ func (m *Model) DynamicWatts(opp soc.OPP, util float64) float64 {
 // offline. A fully idle core pays IdleLeakFraction of the leakage; any
 // active fraction pays in full (the rail must hold the operating voltage
 // while instructions retire).
+//
+//mobicore:hotpath
 func (m *Model) CoreWatts(state soc.CoreState, opp soc.OPP, util float64) float64 {
 	if state == soc.StateOffline {
 		return m.params.OfflineWatts
@@ -138,6 +144,8 @@ func (m *Model) idleLeakFraction() float64 {
 // CacheWatts returns the shared uncore power. busyFrac is the fraction of
 // the window during which at least one core was executing; topFreq is the
 // highest frequency among online cores.
+//
+//mobicore:hotpath
 func (m *Model) CacheWatts(busyFrac float64, topFreq soc.Hz) float64 {
 	busyFrac = clamp01(busyFrac)
 	fmax := float64(m.table.Max().Freq)
@@ -163,6 +171,8 @@ func (m *Model) SystemWatts(cores []CoreLoad) float64 {
 // ClusterWatts evaluates the per-cluster share of Eq. 3/4 — cache plus
 // per-core terms, without the platform base. SystemModel sums this across
 // clusters so the floor is paid once, not once per cluster.
+//
+//mobicore:hotpath
 func (m *Model) ClusterWatts(cores []CoreLoad) float64 {
 	total := 0.0
 	anyBusy := 0.0

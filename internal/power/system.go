@@ -96,8 +96,11 @@ func (m *SystemModel) SystemWatts(loads []CoreLoad) float64 {
 // base + Σ perCluster reproduces SystemWatts bit for bit. perCluster is
 // reused as the output buffer when it has the right length (the per-tick
 // hot path allocates nothing).
+//
+//mobicore:hotpath
 func (m *SystemModel) SystemWattsByCluster(loads []CoreLoad, perCluster []float64) (base float64, out []float64) {
 	if len(perCluster) != len(m.clusters) {
+		//mobilint:ignore defensive resize for short buffers; the sim tick always passes a full-size one
 		perCluster = make([]float64, len(m.clusters))
 	}
 	if len(m.clusters) == 1 {

@@ -94,6 +94,8 @@ type GreedyPlacer struct{}
 func (GreedyPlacer) Name() string { return "greedy" }
 
 // Place implements Placer.
+//
+//mobicore:hotpath
 func (GreedyPlacer) Place(env *PlaceEnv, t *Thread) int {
 	const eps = 1e-12
 	if lc := env.affinityCore(t); lc >= 0 {
@@ -161,6 +163,8 @@ func NewEASPlacer(model *em.Model) (*EASPlacer, error) {
 func (p *EASPlacer) Name() string { return "eas" }
 
 // Place implements Placer.
+//
+//mobicore:hotpath
 func (p *EASPlacer) Place(env *PlaceEnv, t *Thread) int {
 	const eps = 1e-12
 	prev := env.affinityCore(t)
@@ -231,6 +235,8 @@ func (p *EASPlacer) Place(env *PlaceEnv, t *Thread) int {
 // rateOn estimates the per-core demand rate core i's governor would see
 // with the thread placed on it: cycles already committed to the core this
 // window plus the thread's debt, over the window.
+//
+//mobicore:hotpath
 func (p *EASPlacer) rateOn(env *PlaceEnv, i int, t *Thread) float64 {
 	return ((env.WindowSec-env.Budget[i])*env.Freq[i] + t.pending) / env.WindowSec
 }
@@ -243,6 +249,8 @@ func (p *EASPlacer) rateOn(env *PlaceEnv, i int, t *Thread) float64 {
 // is the system-level term a bare cost-per-cycle comparison misses: a
 // migration that saves a few mW of core power must still amortize the
 // target cluster's uncore before it is worthwhile.
+//
+//mobicore:hotpath
 func (p *EASPlacer) costPerCycle(dom *em.Domain, rate, domBusySec float64) float64 {
 	const eps = 1e-12
 	i := dom.OPPForRate(rate)

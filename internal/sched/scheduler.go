@@ -24,17 +24,33 @@ type Result struct {
 
 // Utilization returns per-core busy fraction for a window of dt.
 func (r Result) Utilization(dt time.Duration) []float64 {
-	out := make([]float64, len(r.BusySeconds))
+	return r.UtilizationInto(nil, dt)
+}
+
+// UtilizationInto is Utilization writing into dst when it has the
+// capacity, so per-tick callers can reuse one buffer. It returns the
+// filled slice.
+//
+//mobicore:hotpath
+func (r Result) UtilizationInto(dst []float64, dt time.Duration) []float64 {
+	if cap(dst) < len(r.BusySeconds) {
+		//mobilint:ignore one-time buffer growth; steady-state callers pass a full-size buffer
+		dst = make([]float64, len(r.BusySeconds))
+	}
+	dst = dst[:len(r.BusySeconds)]
 	if dt <= 0 {
-		return out
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
 	}
 	for i, b := range r.BusySeconds {
-		out[i] = b / dt.Seconds()
-		if out[i] > 1 {
-			out[i] = 1
+		dst[i] = b / dt.Seconds()
+		if dst[i] > 1 {
+			dst[i] = 1
 		}
 	}
-	return out
+	return dst
 }
 
 // Scheduler load-balances threads across online cores each window. It keeps
@@ -43,9 +59,36 @@ func (r Result) Utilization(dt time.Duration) []float64 {
 // deterministic longest-processing-time greedy that stands in for the
 // kernel's balancer; install an EASPlacer for energy-aware placement. The
 // zero value is ready to use and places greedily.
+//
+// A Scheduler reuses per-window scratch buffers across calls and is
+// therefore not safe for concurrent use; each Sim owns its own instance
+// (the fleet driver gives every cell its own Sim).
 type Scheduler struct {
 	// Placer decides per-thread core placement. Nil means GreedyPlacer.
 	Placer Placer
+
+	// Per-window scratch, reused to keep the per-tick path allocation-free.
+	snap     []soc.CoreSnapshot
+	budget   []float64
+	online   []bool
+	freq     []float64
+	runnable byDebt
+	env      PlaceEnv
+}
+
+// byDebt orders threads largest pending debt first, name breaking ties,
+// so runs are deterministic. Pointer-receiver methods let sort.Stable
+// take &s.runnable without boxing a fresh slice header per window.
+type byDebt []*Thread
+
+func (r *byDebt) Len() int      { return len(*r) }
+func (r *byDebt) Swap(i, j int) { (*r)[i], (*r)[j] = (*r)[j], (*r)[i] }
+func (r *byDebt) Less(i, j int) bool {
+	a, b := (*r)[i], (*r)[j]
+	if a.pending != b.pending {
+		return a.pending > b.pending
+	}
+	return a.name < b.name
 }
 
 // ErrBadQuota rejects malformed bandwidth budgets.
@@ -109,6 +152,8 @@ func (s *Scheduler) ScheduleWithPressure(cpu *soc.CPU, threads []*Thread, dt tim
 // ScheduleThermal is the full-signal entry point: ScheduleWithPressure plus
 // the optional headroom-aware capacity scale consumed by energy-aware
 // placers.
+//
+//mobicore:hotpath
 func (s *Scheduler) ScheduleThermal(cpu *soc.CPU, threads []*Thread, dt time.Duration, poolSec float64, pr Pressure) (Result, error) {
 	if cpu == nil {
 		return Result{}, errors.New("sched: nil cpu")
@@ -117,20 +162,32 @@ func (s *Scheduler) ScheduleThermal(cpu *soc.CPU, threads []*Thread, dt time.Dur
 		return Result{}, errors.New("sched: non-positive window")
 	}
 
-	snap := cpu.Snapshot()
+	snap := cpu.SnapshotInto(s.snap)
+	s.snap = snap
+	// The Result escapes to the caller, so its slice cannot be pooled;
+	// everything else below reuses the scheduler's scratch.
+	//mobilint:ignore one Result slice per window is the API's ownership contract
 	res := Result{BusySeconds: make([]float64, len(snap))}
 
 	pool := poolSec
 	limited := pool >= 0
 
-	budget := make([]float64, len(snap)) // seconds of execution allowed
-	online := make([]bool, len(snap))
-	freq := make([]float64, len(snap))
+	budget, online, freq := s.budget, s.online, s.freq
+	if cap(budget) < len(snap) {
+		//mobilint:ignore one-time scratch growth on first window or topology change
+		budget, online, freq = make([]float64, len(snap)), make([]bool, len(snap)), make([]float64, len(snap))
+	}
+	budget, online, freq = budget[:len(snap)], online[:len(snap)], freq[:len(snap)]
+	s.budget, s.online, s.freq = budget, online, freq
 	for i, c := range snap {
 		if c.State != soc.StateOffline {
 			online[i] = true
 			budget[i] = dt.Seconds()
 			freq[i] = float64(c.Freq)
+		} else {
+			online[i] = false
+			budget[i] = 0
+			freq[i] = 0
 		}
 	}
 
@@ -157,7 +214,9 @@ func (s *Scheduler) ScheduleThermal(cpu *soc.CPU, threads []*Thread, dt time.Dur
 		}
 	}
 
-	env := PlaceEnv{
+	// The env lives on the scheduler so taking its address for the
+	// placer's interface call does not force a per-window heap escape.
+	s.env = PlaceEnv{
 		Online:    online,
 		Budget:    budget,
 		Freq:      freq,
@@ -170,25 +229,24 @@ func (s *Scheduler) ScheduleThermal(cpu *soc.CPU, threads []*Thread, dt time.Dur
 	}
 	placer := s.placer()
 
-	runnable := make([]*Thread, 0, len(threads))
+	runnable := s.runnable[:0]
 	for _, t := range threads {
 		if t != nil && t.Runnable() {
+			//mobilint:ignore append into pooled scratch; capacity amortizes across windows
 			runnable = append(runnable, t)
 		}
 	}
+	s.runnable = runnable
 	// Largest debt first; name breaks ties so runs are deterministic.
-	sort.SliceStable(runnable, func(i, j int) bool {
-		if runnable[i].pending != runnable[j].pending {
-			return runnable[i].pending > runnable[j].pending
-		}
-		return runnable[i].name < runnable[j].name
-	})
+	// sort.Stable on the pooled pointer sorter avoids the per-window
+	// closure and interface boxing sort.SliceStable would cost.
+	sort.Stable(&s.runnable)
 
 	for _, t := range runnable {
 		if limited && pool <= 0 {
 			break // bandwidth exhausted for this window
 		}
-		core := placer.Place(&env, t)
+		core := placer.Place(&s.env, t)
 		if core < 0 {
 			continue // no core time anywhere
 		}

@@ -160,13 +160,15 @@ type Sim struct {
 	requested []soc.Hz // manager-requested per-core frequency, pre thermal clamp
 
 	// per-tick scratch, reused to keep the hot loop allocation-free
-	clusterWatts []float64        // per-cluster power share from the system model
-	zoneWatts    []float64        // per-zone watts fed to the thermal network
-	capped       []bool           // per-core thermal-cap flags for the scheduler
-	capScale     []float64        // per-core headroom-aware capacity scale
-	clusterFmax  []float64        // per-cluster ladder top, for the cap scale
-	threads      []*sched.Thread  // demand gathered from workloads this tick
-	loads        []power.CoreLoad // per-core load view fed to the power model
+	snap         []soc.CoreSnapshot // CPU snapshot buffer
+	util         []float64          // per-core utilization buffer
+	clusterWatts []float64          // per-cluster power share from the system model
+	zoneWatts    []float64          // per-zone watts fed to the thermal network
+	capped       []bool             // per-core thermal-cap flags for the scheduler
+	capScale     []float64          // per-core headroom-aware capacity scale
+	clusterFmax  []float64          // per-cluster ladder top, for the cap scale
+	threads      []*sched.Thread    // demand gathered from workloads this tick
+	loads        []power.CoreLoad   // per-core load view fed to the power model
 
 	// window accumulators between manager samples
 	winBusySec []float64
@@ -248,6 +250,8 @@ func New(cfg Config) (*Sim, error) {
 		requested:           make([]soc.Hz, cfg.Platform.NumCores),
 		clusterWatts:        make([]float64, len(specs)),
 		zoneWatts:           make([]float64, len(specs)),
+		snap:                make([]soc.CoreSnapshot, cfg.Platform.NumCores),
+		util:                make([]float64, cfg.Platform.NumCores),
 		capped:              make([]bool, cfg.Platform.NumCores),
 		capScale:            make([]float64, cfg.Platform.NumCores),
 		clusterFmax:         make([]float64, len(specs)),
@@ -311,6 +315,8 @@ func (s *Sim) CPU() *soc.CPU { return s.cpu }
 func (s *Sim) Quota() float64 { return s.quota }
 
 // Step advances the simulation by one tick.
+//
+//mobicore:hotpath
 func (s *Sim) Step() error {
 	dt := s.cfg.Tick
 
@@ -319,6 +325,7 @@ func (s *Sim) Step() error {
 	threads := s.threads[:0]
 	for _, w := range s.cfg.Workloads {
 		w.Tick(s.now, dt, s.rng)
+		//mobilint:ignore append into pooled scratch; capacity amortizes across ticks
 		threads = append(threads, w.Threads()...)
 	}
 	s.threads = threads
@@ -353,11 +360,13 @@ func (s *Sim) Step() error {
 		s.quotaPool = 0
 	}
 
-	// 3. Power and thermal integration. The load slice is fixed-size
-	// scratch; every entry is rewritten below.
-	snap := s.cpu.Snapshot()
+	// 3. Power and thermal integration. The load and snapshot slices are
+	// fixed-size scratch; every entry is rewritten below.
+	snap := s.cpu.SnapshotInto(s.snap)
+	s.snap = snap
 	loads := s.loads
-	util := res.Utilization(dt)
+	util := res.UtilizationInto(s.util, dt)
+	s.util = util
 	onlineCount := 0
 	var freqAcc float64
 	var overall float64
@@ -558,6 +567,8 @@ func (s *Sim) refillQuota() {
 
 // applyFrequencies programs each online core to its requested frequency,
 // clamped by the owning cluster's own thermal zone on its own ladder.
+//
+//mobicore:hotpath
 func (s *Sim) applyFrequencies() error {
 	for i, want := range s.requested {
 		f := s.net.Clamp(s.coreCluster[i], want)

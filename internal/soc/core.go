@@ -166,11 +166,25 @@ type CoreSnapshot struct {
 
 // Snapshot captures the state of every core.
 func (c *CPU) Snapshot() []CoreSnapshot {
+	return c.SnapshotInto(nil)
+}
+
+// SnapshotInto is Snapshot writing into dst when it has the capacity,
+// so per-tick callers can reuse one buffer and keep the hot loop
+// allocation-free. It returns the filled slice (dst's backing array
+// when it fits, a fresh one otherwise).
+//
+//mobicore:hotpath
+func (c *CPU) SnapshotInto(dst []CoreSnapshot) []CoreSnapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]CoreSnapshot, len(c.cores))
+	if cap(dst) < len(c.cores) {
+		//mobilint:ignore one-time buffer growth; steady-state callers pass a full-size buffer
+		dst = make([]CoreSnapshot, len(c.cores))
+	}
+	dst = dst[:len(c.cores)]
 	for i, core := range c.cores {
-		out[i] = CoreSnapshot{
+		dst[i] = CoreSnapshot{
 			ID:         core.id,
 			Cluster:    c.coreCluster[i],
 			State:      core.state,
@@ -179,7 +193,7 @@ func (c *CPU) Snapshot() []CoreSnapshot {
 			BusyCycles: core.busyCycles,
 		}
 	}
-	return out
+	return dst
 }
 
 // SetFreq programs core id to the exact operating frequency freq.
@@ -305,6 +319,8 @@ func (c *CPU) SetOnlineCount(n int) error {
 // updating state and cycle accounting. busyNanos is clamped to windowNanos.
 // It returns the number of cycles executed. Calling Run on an offline core
 // returns ErrCoreOffline: the scheduler must never place work there.
+//
+//mobicore:hotpath
 func (c *CPU) Run(id int, busyNanos, windowNanos uint64) (uint64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

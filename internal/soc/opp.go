@@ -152,7 +152,10 @@ func (t *OPPTable) VoltageFor(freq Hz) (Volt, error) {
 // CeilFreq maps a desired frequency to the lowest supported operating point
 // that is >= target. Targets above the maximum clamp to the maximum. This is
 // how cpufreq resolves CPUFREQ_RELATION_L.
+//
+//mobicore:hotpath
 func (t *OPPTable) CeilFreq(target Hz) OPP {
+	//mobilint:ignore sort.Search predicate does not escape; stack-allocated
 	i := sort.Search(len(t.points), func(i int) bool { return t.points[i].Freq >= target })
 	if i == len(t.points) {
 		return t.Max()
