@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"mobicore"
+	"mobicore/internal/profile"
 )
 
 func main() {
@@ -29,8 +30,22 @@ func run() int {
 	seeds := flag.Int("seeds", 1, "consecutive seeds for the fleet-driven experiments (biglittle, easplace, sustained); >1 appends cross-seed 95% CIs and paired deltas")
 	parallel := flag.Int("parallel", 0, "fleet worker pool for multi-cell experiments (0 = GOMAXPROCS)")
 	asJSON := flag.Bool("json", false, "emit results as JSON documents instead of text")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
+	memProf := flag.String("memprofile", "", "write an allocs heap profile to this path on exit")
 	flag.Usage = usage
 	flag.Parse()
+
+	stopProf, err := profile.Start(*cpuProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mobibench:", err)
+		return 1
+	}
+	defer stopProf()
+	defer func() {
+		if err := profile.WriteHeap(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, "mobibench:", err)
+		}
+	}()
 
 	args := flag.Args()
 	if len(args) == 0 {

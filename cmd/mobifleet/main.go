@@ -46,6 +46,7 @@ import (
 
 	"mobicore"
 	"mobicore/internal/natsort"
+	"mobicore/internal/profile"
 )
 
 func main() {
@@ -72,8 +73,22 @@ func run() int {
 		resume    = flag.Bool("resume", false, "load cached cells from -store and execute only the missing ones")
 		traces    = flag.Bool("traces", false, "export per-cell power traces (gzip JSONL) under <store>/traces")
 		csvPath   = flag.String("csv", "", "write per-cell results as CSV to this path (\"-\" for stdout)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
+		memProf   = flag.String("memprofile", "", "write an allocs heap profile to this path on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profile.Start(*cpuProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mobifleet:", err)
+		return 1
+	}
+	defer stopProf()
+	defer func() {
+		if err := profile.WriteHeap(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, "mobifleet:", err)
+		}
+	}()
 
 	if *list {
 		fmt.Println("platforms: ", mobicore.Platforms())

@@ -3,10 +3,12 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
 	"mobicore/internal/platform"
+	"mobicore/internal/sim"
 )
 
 // benchSpec is a 4-cell matrix (2 platforms × 2 seeds) of 2-second
@@ -42,4 +44,79 @@ func BenchmarkFleet(b *testing.B) {
 			b.ReportMetric(float64(4*b.N)/b.Elapsed().Seconds(), "cells/s")
 		})
 	}
+}
+
+// matrixBenchSpec is the larger phase-2 matrix: 2 platforms × 3 policies ×
+// 2 placers × 2 seeds = 24 cells, mixing homogeneous and big.LITTLE shapes
+// and both placement rules so arena buffers resize between cells exactly as
+// a real study's workers see them.
+func matrixBenchSpec(par int) Spec {
+	return Spec{
+		Platforms: []platform.Platform{platform.Nexus5(), platform.Nexus6P()},
+		Policies: []PolicyFactory{
+			Policy("android-default"),
+			Policy("mobicore"),
+			Policy("ondemand+load"),
+		},
+		Placers:   []string{sim.PlacerGreedy, sim.PlacerEAS},
+		Workloads: []WorkloadFactory{busyFactory(0.5, 4)},
+		Seeds:     []int64{1, 2},
+		Duration:  time.Second,
+		Parallel:  par,
+	}
+}
+
+// BenchmarkFleetMatrix measures fleet throughput on the 24-cell phase-2
+// matrix, reporting cells/s and allocations per cell. allocs/cell is the
+// arena's success metric: it should sit near per-cell construction cost
+// (fresh managers and workloads, which the spec mandates) instead of
+// scaling with session duration.
+func BenchmarkFleetMatrix(b *testing.B) {
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallel%d", par), func(b *testing.B) {
+			var before runtime.MemStats
+			runtime.ReadMemStats(&before)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(context.Background(), matrixBenchSpec(par))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Cells) != 24 {
+					b.Fatalf("cells = %d, want 24", len(res.Cells))
+				}
+			}
+			b.StopTimer()
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			cells := float64(24 * b.N)
+			b.ReportMetric(cells/b.Elapsed().Seconds(), "cells/s")
+			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/cells, "allocs/cell")
+		})
+	}
+}
+
+// BenchmarkSessionNew isolates session construction — factory-built manager
+// and workloads plus engine assembly, no execution — fresh versus through a
+// warm arena. The delta is what the per-platform precompute cache and the
+// arena save every cell before a single tick runs.
+func BenchmarkSessionNew(b *testing.B) {
+	cells, err := benchSpec(1).Cells()
+	if err != nil {
+		b.Fatal(err)
+	}
+	build := func(b *testing.B, a *sim.Arena) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp, err := cells[i%len(cells)].session()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sp.NewIn(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("fresh", func(b *testing.B) { build(b, nil) })
+	b.Run("arena", func(b *testing.B) { build(b, sim.NewArena()) })
 }

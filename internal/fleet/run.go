@@ -172,6 +172,12 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns one arena (and one recycled trace writer)
+			// for its whole cell stream: consecutive cells reuse the
+			// engine's buffers, and because reports deep-copy their series
+			// the output stays byte-identical to fresh allocation at any
+			// parallelism.
+			scratch := &cellScratch{arena: sim.NewArena()}
 			for {
 				n := int(next.Add(1))
 				if n >= len(pending) {
@@ -182,7 +188,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 					errs[i] = err
 					continue
 				}
-				res, err := runCell(runCtx, i, cells[i], keys[i], spec.TraceDir)
+				res, err := runCell(runCtx, i, cells[i], keys[i], spec.TraceDir, scratch)
 				if err != nil {
 					errs[i] = err
 					if !isCancellation(err) {
@@ -247,22 +253,42 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	return out, nil
 }
 
+// cellScratch is one worker's cross-cell reuse state: the session arena
+// and the recycled trace writer. Never shared between goroutines.
+type cellScratch struct {
+	arena *sim.Arena
+	tw    *traceWriter
+}
+
 // runCell builds and runs one cell's session, exporting its power trace
-// when traceDir is set.
-func runCell(ctx context.Context, idx int, c Cell, key, traceDir string) (*CellResult, error) {
+// when traceDir is set. scratch, when non-nil, supplies the worker's arena
+// and recycled trace writer; nil runs the cell with fresh allocations (the
+// two produce byte-identical results — the arena is purely a reuse pool).
+func runCell(ctx context.Context, idx int, c Cell, key, traceDir string, scratch *cellScratch) (*CellResult, error) {
 	spec, err := c.session()
 	if err != nil {
 		return nil, err
 	}
+	var arena *sim.Arena
+	if scratch != nil {
+		arena = scratch.arena
+	}
 	var tw *traceWriter
 	if traceDir != "" {
-		tw, err = newTraceWriter(traceDir, key)
+		var recycle *traceWriter
+		if scratch != nil {
+			recycle = scratch.tw
+		}
+		tw, err = newTraceWriter(traceDir, key, recycle)
 		if err != nil {
 			return nil, err
 		}
+		if scratch != nil {
+			scratch.tw = tw
+		}
 		spec.PowerTrace = tw.hook
 	}
-	rep, done, err := spec.RunDone(ctx)
+	rep, done, err := spec.RunDoneIn(ctx, arena)
 	if tw != nil {
 		if err != nil {
 			// A canceled or failed session leaves a truncated trace that

@@ -40,17 +40,27 @@ type traceWriter struct {
 	path string
 }
 
-// newTraceWriter creates <dir>/<key>.trace.jsonl.gz for writing.
-func newTraceWriter(dir, key string) (*traceWriter, error) {
+// newTraceWriter creates <dir>/<key>.trace.jsonl.gz for writing. Passing
+// the worker's previous (closed or aborted) writer as recycle reuses its
+// 64 KiB buffer, gzip state, and encoder for the new file, so a tracing
+// fleet worker allocates the expensive compression machinery once, not per
+// cell.
+func newTraceWriter(dir, key string, recycle *traceWriter) (*traceWriter, error) {
 	path := filepath.Join(dir, TraceFileName(key))
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: creating trace %s: %w", path, err)
 	}
-	tw := &traceWriter{f: f, path: path}
-	tw.buf = bufio.NewWriterSize(f, 64*1024)
-	tw.gz = gzip.NewWriter(tw.buf)
-	tw.enc = json.NewEncoder(tw.gz)
+	tw := recycle
+	if tw == nil {
+		tw = &traceWriter{}
+		tw.buf = bufio.NewWriterSize(nil, 64*1024)
+		tw.gz = gzip.NewWriter(tw.buf)
+		tw.enc = json.NewEncoder(tw.gz)
+	}
+	tw.f, tw.path, tw.err = f, path, nil
+	tw.buf.Reset(f)
+	tw.gz.Reset(tw.buf)
 	return tw, nil
 }
 

@@ -203,6 +203,30 @@ func (s *Series) Reset() {
 	s.sum.Reset()
 }
 
+// Reserve grows the series' capacity to hold at least n points without
+// further allocation, keeping any points already appended. Arenas call it
+// once per session so steady-state appends never reallocate.
+func (s *Series) Reserve(n int) {
+	if cap(s.points) >= n {
+		return
+	}
+	grown := make([]Point, len(s.points), n)
+	copy(grown, s.points)
+	s.points = grown
+}
+
+// Clone returns a deep copy of the series: same points and summary, its own
+// exact-size backing array. Reports clone their series so the sampled traces
+// survive the producing Sim's buffers being reused for the next session.
+func (s *Series) Clone() Series {
+	out := Series{sum: s.sum}
+	if len(s.points) > 0 {
+		out.points = make([]Point, len(s.points))
+		copy(out.points, s.points)
+	}
+	return out
+}
+
 // RelativeChange returns (b-a)/a as a fraction; it is the "X% savings /
 // X% higher" arithmetic used throughout the thesis' evaluation.
 func RelativeChange(a, b float64) float64 {

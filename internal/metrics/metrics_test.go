@@ -195,3 +195,61 @@ func TestSeriesMarshalJSON(t *testing.T) {
 		t.Errorf("round-trip = %+v", pts)
 	}
 }
+
+// TestSeriesReserve: reserving capacity keeps existing points and makes
+// subsequent appends allocation-free up to the reservation.
+func TestSeriesReserve(t *testing.T) {
+	var s Series
+	s.Append(time.Second, 1)
+	s.Append(2*time.Second, 2)
+	s.Reserve(100)
+	if s.Len() != 2 || s.At(0).Value != 1 || s.At(1).Value != 2 {
+		t.Fatal("Reserve dropped existing points")
+	}
+	allocs := testing.AllocsPerRun(1, func() {
+		for i := 0; i < 90; i++ {
+			s.Append(time.Duration(i), float64(i))
+		}
+		s.Reset()
+		s.Append(0, 0) // Reset keeps capacity
+	})
+	if allocs > 0 {
+		t.Errorf("appends within reserved capacity allocate %.1f objects/op", allocs)
+	}
+	// Shrinking reservations are no-ops.
+	before := s.Len()
+	s.Reserve(1)
+	if s.Len() != before {
+		t.Error("shrinking Reserve mutated the series")
+	}
+}
+
+// TestSeriesClone: a clone must carry the same points and summary and be
+// fully detached from the original's backing array.
+func TestSeriesClone(t *testing.T) {
+	var s Series
+	for i := 0; i < 5; i++ {
+		s.Append(time.Duration(i)*time.Second, float64(i*i))
+	}
+	c := s.Clone()
+	if c.Len() != s.Len() || c.Summary() != s.Summary() {
+		t.Fatal("clone differs from original")
+	}
+	for i := 0; i < s.Len(); i++ {
+		if c.At(i) != s.At(i) {
+			t.Fatalf("point %d differs", i)
+		}
+	}
+	// Mutating the original (reset + refill, the arena lifecycle) must not
+	// disturb the clone.
+	s.Reset()
+	s.Append(0, 999)
+	if c.Len() != 5 || c.At(0).Value != 0 || c.At(4).Value != 16 {
+		t.Error("clone shares storage with the original")
+	}
+	// Cloning an empty series yields an empty series.
+	var empty Series
+	if ec := empty.Clone(); ec.Len() != 0 {
+		t.Error("empty clone not empty")
+	}
+}

@@ -113,6 +113,25 @@ func (m *Monitor) TraceSummary() metrics.Summary { return m.series.Summary() }
 // Truncated reports whether MaxSamples clipped the trace.
 func (m *Monitor) Truncated() bool { return m.truncated }
 
+// Reuse reinitializes the monitor for a new session under cfg, validating
+// it exactly like New but keeping the trace buffer's capacity — the arena
+// path, where one monitor serves many consecutive cells.
+func (m *Monitor) Reuse(cfg Config) error {
+	if cfg.SampleEvery <= 0 {
+		return errors.New("monsoon: SampleEvery must be positive")
+	}
+	if cfg.MaxSamples < 0 {
+		return errors.New("monsoon: MaxSamples must be non-negative")
+	}
+	m.cfg = cfg
+	m.Reset()
+	return nil
+}
+
+// Reserve grows the trace buffer to hold at least n samples without further
+// allocation, keeping any samples already recorded.
+func (m *Monitor) Reserve(n int) { m.series.Reserve(n) }
+
 // Reset clears all accumulated state.
 func (m *Monitor) Reset() {
 	m.series.Reset()

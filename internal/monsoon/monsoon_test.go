@@ -155,3 +155,58 @@ func TestReset(t *testing.T) {
 		t.Error("reset monitor retains state")
 	}
 }
+
+// TestMonitorReuse: Reuse must validate like New, then behave exactly like
+// a fresh monitor while keeping the trace buffer's capacity.
+func TestMonitorReuse(t *testing.T) {
+	m, err := New(Config{SampleEvery: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Reserve(64)
+	for i := 0; i < 50; i++ {
+		if err := m.Observe(time.Duration(i)*10*time.Millisecond, 1.5, 10*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Joules() == 0 || len(m.Trace()) == 0 {
+		t.Fatal("first session recorded nothing")
+	}
+	if err := m.Reuse(Config{SampleEvery: 0}); err == nil {
+		t.Error("Reuse accepted SampleEvery 0")
+	}
+	if err := m.Reuse(Config{SampleEvery: 10 * time.Millisecond, MaxSamples: -1}); err == nil {
+		t.Error("Reuse accepted negative MaxSamples")
+	}
+	if err := m.Reuse(Config{SampleEvery: 20 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Joules() != 0 || m.Elapsed() != 0 || len(m.Trace()) != 0 || m.Truncated() {
+		t.Error("Reuse left state from the previous session")
+	}
+	fresh, err := New(Config{SampleEvery: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		now := time.Duration(i) * 20 * time.Millisecond
+		if err := m.Observe(now, 2.0, 20*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Observe(now, 2.0, 20*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Joules() != fresh.Joules() || m.AverageWatts() != fresh.AverageWatts() {
+		t.Errorf("reused monitor diverged: %v J vs fresh %v J", m.Joules(), fresh.Joules())
+	}
+	a, b := m.Trace(), fresh.Trace()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("trace sample %d: %+v != %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package platform
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCompiledCacheSharing: equal profiles share one *Compiled; the cache
+// key is the name but sharing requires full profile equality.
+func TestCompiledCacheSharing(t *testing.T) {
+	a, err := Nexus5().Compiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Nexus5().Compiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("two Compiled calls on equal profiles returned distinct instances")
+	}
+	if a.EM == nil || len(a.Models) == 0 {
+		t.Fatal("compiled profile missing energy or power models")
+	}
+}
+
+// TestCompiledCacheVariants: a same-name profile with different parameters
+// (WithoutThrottle keeps the name) must get its own precompute — sharing by
+// name alone would silently re-enable throttling.
+func TestCompiledCacheVariants(t *testing.T) {
+	base, err := Nexus5().Compiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	noThrottle, err := Nexus5().WithoutThrottle().Compiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == noThrottle {
+		t.Fatal("throttled and unthrottled variants share one precompute")
+	}
+	if base.Platform.Name != noThrottle.Platform.Name {
+		t.Fatalf("variant names diverged: %q vs %q", base.Platform.Name, noThrottle.Platform.Name)
+	}
+	if noThrottle.ThermalParams[0].TripC != 0 {
+		t.Errorf("unthrottled variant kept trip point %v", noThrottle.ThermalParams[0].TripC)
+	}
+	if base.ThermalParams[0].TripC == 0 {
+		t.Error("throttled variant lost its trip point")
+	}
+	// Hitting the cache again still resolves each variant to its own entry.
+	again, err := Nexus5().WithoutThrottle().Compiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != noThrottle {
+		t.Error("second unthrottled lookup missed the cached variant")
+	}
+}
+
+// TestCompiledCacheConcurrent hammers one profile from many goroutines;
+// everyone must land on the same instance (run under -race in CI).
+func TestCompiledCacheConcurrent(t *testing.T) {
+	const n = 32
+	got := make([]*Compiled, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Nexus6P().Compiled()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = c
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("goroutine %d received a different precompute", i)
+		}
+	}
+}
+
+// TestCompileMatchesDirectConstruction: the precompute's parts must be the
+// same objects the pre-cache construction path produced — same EM domains,
+// same boot ladder, same core→cluster map.
+func TestCompileMatchesDirectConstruction(t *testing.T) {
+	for _, p := range []Platform{Nexus5(), Nexus6P(), SD855()} {
+		c, err := Compile(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		specs := p.ClusterSpecs()
+		if len(c.Specs) != len(specs) {
+			t.Fatalf("%s: %d compiled specs, want %d", p.Name, len(c.Specs), len(specs))
+		}
+		next := 0
+		for ci, cs := range specs {
+			if c.BootFreqs[ci] != cs.Table.Max().Freq {
+				t.Errorf("%s cluster %s: boot freq %v, want ladder top %v",
+					p.Name, cs.Name, c.BootFreqs[ci], cs.Table.Max().Freq)
+			}
+			if c.ClusterFmaxHz[ci] != float64(cs.Table.Max().Freq) {
+				t.Errorf("%s cluster %s: fmax %v", p.Name, cs.Name, c.ClusterFmaxHz[ci])
+			}
+			for _, id := range c.ClusterCoreIDs[ci] {
+				if id != next {
+					t.Fatalf("%s: non-contiguous core id %d, want %d", p.Name, id, next)
+				}
+				if c.CoreCluster[id] != ci {
+					t.Fatalf("%s: core %d mapped to cluster %d, want %d", p.Name, id, c.CoreCluster[id], ci)
+				}
+				next++
+			}
+		}
+		if next != p.NumCores {
+			t.Fatalf("%s: %d cores mapped, want %d", p.Name, next, p.NumCores)
+		}
+		cpu, err := c.NewCPU()
+		if err != nil {
+			t.Fatalf("%s: NewCPU: %v", p.Name, err)
+		}
+		if cpu.NumCores() != p.NumCores {
+			t.Errorf("%s: CPU has %d cores, want %d", p.Name, cpu.NumCores(), p.NumCores)
+		}
+		if _, err := c.NewSystemModel(); err != nil {
+			t.Fatalf("%s: NewSystemModel: %v", p.Name, err)
+		}
+		net, err := c.NewThermalNetwork()
+		if err != nil {
+			t.Fatalf("%s: NewThermalNetwork: %v", p.Name, err)
+		}
+		if net.Zones() != len(specs) {
+			t.Errorf("%s: %d thermal zones, want %d", p.Name, net.Zones(), len(specs))
+		}
+	}
+}
+
+// TestEqualPlatform walks the by-hand equality against each field that
+// matters, including content-compared OPP tables from separate constructor
+// calls.
+func TestEqualPlatform(t *testing.T) {
+	if !equalPlatform(Nexus5(), Nexus5()) {
+		t.Error("two fresh Nexus5 profiles compare unequal (table content comparison broken?)")
+	}
+	if !equalPlatform(Nexus6P(), Nexus6P()) {
+		t.Error("two fresh Nexus6P profiles compare unequal")
+	}
+	if equalPlatform(Nexus5(), Nexus5().WithoutThrottle()) {
+		t.Error("throttle variant compares equal to base")
+	}
+	if equalPlatform(Nexus6P(), Nexus6P().WithoutThrottle()) {
+		t.Error("clustered throttle variant compares equal to base")
+	}
+	if equalPlatform(Nexus5(), Nexus4()) {
+		t.Error("distinct platforms compare equal")
+	}
+	mutated := Nexus5()
+	mutated.Power.CeffFarads *= 1.0000001
+	if equalPlatform(Nexus5(), mutated) {
+		t.Error("power-parameter change not detected")
+	}
+	shuffled := Nexus6P()
+	shuffled.Clusters = append([]ClusterSpec(nil), shuffled.Clusters...)
+	shuffled.Clusters[0].NumCores++
+	if equalPlatform(Nexus6P(), shuffled) {
+		t.Error("cluster topology change not detected")
+	}
+}
+
+// TestCompiledWarmPathAllocs: the cache hit must be allocation-free — it
+// runs once per cell across an entire fleet.
+func TestCompiledWarmPathAllocs(t *testing.T) {
+	p := Nexus5()
+	if _, err := p.Compiled(); err != nil { // prime
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := p.Compiled(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("warm Compiled lookup allocates %.1f objects/op, want 0", allocs)
+	}
+}

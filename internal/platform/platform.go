@@ -215,27 +215,18 @@ func (p Platform) SystemModel() (*power.SystemModel, error) {
 	return power.NewSystemModel(p.Power.BaseWatts, models, coreCluster)
 }
 
-// EnergyModel builds the kernel-EM-style energy model for the profile: one
+// EnergyModel returns the kernel-EM-style energy model for the profile: one
 // performance domain per frequency cluster with capacity, cost-per-cycle,
 // and energy-at-OPP tables precomputed. Core ids are assigned contiguously
-// in cluster order, matching soc.NewClusteredCPU's numbering.
+// in cluster order, matching soc.NewClusteredCPU's numbering. The model is
+// immutable and concurrent-safe, and comes from the process-wide compiled
+// cache: every session on the same profile shares one instance.
 func (p Platform) EnergyModel() (*em.Model, error) {
-	specs := p.ClusterSpecs()
-	domains := make([]em.DomainSpec, len(specs))
-	next := 0
-	for i, cs := range specs {
-		ids := make([]int, cs.NumCores)
-		for c := range ids {
-			ids[c] = next
-			next++
-		}
-		domains[i] = em.DomainSpec{Name: cs.Name, CoreIDs: ids, Table: cs.Table, Params: cs.Power}
-	}
-	m, err := em.New(domains)
+	c, err := p.Compiled()
 	if err != nil {
-		return nil, fmt.Errorf("platform %s: %w", p.Name, err)
+		return nil, err
 	}
-	return m, nil
+	return c.EM, nil
 }
 
 // WithoutThrottle returns a copy of the platform with thermal throttling

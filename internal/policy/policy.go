@@ -47,7 +47,11 @@ type ThermalSignal struct {
 }
 
 // Input is the unified observation a Manager receives every sampling
-// period. Slices are indexed by core id and must not be mutated.
+// period. Slices are indexed by core id and must not be mutated. They are
+// also only valid for the duration of the Decide call: the engine pools
+// and refills them between samples, so a manager that needs history must
+// copy values out (Slice already copies; see core/mobicore.go for the
+// scalar-retention idiom).
 type Input struct {
 	// Now is the simulation time; Period the time since the last sample.
 	Now    time.Duration

@@ -83,6 +83,14 @@ func (p Params) Validate() error {
 type Model struct {
 	params Params
 	table  *soc.OPPTable
+
+	// leakAt precomputes LeakWatts at every table operating point, so the
+	// per-tick CoreWatts path answers table OPPs without calling math.Pow.
+	// leakAt[i] is computed by the exact expression LeakWatts evaluates, so
+	// the cached value is bit-identical to the live one.
+	leakAt []float64
+	// fmaxHz caches the table's top frequency for the cache-power ratio.
+	fmaxHz float64
 }
 
 // NewModel validates params and binds them to the platform's OPP table
@@ -94,7 +102,12 @@ func NewModel(params Params, table *soc.OPPTable) (*Model, error) {
 	if table == nil || table.Len() == 0 {
 		return nil, soc.ErrEmptyTable
 	}
-	return &Model{params: params, table: table}, nil
+	m := &Model{params: params, table: table, fmaxHz: float64(table.Max().Freq)}
+	m.leakAt = make([]float64, table.Len())
+	for i := range m.leakAt {
+		m.leakAt[i] = m.LeakWatts(table.At(i).Volt)
+	}
+	return m, nil
 }
 
 // Params returns the model's parameters.
@@ -127,11 +140,25 @@ func (m *Model) CoreWatts(state soc.CoreState, opp soc.OPP, util float64) float6
 	if state == soc.StateOffline {
 		return m.params.OfflineWatts
 	}
-	leak := m.LeakWatts(opp.Volt)
+	leak := m.leakAtOPP(opp)
 	if state == soc.StateIdle && util == 0 {
 		leak *= m.idleLeakFraction()
 	}
 	return leak + m.DynamicWatts(opp, util)
+}
+
+// leakAtOPP resolves an operating point's static power from the
+// precomputed per-OPP table when the point matches a table entry exactly,
+// falling back to the live curve for off-ladder points (a caller-supplied
+// OPP with a nonstandard voltage). Table hits — the entire per-tick path —
+// skip math.Pow.
+//
+//mobicore:hotpath
+func (m *Model) leakAtOPP(opp soc.OPP) float64 {
+	if i := m.table.IndexOf(opp.Freq); i >= 0 && m.table.At(i).Volt == opp.Volt {
+		return m.leakAt[i]
+	}
+	return m.LeakWatts(opp.Volt)
 }
 
 func (m *Model) idleLeakFraction() float64 {
@@ -148,7 +175,7 @@ func (m *Model) idleLeakFraction() float64 {
 //mobicore:hotpath
 func (m *Model) CacheWatts(busyFrac float64, topFreq soc.Hz) float64 {
 	busyFrac = clamp01(busyFrac)
-	fmax := float64(m.table.Max().Freq)
+	fmax := m.fmaxHz
 	ratio := 0.0
 	if fmax > 0 {
 		ratio = float64(topFreq) / fmax

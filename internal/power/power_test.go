@@ -313,3 +313,34 @@ func TestMeter(t *testing.T) {
 		t.Error("reset meter should be zero")
 	}
 }
+
+// TestLeakTableMatchesLiveCurve: the per-OPP leak precompute must be
+// bit-identical to the live LeakWatts curve at every ladder point — it is
+// built by the exact same expression — and off-ladder operating points
+// (table frequency at a nonstandard voltage) must fall back to the curve.
+func TestLeakTableMatchesLiveCurve(t *testing.T) {
+	m := newModel(t)
+	table := soc.MSM8974Table()
+	for i := 0; i < table.Len(); i++ {
+		opp := table.At(i)
+		got := m.leakAtOPP(opp)
+		want := m.LeakWatts(opp.Volt)
+		if got != want {
+			t.Errorf("OPP %v: table leak %v != live %v", opp.Freq, got, want)
+		}
+	}
+	// Off-ladder voltage at an on-ladder frequency must not hit the table.
+	odd := soc.OPP{Freq: table.Max().Freq, Volt: table.Max().Volt + 0.01}
+	if got, want := m.leakAtOPP(odd), m.LeakWatts(odd.Volt); got != want {
+		t.Errorf("off-ladder point: %v != %v", got, want)
+	}
+	// CoreWatts through the table path equals the hand-assembled sum.
+	for i := 0; i < table.Len(); i++ {
+		opp := table.At(i)
+		got := m.CoreWatts(soc.StateActive, opp, 0.5)
+		want := m.LeakWatts(opp.Volt) + m.DynamicWatts(opp, 0.5)
+		if got != want {
+			t.Errorf("CoreWatts at %v: %v != leak+dyn %v", opp.Freq, got, want)
+		}
+	}
+}

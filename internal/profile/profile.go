@@ -1,0 +1,51 @@
+// Package profile wires the standard -cpuprofile/-memprofile flags into
+// the CLI commands: pprof output suitable for `go tool pprof`, with the
+// heap profile taken after a final GC so live-set numbers are stable.
+package profile
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to path when path is non-empty and returns
+// the stop function. A profiling failure is an error — a silently missing
+// profile after a long fleet run wastes the run.
+func Start(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("profile: creating CPU profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("profile: starting CPU profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap writes an allocs-space heap profile to path when path is
+// non-empty, running a GC first so the profile reflects the final live
+// set rather than collection timing.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profile: creating heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		return fmt.Errorf("profile: writing heap profile: %w", err)
+	}
+	return nil
+}

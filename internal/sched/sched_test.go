@@ -382,3 +382,58 @@ func TestThermalPressureBreaksAffinity(t *testing.T) {
 		t.Errorf("uniformly capped SoC broke affinity: %d -> %d", lcBefore, th.LastCore())
 	}
 }
+
+// TestScheduleThermalIntoReusesBuffer: the Into variant must return results
+// identical to ScheduleThermal while writing busy seconds into the caller's
+// buffer — including zeroing stale entries from the previous window.
+func TestScheduleThermalIntoReusesBuffer(t *testing.T) {
+	fresh := newCPU(t, 4)
+	pooled := newCPU(t, 4)
+	for _, cpu := range []*soc.CPU{fresh, pooled} {
+		if err := cpu.SetFreqAll(1_036_800 * soc.KHz); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mkThreads := func() []*Thread {
+		ths := make([]*Thread, 3)
+		for i := range ths {
+			ths[i] = NewThread("t" + string(rune('0'+i)))
+			ths[i].AddWork(400_000)
+		}
+		return ths
+	}
+	var sa, sb Scheduler
+	// Poison the reused buffer so a missing zeroing pass shows up.
+	buf := []float64{99, 99, 99, 99}
+	for window := 0; window < 3; window++ {
+		ra, err := sa.ScheduleThermal(fresh, mkThreads(), time.Millisecond, Unlimited, Pressure{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := sb.ScheduleThermalInto(buf, pooled, mkThreads(), time.Millisecond, Unlimited, Pressure{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = rb.BusySeconds
+		if ra.ExecutedCycles != rb.ExecutedCycles {
+			t.Fatalf("window %d: executed %v != %v", window, ra.ExecutedCycles, rb.ExecutedCycles)
+		}
+		if len(ra.BusySeconds) != len(rb.BusySeconds) {
+			t.Fatalf("window %d: busy lengths differ", window)
+		}
+		for i := range ra.BusySeconds {
+			if ra.BusySeconds[i] != rb.BusySeconds[i] {
+				t.Errorf("window %d core %d: busy %v != %v", window, i, ra.BusySeconds[i], rb.BusySeconds[i])
+			}
+		}
+	}
+	// A too-small buffer still works (the Into path grows it).
+	var sc Scheduler
+	rc, err := sc.ScheduleThermalInto(make([]float64, 1), newCPU(t, 4), mkThreads(), time.Millisecond, Unlimited, Pressure{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rc.BusySeconds) != 4 {
+		t.Errorf("grown buffer length = %d, want 4", len(rc.BusySeconds))
+	}
+}

@@ -68,12 +68,13 @@ type Scheduler struct {
 	Placer Placer
 
 	// Per-window scratch, reused to keep the per-tick path allocation-free.
-	snap     []soc.CoreSnapshot
-	budget   []float64
-	online   []bool
-	freq     []float64
-	runnable byDebt
-	env      PlaceEnv
+	snap      []soc.CoreSnapshot
+	budget    []float64
+	online    []bool
+	freq      []float64
+	busyNanos []uint64
+	runnable  byDebt
+	env       PlaceEnv
 }
 
 // byDebt orders threads largest pending debt first, name breaking ties,
@@ -151,10 +152,23 @@ func (s *Scheduler) ScheduleWithPressure(cpu *soc.CPU, threads []*Thread, dt tim
 
 // ScheduleThermal is the full-signal entry point: ScheduleWithPressure plus
 // the optional headroom-aware capacity scale consumed by energy-aware
-// placers.
+// placers. The returned Result owns a freshly allocated BusySeconds slice;
+// per-tick callers that want a zero-allocation window pass their own buffer
+// to ScheduleThermalInto instead.
+func (s *Scheduler) ScheduleThermal(cpu *soc.CPU, threads []*Thread, dt time.Duration, poolSec float64, pr Pressure) (Result, error) {
+	return s.ScheduleThermalInto(nil, cpu, threads, dt, poolSec, pr)
+}
+
+// ScheduleThermalInto is ScheduleThermal writing the per-core busy seconds
+// into busy when it has the capacity (the slice is zeroed and resized to
+// the core count), so a per-tick caller can reuse one buffer across windows
+// and the scheduler allocates nothing in steady state. A nil or undersized
+// busy falls back to a fresh allocation, reproducing ScheduleThermal. The
+// returned Result aliases busy — the caller owns the buffer and must not
+// reuse it until it is done with the Result.
 //
 //mobicore:hotpath
-func (s *Scheduler) ScheduleThermal(cpu *soc.CPU, threads []*Thread, dt time.Duration, poolSec float64, pr Pressure) (Result, error) {
+func (s *Scheduler) ScheduleThermalInto(busy []float64, cpu *soc.CPU, threads []*Thread, dt time.Duration, poolSec float64, pr Pressure) (Result, error) {
 	if cpu == nil {
 		return Result{}, errors.New("sched: nil cpu")
 	}
@@ -164,10 +178,17 @@ func (s *Scheduler) ScheduleThermal(cpu *soc.CPU, threads []*Thread, dt time.Dur
 
 	snap := cpu.SnapshotInto(s.snap)
 	s.snap = snap
-	// The Result escapes to the caller, so its slice cannot be pooled;
-	// everything else below reuses the scheduler's scratch.
-	//mobilint:ignore one Result slice per window is the API's ownership contract
-	res := Result{BusySeconds: make([]float64, len(snap))}
+	if cap(busy) < len(snap) {
+		// Without a caller buffer the Result escapes with its own slice —
+		// the pre-arena API's ownership contract.
+		//mobilint:ignore one Result slice per window when the caller passes no buffer
+		busy = make([]float64, len(snap))
+	}
+	busy = busy[:len(snap)]
+	for i := range busy {
+		busy[i] = 0
+	}
+	res := Result{BusySeconds: busy}
 
 	pool := poolSec
 	limited := pool >= 0
@@ -283,19 +304,30 @@ func (s *Scheduler) ScheduleThermal(cpu *soc.CPU, threads []*Thread, dt time.Dur
 		}
 	}
 
-	// Commit busy time to the SoC's cycle accounting.
+	// Commit busy time to the SoC's cycle accounting in one batch, so the
+	// whole window pays a single CPU mutex round-trip instead of one per
+	// online core.
+	nanos := s.busyNanos
+	if cap(nanos) < len(snap) {
+		//mobilint:ignore one-time scratch growth on first window or topology change
+		nanos = make([]uint64, len(snap))
+	}
+	nanos = nanos[:len(snap)]
+	s.busyNanos = nanos
+	windowNanos := uint64(dt.Nanoseconds())
 	for i := range snap {
 		if !online[i] {
+			nanos[i] = 0
 			continue
 		}
-		busyNanos := uint64(res.BusySeconds[i] * 1e9)
-		windowNanos := uint64(dt.Nanoseconds())
-		if busyNanos > windowNanos {
-			busyNanos = windowNanos
+		b := uint64(res.BusySeconds[i] * 1e9)
+		if b > windowNanos {
+			b = windowNanos
 		}
-		if _, err := cpu.Run(i, busyNanos, windowNanos); err != nil {
-			return Result{}, fmt.Errorf("sched: committing core %d: %w", i, err)
-		}
+		nanos[i] = b
+	}
+	if err := cpu.RunBatch(nanos, windowNanos); err != nil {
+		return Result{}, fmt.Errorf("sched: committing window: %w", err)
 	}
 	return res, nil
 }

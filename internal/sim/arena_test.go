@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"mobicore/internal/platform"
+	"mobicore/internal/policy"
+	"mobicore/internal/workload"
+)
+
+// arenaSpec builds one complete SessionSpec with fresh manager and
+// workloads — specs are single-use, so every run needs a new one.
+func arenaSpec(t *testing.T, plat platform.Platform, placer string, seed int64) SessionSpec {
+	t.Helper()
+	var mgr policy.Manager
+	if plat.Heterogeneous() {
+		mgr = clusteredGov(t, plat, "ondemand")
+	} else {
+		var err error
+		mgr, err = policy.AndroidDefault(plat.Table)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	wl, err := workload.NewBusyLoop(workload.BusyLoopConfig{
+		TargetUtil: 0.5, Threads: 4, RefFreq: plat.ClusterSpecs()[0].Table.Max().Freq,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return SessionSpec{
+		Platform:  plat,
+		Manager:   mgr,
+		Workloads: []workload.Workload{wl},
+		Duration:  500 * time.Millisecond,
+		Seed:      seed,
+		Placer:    placer,
+	}
+}
+
+// TestArenaReuseMatchesFresh runs a heterogeneous sequence of sessions —
+// different platforms, topologies, and placers back to back — through ONE
+// arena and checks every report deep-equals its fresh-allocation twin. This
+// is the arena's core contract: reuse is invisible in the output.
+func TestArenaReuseMatchesFresh(t *testing.T) {
+	runs := []struct {
+		name   string
+		plat   platform.Platform
+		placer string
+		seed   int64
+	}{
+		{"nexus5", platform.Nexus5(), "", 1},
+		{"nexus6p", platform.Nexus6P(), "", 2},     // grows: 4 → 8 cores, 1 → 2 clusters
+		{"nexus5-again", platform.Nexus5(), "", 3}, // shrinks back
+		{"sd855-eas", platform.SD855(), PlacerEAS, 4},
+		{"nexus5-eas", platform.Nexus5(), PlacerEAS, 5},
+	}
+	a := NewArena()
+	for _, run := range runs {
+		fresh, doneF, err := arenaSpec(t, run.plat, run.placer, run.seed).RunDone(context.Background())
+		if err != nil {
+			t.Fatalf("%s fresh: %v", run.name, err)
+		}
+		pooled, doneP, err := arenaSpec(t, run.plat, run.placer, run.seed).RunDoneIn(context.Background(), a)
+		if err != nil {
+			t.Fatalf("%s arena: %v", run.name, err)
+		}
+		if doneF != doneP {
+			t.Errorf("%s: done %v vs %v", run.name, doneF, doneP)
+		}
+		if !reflect.DeepEqual(fresh, pooled) {
+			t.Errorf("%s: arena report differs from fresh report", run.name)
+		}
+	}
+}
+
+// TestArenaReportsSurviveReuse: a report retained from an earlier arena
+// session must not change when the arena runs its next cell — series are
+// deep copied at report time.
+func TestArenaReportsSurviveReuse(t *testing.T) {
+	a := NewArena()
+	first, _, err := arenaSpec(t, platform.Nexus6P(), "", 11).RunDoneIn(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := arenaSpec(t, platform.Nexus6P(), "", 11).RunDone(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn the arena with different-shaped sessions.
+	for seed := int64(20); seed < 23; seed++ {
+		if _, _, err := arenaSpec(t, platform.Nexus5(), PlacerEAS, seed).RunDoneIn(context.Background(), a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(first, want) {
+		t.Error("retained report was corrupted by subsequent arena sessions")
+	}
+}
+
+// TestArenaSteadyStateAllocs: after one warm-up session, a repeated
+// same-shape session should construct and run with near-zero steady-state
+// growth — the arena's reason to exist. The budget is deliberately loose
+// (managers and workloads still allocate at construction); what it guards
+// is the engine's own per-session footprint staying flat instead of
+// re-growing series and scratch every cell.
+func TestArenaSteadyStateAllocs(t *testing.T) {
+	a := NewArena()
+	run := func() {
+		if _, _, err := arenaSpec(t, platform.Nexus5(), "", 9).RunDoneIn(context.Background(), a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm up: size every buffer
+	fresh := testing.AllocsPerRun(3, func() {
+		if _, _, err := arenaSpec(t, platform.Nexus5(), "", 9).RunDone(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	pooled := testing.AllocsPerRun(3, run)
+	if pooled >= fresh {
+		t.Errorf("arena session allocates %.0f objects, fresh %.0f — reuse is not paying", pooled, fresh)
+	}
+	t.Logf("allocs/session: fresh %.0f, arena %.0f", fresh, pooled)
+}

@@ -76,7 +76,10 @@ type Report struct {
 	ClusterEnergySeries []metrics.Series
 }
 
-// report builds the session report from the current accumulators.
+// report builds the session report from the current accumulators. Every
+// series is deep copied (metrics.Series.Clone) so the report stays valid
+// after the Sim's buffers are reused for the next arena session — reports
+// outlive sims by design.
 func (s *Sim) report() *Report {
 	r := &Report{
 		Policy:              s.cfg.Manager.Name(),
@@ -97,17 +100,17 @@ func (s *Sim) report() *Report {
 		ThermalCappedSec:    s.thermalSec,
 		PerWorkloadCycles:   make(map[string]float64, len(s.cfg.Workloads)),
 		PerWorkloadPending:  make(map[string]float64, len(s.cfg.Workloads)),
-		FreqSeries:          s.freqSeries,
-		CoreSeries:          s.coreSeries,
-		UtilSeries:          s.utilSeries,
-		QuotaSeries:         s.quotaSeries,
-		TempSeries:          s.tempSeries,
+		FreqSeries:          s.freqSeries.Clone(),
+		CoreSeries:          s.coreSeries.Clone(),
+		UtilSeries:          s.utilSeries.Clone(),
+		QuotaSeries:         s.quotaSeries.Clone(),
+		TempSeries:          s.tempSeries.Clone(),
 		ClusterThermalSec:   append([]float64(nil), s.clusterThermalSec...),
 		ClusterEnergyJ:      append([]float64(nil), s.clusterEnergyJ...),
-		ClusterFreqSeries:   s.clusterFreqSeries,
-		ClusterCoreSeries:   s.clusterCoreSeries,
-		ClusterTempSeries:   s.clusterTempSeries,
-		ClusterEnergySeries: s.clusterEnergySeries,
+		ClusterFreqSeries:   cloneSeries(s.clusterFreqSeries),
+		ClusterCoreSeries:   cloneSeries(s.clusterCoreSeries),
+		ClusterTempSeries:   cloneSeries(s.clusterTempSeries),
+		ClusterEnergySeries: cloneSeries(s.clusterEnergySeries),
 	}
 	for ci, v := range s.views {
 		r.ClusterNames = append(r.ClusterNames, v.Name)
@@ -121,6 +124,18 @@ func (s *Sim) report() *Report {
 		r.PerWorkloadPending[w.Name()] += workload.PendingCycles(w)
 	}
 	return r
+}
+
+// cloneSeries deep copies a per-cluster series slice for a report.
+func cloneSeries(in []metrics.Series) []metrics.Series {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]metrics.Series, len(in))
+	for i := range in {
+		out[i] = in[i].Clone()
+	}
+	return out
 }
 
 // Monitor exposes the power meter for trace export.

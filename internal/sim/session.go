@@ -69,7 +69,20 @@ func (sp SessionSpec) Config() Config {
 // New builds the session's simulation without running it, for callers that
 // need mid-run access (FPS series, thermal zones).
 func (sp SessionSpec) New() (*Sim, error) {
-	return New(sp.Config())
+	return sp.NewIn(nil)
+}
+
+// NewIn is New drawing the simulation's buffers from the arena (nil means
+// fresh allocation, exactly New). The spec's Duration sizes the sampled
+// series up front, so a duration-shaped session appends without a single
+// growth reallocation. See Arena for the one-live-Sim ownership contract.
+func (sp SessionSpec) NewIn(a *Arena) (*Sim, error) {
+	s, err := newSim(sp.Config(), a)
+	if err != nil {
+		return nil, err
+	}
+	s.reserve(sp.Duration)
+	return s, nil
 }
 
 // Run builds and runs the session to completion (or until ctx is done) and
@@ -85,7 +98,15 @@ func (sp SessionSpec) Run(ctx context.Context) (*Report, error) {
 // default) finish by definition when they run to the end; an UntilDone
 // session reports what RunUntilDoneCtx observed.
 func (sp SessionSpec) RunDone(ctx context.Context) (*Report, bool, error) {
-	s, err := sp.New()
+	return sp.RunDoneIn(ctx, nil)
+}
+
+// RunDoneIn is RunDone executing the session in the arena: construction
+// reuses the arena's buffers and the returned report is a deep copy, safe
+// to retain after the arena moves on to its next session. A nil arena
+// reproduces RunDone exactly — same physics, same report, fresh buffers.
+func (sp SessionSpec) RunDoneIn(ctx context.Context, a *Arena) (*Report, bool, error) {
+	s, err := sp.NewIn(a)
 	if err != nil {
 		return nil, false, err
 	}

@@ -152,23 +152,34 @@ type Sim struct {
 	mon   *monsoon.Monitor
 
 	views       []policy.ClusterView // per-cluster tables + core ids, built once
-	coreCluster []int                // core id -> cluster index for thermal clamping
+	coreCluster []int                // core id -> cluster index (shared from the platform precompute)
 
 	now       time.Duration
 	quota     float64
 	quotaPool float64  // shared bandwidth pool (seconds) remaining this period
 	requested []soc.Hz // manager-requested per-core frequency, pre thermal clamp
+	applied   []soc.Hz // mirror of each core's programmed frequency, so the per-tick re-clamp skips locked CPU reads
 
 	// per-tick scratch, reused to keep the hot loop allocation-free
 	snap         []soc.CoreSnapshot // CPU snapshot buffer
 	util         []float64          // per-core utilization buffer
+	busySec      []float64          // per-core busy-seconds buffer handed to the scheduler
 	clusterWatts []float64          // per-cluster power share from the system model
 	zoneWatts    []float64          // per-zone watts fed to the thermal network
 	capped       []bool             // per-core thermal-cap flags for the scheduler
 	capScale     []float64          // per-core headroom-aware capacity scale
-	clusterFmax  []float64          // per-cluster ladder top, for the cap scale
+	clusterFmax  []float64          // per-cluster ladder top (shared from the platform precompute)
 	threads      []*sched.Thread    // demand gathered from workloads this tick
 	loads        []power.CoreLoad   // per-core load view fed to the power model
+
+	// per-sample scratch for the policy input, reused because managers
+	// must not retain Input slices past Decide
+	inUtil    []float64
+	inOnline  []bool
+	inCurFreq []soc.Hz
+	inThermal []policy.ThermalSignal
+	clFreq    []float64
+	clOnline  []int
 
 	// window accumulators between manager samples
 	winBusySec []float64
@@ -203,80 +214,129 @@ type Sim struct {
 	clusterEnergySeries []metrics.Series // cumulative per-cluster joules, sampled
 }
 
-// New builds a simulation from cfg.
+// New builds a simulation from cfg with freshly allocated buffers.
 func New(cfg Config) (*Sim, error) {
+	return newSim(cfg, nil)
+}
+
+// NewInArena is New drawing every reusable buffer from the arena instead of
+// the heap — the fleet driver's cross-cell fast path. See Arena for the
+// ownership contract. A nil arena reproduces New exactly.
+func NewInArena(cfg Config, a *Arena) (*Sim, error) {
+	return newSim(cfg, a)
+}
+
+// newSim assembles a simulation, reusing the arena's buffers when one is
+// provided. Construction consumes the platform's process-wide precompute
+// (platform.Compiled): the per-cluster power models, energy model, thermal
+// parameters, boot ladder, and core→cluster mapping are shared immutable
+// state, so only the genuinely per-session pieces (the CPU, the thermal
+// zones' integration state, the system model's evaluation scratch) are
+// built here.
+func newSim(cfg Config, a *Arena) (*Sim, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
-	cpu, err := soc.NewClusteredCPU(cfg.Platform.SocClusters())
+	comp, err := cfg.Platform.Compiled()
+	if err != nil {
+		return nil, err
+	}
+	cpu, err := comp.NewCPU()
 	if err != nil {
 		return nil, fmt.Errorf("sim: building CPU: %w", err)
 	}
-	model, err := cfg.Platform.SystemModel()
+	model, err := comp.NewSystemModel()
 	if err != nil {
 		return nil, fmt.Errorf("sim: building power model: %w", err)
 	}
-	net, err := cfg.Platform.ThermalNetwork()
+	net, err := comp.NewThermalNetwork()
 	if err != nil {
 		return nil, fmt.Errorf("sim: building thermal network: %w", err)
 	}
-	mon, err := monsoon.New(cfg.Monitor)
-	if err != nil {
-		return nil, fmt.Errorf("sim: building monitor: %w", err)
+
+	s := &Sim{}
+	if a != nil {
+		s = a.take()
 	}
-	specs := cfg.Platform.ClusterSpecs()
-	views := make([]policy.ClusterView, len(specs))
-	coreCluster := make([]int, 0, cfg.Platform.NumCores)
-	for ci, cs := range specs {
-		ids, err := cpu.ClusterCoreIDs(ci)
+	// Reusable state captured before the wholesale reset below: the
+	// monitor keeps its trace buffer, the scheduler its window scratch,
+	// the series their point buffers (each reset to length zero).
+	mon := s.mon
+	if mon != nil {
+		if err := mon.Reuse(cfg.Monitor); err != nil {
+			return nil, fmt.Errorf("sim: reusing monitor: %w", err)
+		}
+	} else {
+		mon, err = monsoon.New(cfg.Monitor)
 		if err != nil {
-			return nil, fmt.Errorf("sim: cluster %s: %w", cs.Name, err)
-		}
-		views[ci] = policy.ClusterView{Name: cs.Name, Table: cs.Table, CoreIDs: ids}
-		for range ids {
-			coreCluster = append(coreCluster, ci)
+			return nil, fmt.Errorf("sim: building monitor: %w", err)
 		}
 	}
-	s := &Sim{
+	sch := s.sch
+	sch.Placer = nil
+
+	n := cfg.Platform.NumCores
+	nc := len(comp.Specs)
+	views := viewsBuf(s.views, nc)
+	for ci, cs := range comp.Specs {
+		views[ci] = policy.ClusterView{Name: cs.Name, Table: cs.Table, CoreIDs: comp.ClusterCoreIDs[ci]}
+	}
+	agg := [5]metrics.Series{s.freqSeries, s.coreSeries, s.utilSeries, s.quotaSeries, s.tempSeries}
+	for i := range agg {
+		agg[i].Reset()
+	}
+
+	// Every field of the Sim is assigned here; buffers resize to the
+	// session's topology keeping whatever capacity the arena accumulated.
+	// A field added to Sim must be (re)initialized in this literal or it
+	// will leak state between arena cells.
+	*s = Sim{
 		cfg:                 cfg,
 		cpu:                 cpu,
 		model:               model,
 		net:                 net,
+		sch:                 sch,
 		rng:                 rand.New(rand.NewSource(cfg.Seed)),
 		mon:                 mon,
 		views:               views,
-		coreCluster:         coreCluster,
+		coreCluster:         comp.CoreCluster,
 		quota:               cfg.InitialQuota,
-		requested:           make([]soc.Hz, cfg.Platform.NumCores),
-		clusterWatts:        make([]float64, len(specs)),
-		zoneWatts:           make([]float64, len(specs)),
-		snap:                make([]soc.CoreSnapshot, cfg.Platform.NumCores),
-		util:                make([]float64, cfg.Platform.NumCores),
-		capped:              make([]bool, cfg.Platform.NumCores),
-		capScale:            make([]float64, cfg.Platform.NumCores),
-		clusterFmax:         make([]float64, len(specs)),
-		threads:             make([]*sched.Thread, 0, 8),
-		loads:               make([]power.CoreLoad, cfg.Platform.NumCores),
-		winBusySec:          make([]float64, cfg.Platform.NumCores),
-		clusterFreqSum:      make([]metrics.Summary, len(specs)),
-		clusterCoreSum:      make([]metrics.Summary, len(specs)),
-		clusterTempSum:      make([]metrics.Summary, len(specs)),
-		clusterThermalSec:   make([]float64, len(specs)),
-		clusterEnergyJ:      make([]float64, len(specs)),
-		clusterFreqSeries:   make([]metrics.Series, len(specs)),
-		clusterCoreSeries:   make([]metrics.Series, len(specs)),
-		clusterTempSeries:   make([]metrics.Series, len(specs)),
-		clusterEnergySeries: make([]metrics.Series, len(specs)),
-	}
-	for ci, cs := range specs {
-		s.clusterFmax[ci] = float64(cs.Table.Max().Freq)
+		requested:           hzBuf(s.requested, n),
+		applied:             hzBuf(s.applied, n),
+		snap:                snapBuf(s.snap, n),
+		util:                f64Buf(s.util, n),
+		busySec:             f64Buf(s.busySec, n),
+		clusterWatts:        f64Buf(s.clusterWatts, nc),
+		zoneWatts:           f64Buf(s.zoneWatts, nc),
+		capped:              boolBuf(s.capped, n),
+		capScale:            f64Buf(s.capScale, n),
+		clusterFmax:         comp.ClusterFmaxHz,
+		threads:             s.threads[:0],
+		loads:               loadBuf(s.loads, n),
+		inUtil:              f64Buf(s.inUtil, n),
+		inOnline:            boolBuf(s.inOnline, n),
+		inCurFreq:           hzBuf(s.inCurFreq, n),
+		inThermal:           thermalBuf(s.inThermal, nc),
+		clFreq:              f64Buf(s.clFreq, nc),
+		clOnline:            intBuf(s.clOnline, nc),
+		winBusySec:          f64Buf(s.winBusySec, n),
+		clusterFreqSum:      sumBuf(s.clusterFreqSum, nc),
+		clusterCoreSum:      sumBuf(s.clusterCoreSum, nc),
+		clusterTempSum:      sumBuf(s.clusterTempSum, nc),
+		clusterThermalSec:   f64Buf(s.clusterThermalSec, nc),
+		clusterEnergyJ:      f64Buf(s.clusterEnergyJ, nc),
+		freqSeries:          agg[0],
+		coreSeries:          agg[1],
+		utilSeries:          agg[2],
+		quotaSeries:         agg[3],
+		tempSeries:          agg[4],
+		clusterFreqSeries:   seriesBuf(s.clusterFreqSeries, nc),
+		clusterCoreSeries:   seriesBuf(s.clusterCoreSeries, nc),
+		clusterTempSeries:   seriesBuf(s.clusterTempSeries, nc),
+		clusterEnergySeries: seriesBuf(s.clusterEnergySeries, nc),
 	}
 	if cfg.Placer == PlacerEAS {
-		emod, err := cfg.Platform.EnergyModel()
-		if err != nil {
-			return nil, fmt.Errorf("sim: building energy model: %w", err)
-		}
-		placer, err := sched.NewEASPlacer(emod)
+		placer, err := sched.NewEASPlacer(comp.EM)
 		if err != nil {
 			return nil, fmt.Errorf("sim: building EAS placer: %w", err)
 		}
@@ -293,7 +353,7 @@ func New(cfg Config) (*Sim, error) {
 	for ci, v := range views {
 		boot := cfg.InitialFreq
 		if cfg.Platform.Heterogeneous() || boot == 0 {
-			boot = v.Table.Max().Freq
+			boot = comp.BootFreqs[ci]
 		}
 		if err := cpu.SetClusterFreq(ci, boot); err != nil {
 			return nil, fmt.Errorf("sim: initial frequency: %w", err)
@@ -302,7 +362,35 @@ func New(cfg Config) (*Sim, error) {
 			s.requested[id] = boot
 		}
 	}
+	// Seed the programmed-frequency mirror from the booted CPU, so the
+	// per-tick re-clamp can compare against it without locking the CPU.
+	s.snap = s.cpu.SnapshotInto(s.snap)
+	for i, c := range s.snap {
+		s.applied[i] = c.Freq
+	}
 	return s, nil
+}
+
+// reserve preallocates the sampled series and the monitor trace for a
+// session of duration d, so steady-state execution appends without growth
+// reallocation. A non-positive d (open-ended sessions) reserves nothing.
+func (s *Sim) reserve(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	// One sample per period plus slack for the final partial window.
+	samples := int(d/s.cfg.SamplePeriod) + 2
+	for _, ser := range []*metrics.Series{&s.freqSeries, &s.coreSeries, &s.utilSeries, &s.quotaSeries, &s.tempSeries} {
+		ser.Reserve(samples)
+	}
+	for _, group := range [][]metrics.Series{s.clusterFreqSeries, s.clusterCoreSeries, s.clusterTempSeries, s.clusterEnergySeries} {
+		for i := range group {
+			group[i].Reserve(samples)
+		}
+	}
+	if s.cfg.Monitor.SampleEvery > 0 {
+		s.mon.Reserve(int(d/s.cfg.Monitor.SampleEvery) + 2)
+	}
 }
 
 // Now returns the current simulation time.
@@ -349,10 +437,11 @@ func (s *Sim) Step() error {
 	if s.quota < 1 {
 		pool = s.quotaPool
 	}
-	res, err := s.sch.ScheduleThermal(s.cpu, threads, dt, pool, sched.Pressure{Capped: s.capped, CapScale: s.capScale})
+	res, err := s.sch.ScheduleThermalInto(s.busySec, s.cpu, threads, dt, pool, sched.Pressure{Capped: s.capped, CapScale: s.capScale})
 	if err != nil {
 		return fmt.Errorf("sim: scheduling at %v: %w", s.now, err)
 	}
+	s.busySec = res.BusySeconds
 	s.executed += res.ExecutedCycles
 	s.throttledSec += res.ThrottledSeconds
 	s.quotaPool -= res.PoolUsedSec
@@ -440,23 +529,28 @@ func (s *Sim) Step() error {
 }
 
 // samplePolicy runs the manager against the accumulated window and applies
-// its decision.
+// its decision. The Input slices are the sim's pooled per-sample scratch:
+// managers receive them for the duration of Decide only and must not retain
+// them (Input.Slice copies, and every in-tree manager reduces the window to
+// scalars).
 func (s *Sim) samplePolicy() error {
 	period := s.now - s.lastSample
 	s.lastSample = s.now
 
-	snap := s.cpu.Snapshot()
+	snap := s.cpu.SnapshotInto(s.snap)
+	s.snap = snap
 	in := policy.Input{
 		Now:      s.now,
 		Period:   period,
-		Util:     make([]float64, len(snap)),
-		Online:   make([]bool, len(snap)),
-		CurFreq:  make([]soc.Hz, len(snap)),
+		Util:     f64Buf(s.inUtil, len(snap)),
+		Online:   boolBuf(s.inOnline, len(snap)),
+		CurFreq:  hzBuf(s.inCurFreq, len(snap)),
 		Quota:    s.quota,
 		Table:    s.cfg.Platform.Table,
 		Clusters: s.views,
-		Thermal:  make([]policy.ThermalSignal, len(s.views)),
+		Thermal:  thermalBuf(s.inThermal, len(s.views)),
 	}
+	s.inUtil, s.inOnline, s.inCurFreq, s.inThermal = in.Util, in.Online, in.CurFreq, in.Thermal
 	for ci := range s.views {
 		in.Thermal[ci] = policy.ThermalSignal{
 			TempC:      s.net.TempC(ci),
@@ -516,11 +610,13 @@ func (s *Sim) samplePolicy() error {
 	s.refillQuota()
 
 	// Record the sampled series, aggregate and per-cluster.
-	snap = s.cpu.Snapshot()
+	snap = s.cpu.SnapshotInto(s.snap)
+	s.snap = snap
 	var freqAcc float64
 	online := 0
-	clFreq := make([]float64, len(s.views))
-	clOnline := make([]int, len(s.views))
+	clFreq := f64Buf(s.clFreq, len(s.views))
+	clOnline := intBuf(s.clOnline, len(s.views))
+	s.clFreq, s.clOnline = clFreq, clOnline
 	for _, c := range snap {
 		if c.State != soc.StateOffline {
 			freqAcc += float64(c.Freq)
@@ -566,22 +662,22 @@ func (s *Sim) refillQuota() {
 }
 
 // applyFrequencies programs each online core to its requested frequency,
-// clamped by the owning cluster's own thermal zone on its own ladder.
+// clamped by the owning cluster's own thermal zone on its own ladder. The
+// applied mirror tracks what each core was last programmed to — only the
+// sim mutates core frequencies, so comparing against the mirror skips the
+// per-core locked CPU read the per-tick re-clamp used to pay.
 //
 //mobicore:hotpath
 func (s *Sim) applyFrequencies() error {
 	for i, want := range s.requested {
 		f := s.net.Clamp(s.coreCluster[i], want)
-		cur, err := s.cpu.Freq(i)
-		if err != nil {
-			return fmt.Errorf("sim: reading core %d frequency: %w", i, err)
-		}
-		if cur == f {
+		if s.applied[i] == f {
 			continue
 		}
 		if err := s.cpu.SetFreq(i, f); err != nil {
 			return fmt.Errorf("sim: programming core %d to %v: %w", i, f, err)
 		}
+		s.applied[i] = f
 	}
 	return nil
 }

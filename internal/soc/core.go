@@ -346,6 +346,46 @@ func (c *CPU) Run(id int, busyNanos, windowNanos uint64) (uint64, error) {
 	return cycles, nil
 }
 
+// RunBatch commits one scheduling window for every core under a single
+// lock: busyNanos[i] nanoseconds of execution on core i within a window of
+// windowNanos. Entries are clamped to the window. Offline cores are skipped
+// when their entry is zero and rejected (ErrCoreOffline) otherwise — the
+// scheduler must never place work on them. The per-core math is exactly
+// Run's, so a batch commit is bit-identical to len(busyNanos) Run calls;
+// the batch exists because the per-tick commit loop otherwise pays one
+// mutex round-trip per core.
+//
+//mobicore:hotpath
+func (c *CPU) RunBatch(busyNanos []uint64, windowNanos uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(busyNanos) != len(c.cores) {
+		return fmt.Errorf("%w: batch of %d busy entries for %d cores", ErrInvalidCore, len(busyNanos), len(c.cores))
+	}
+	for i, core := range c.cores {
+		b := busyNanos[i]
+		if !core.Online() {
+			if b > 0 {
+				return fmt.Errorf("%w: core %d", ErrCoreOffline, i)
+			}
+			continue
+		}
+		if b > windowNanos {
+			b = windowNanos
+		}
+		cycles := uint64(float64(core.opp.Freq) * float64(b) / 1e9)
+		core.busyCycles += cycles
+		core.busyNanos += b
+		core.totalActive += windowNanos
+		if b > 0 {
+			core.state = StateActive
+		} else {
+			core.state = StateIdle
+		}
+	}
+	return nil
+}
+
 // CapacityCyclesPerSec returns the aggregate cycles/second of all online
 // cores at their current frequencies — the headroom the scheduler has.
 func (c *CPU) CapacityCyclesPerSec() float64 {

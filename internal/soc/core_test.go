@@ -208,3 +208,57 @@ func TestCoreStateString(t *testing.T) {
 		}
 	}
 }
+
+// TestRunBatchMatchesRunLoop: a batch commit must be bit-identical to the
+// equivalent sequence of per-core Run calls — same cycles, same states,
+// same snapshots.
+func TestRunBatchMatchesRunLoop(t *testing.T) {
+	loop := newTestCPU(t)
+	batch := newTestCPU(t)
+	for _, cpu := range []*CPU{loop, batch} {
+		if err := cpu.SetFreq(1, 1_036_800*KHz); err != nil {
+			t.Fatal(err)
+		}
+		if err := cpu.Offline(3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const window = 1_000_000
+	// Mixed load: busy, partial, idle, offline-with-zero; the last entry
+	// also exercises clamping (busy > window).
+	busy := []uint64{window, 417_000, 0, 0}
+	busy[0] = window + 5_000 // clamped
+	for id, b := range busy {
+		if id == 3 {
+			continue // offline: the old loop never called Run there
+		}
+		if _, err := loop.Run(id, b, window); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := batch.RunBatch(busy, window); err != nil {
+		t.Fatal(err)
+	}
+	a, b := loop.Snapshot(), batch.Snapshot()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("core %d: loop %+v != batch %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRunBatchRejectsOfflineWork: placing work on an offline core is a
+// scheduler bug and must fail loudly, exactly like Run.
+func TestRunBatchRejectsOfflineWork(t *testing.T) {
+	cpu := newTestCPU(t)
+	if err := cpu.Offline(3); err != nil {
+		t.Fatal(err)
+	}
+	err := cpu.RunBatch([]uint64{0, 0, 0, 1}, 1_000_000)
+	if !errors.Is(err, ErrCoreOffline) {
+		t.Errorf("RunBatch(offline work) error = %v, want ErrCoreOffline", err)
+	}
+	if err := cpu.RunBatch([]uint64{0, 0, 0}, 1_000_000); !errors.Is(err, ErrInvalidCore) {
+		t.Errorf("RunBatch(short slice) error = %v, want ErrInvalidCore", err)
+	}
+}
