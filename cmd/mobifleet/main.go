@@ -30,6 +30,20 @@
 //
 // -json emits the fleet result as one JSON document (cells in matrix
 // order, then aggregates and paired comparisons).
+//
+// Store tooling (no cells execute for any of these):
+//
+//	mobifleet -shard 0/2 ... -store a/   # run only shard 0 of 2
+//	mobifleet -report out/               # render a store's aggregates
+//	mobifleet -merge dst/ src1/ src2/    # merge shard stores, refusing conflicts
+//	mobifleet -diff old/ new/            # paired B-A deltas with 95% CIs
+//	mobifleet -diff -gate 1 old/ new/    # exit 3 if energy moved >1% with CI excluding zero
+//
+// -shard i/n partitions the matrix keyspace into n contiguous ranges and
+// runs only range i — disjoint shards merged with -merge are byte-identical
+// to the unsharded store. -report rebuilds the full text report (or -json,
+// -csv) straight from a store. -diff pairs two stores cell-by-cell; with
+// -gate it becomes a CI perf-regression gate.
 package main
 
 import (
@@ -40,6 +54,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -75,6 +90,11 @@ func run() int {
 		csvPath   = flag.String("csv", "", "write per-cell results as CSV to this path (\"-\" for stdout)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 		memProf   = flag.String("memprofile", "", "write an allocs heap profile to this path on exit")
+		shardSpec = flag.String("shard", "", "run only key-range shard i of n, as \"i/n\" (0-based)")
+		report    = flag.String("report", "", "render the report from this result store, executing nothing")
+		diff      = flag.Bool("diff", false, "diff two stores given as positional args: -diff [-gate pct] storeA storeB")
+		gate      = flag.Float64("gate", 0, "with -diff: exit 3 when energy moved more than this percent with a CI excluding zero")
+		merge     = flag.Bool("merge", false, "merge stores given as positional args: -merge dst src...")
 	)
 	flag.Parse()
 
@@ -97,6 +117,80 @@ func run() int {
 		fmt.Println("games:     ", mobicore.GameNames())
 		return 0
 	}
+
+	// Store tooling: report, diff, and merge work entirely from persisted
+	// results — no cell ever executes on these paths.
+	if *merge {
+		if flag.NArg() < 2 {
+			fmt.Fprintln(os.Stderr, "mobifleet: -merge needs a destination and at least one source store")
+			return 1
+		}
+		added, err := mobicore.MergeFleetStores(flag.Arg(0), flag.Args()[1:]...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mobifleet:", err)
+			return 1
+		}
+		fmt.Printf("mobifleet: merged %d new records into %s\n", added, flag.Arg(0))
+		return 0
+	}
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "mobifleet: -diff needs exactly two store directories")
+			return 1
+		}
+		d, err := mobicore.DiffFleetStores(flag.Arg(0), flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mobifleet:", err)
+			return 1
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(d); err != nil {
+				fmt.Fprintln(os.Stderr, "mobifleet:", err)
+				return 1
+			}
+		} else if err := d.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "mobifleet:", err)
+			return 1
+		}
+		if *gate > 0 {
+			if regs := d.Regressions(*gate / 100); len(regs) > 0 {
+				for _, g := range regs {
+					fmt.Fprintf(os.Stderr, "mobifleet: gate: %s / %s / %s / %s energy moved %+.2f%% (ci95 excludes zero)\n",
+						g.Platform, g.Policy, g.Workload, g.Placer, g.EnergyJ.Rel*100)
+				}
+				return 3
+			}
+		}
+		return 0
+	}
+	if *report != "" {
+		res, err := mobicore.LoadFleetResult(*report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mobifleet:", err)
+			return 1
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				fmt.Fprintln(os.Stderr, "mobifleet:", err)
+				return 1
+			}
+		} else if err := res.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "mobifleet:", err)
+			return 1
+		}
+		if *csvPath != "" {
+			if err := writeCSV(res, *csvPath); err != nil {
+				fmt.Fprintln(os.Stderr, "mobifleet:", err)
+				return 1
+			}
+		}
+		return 0
+	}
+
 	if *seeds < 1 {
 		fmt.Fprintln(os.Stderr, "mobifleet: -seeds must be at least 1")
 		return 1
@@ -121,6 +215,14 @@ func run() int {
 		Store:     *storeDir,
 		Resume:    *resume,
 		Traces:    *traces,
+	}
+	if *shardSpec != "" {
+		idx, count, err := parseShard(*shardSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mobifleet:", err)
+			return 1
+		}
+		cfg.ShardIndex, cfg.ShardCount = idx, count
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -223,6 +325,20 @@ func workloadFactory(name string, util float64, threads int, game string, iters 
 			}), nil
 	}
 	return mobicore.FleetWorkload{}, fmt.Errorf("unknown workload %q (want busyloop, game, geekbench)", name)
+}
+
+// parseShard parses "-shard i/n" into a 0-based index and a shard count.
+func parseShard(s string) (idx, count int, err error) {
+	i := strings.IndexByte(s, '/')
+	if i < 0 {
+		return 0, 0, fmt.Errorf("-shard wants \"i/n\" (e.g. 0/4), got %q", s)
+	}
+	idx, errI := strconv.Atoi(s[:i])
+	count, errN := strconv.Atoi(s[i+1:])
+	if errI != nil || errN != nil || count < 1 || idx < 0 || idx >= count {
+		return 0, 0, fmt.Errorf("-shard wants \"i/n\" with 0 <= i < n, got %q", s)
+	}
+	return idx, count, nil
 }
 
 // splitList parses a comma-separated flag value.

@@ -52,6 +52,14 @@ type FleetConfig struct {
 	// plus per-cluster watts) as gzip JSONL under <Store>/traces.
 	// Requires Store.
 	Traces bool
+
+	// ShardIndex/ShardCount restrict the run to one key-range shard of the
+	// matrix: when ShardCount > 0, the cell keyspace is partitioned into
+	// ShardCount contiguous ranges and only shard ShardIndex (0-based)
+	// executes. Disjoint-shard runs into separate stores merge (see
+	// MergeFleetStores) into a store byte-identical to an unsharded run.
+	ShardIndex int
+	ShardCount int
 }
 
 // FleetWorkload names a workload recipe for fleet cells. Workload
@@ -150,11 +158,40 @@ func RunFleet(ctx context.Context, cfg FleetConfig, workloads ...FleetWorkload) 
 		StoreDir:     cfg.Store,
 		Resume:       cfg.Resume,
 		TraceDir:     traceDir,
+		ShardIndex:   cfg.ShardIndex,
+		ShardCount:   cfg.ShardCount,
 	})
 	if err != nil && res == nil {
 		return nil, fmt.Errorf("mobicore: %w", err)
 	}
 	return res, err
+}
+
+// LoadFleetResult rebuilds a FleetResult from a persistent result store —
+// aggregates, comparisons, text, CSV, and JSON with zero cells executed.
+// The store may have been filled by any mix of serial, parallel, sharded,
+// or distributed runs.
+func LoadFleetResult(storeDir string) (*FleetResult, error) {
+	return fleet.LoadStoreResult(storeDir)
+}
+
+// FleetDiff is a cross-store comparison: the same cells run by two code
+// versions, summarized as paired per-cell deltas with 95% confidence
+// intervals per matrix group.
+type FleetDiff = fleet.Diff
+
+// DiffFleetStores pairs two result stores cell-by-cell (by canonical
+// identity key) and summarizes the B−A deltas. Use FleetDiff.Regressions
+// to gate CI on statistically certain energy movement.
+func DiffFleetStores(storeA, storeB string) (*FleetDiff, error) {
+	return fleet.LoadStoreDiff(storeA, storeB)
+}
+
+// MergeFleetStores merges source result stores into dst, refusing
+// conflicting records for the same cell. Returns the number of records
+// new to dst.
+func MergeFleetStores(dst string, srcs ...string) (int, error) {
+	return fleet.MergeStores(dst, srcs...)
 }
 
 // fleetPolicy adapts a policy name to a fleet factory through the facade's

@@ -12,7 +12,8 @@ import (
 // when its import path ends in one of these elements (so the testdata
 // fixtures match too).
 var DeterministicPkgs = []string{
-	"sim", "fleet", "fleet/store", "metrics", "experiment", "sched", "soc",
+	"sim", "fleet", "fleet/shard", "fleet/store", "metrics", "experiment",
+	"sched", "soc",
 }
 
 // wallClockFuncs are the time-package functions that read the wall clock

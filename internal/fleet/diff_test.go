@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mobicore/internal/fleet/store"
+)
+
+// diffRec synthesizes one store record for diff tests.
+func diffRec(policy string, seed int64, energy, throttle, fps float64) store.Record {
+	id := store.Identity{
+		Platform:   "Nexus 5",
+		Policy:     policy,
+		Workload:   "busyloop",
+		Placer:     "greedy",
+		Seed:       seed,
+		DurationNS: 1e9,
+		TickNS:     1e6,
+		SampleNS:   5e7,
+	}
+	return store.Record{
+		Key:              id.Key(),
+		Identity:         id,
+		Finished:         true,
+		ElapsedNS:        id.DurationNS,
+		HasFrames:        fps > 0,
+		AvgFPS:           fps,
+		EnergyJ:          energy,
+		ThermalCappedSec: throttle,
+	}
+}
+
+// TestDiffRecords: matched cells pair by identity key, unmatched cells are
+// counted not dropped, and a uniform energy shift surfaces as a tight
+// paired delta.
+func TestDiffRecords(t *testing.T) {
+	var a, b []store.Record
+	for seed := int64(1); seed <= 4; seed++ {
+		// Seed-dependent baseline, constant +0.5 J shift in B: the paired
+		// delta is exact even though the per-seed values vary.
+		base := 10 + float64(seed)
+		a = append(a, diffRec("mobicore", seed, base, 0, 30+float64(seed)))
+		b = append(b, diffRec("mobicore", seed, base+0.5, 0, 30+float64(seed)))
+	}
+	// Unmatched extras on each side.
+	a = append(a, diffRec("android-default", 1, 12, 0, 0))
+	b = append(b, diffRec("interactive+load", 1, 12, 0, 0))
+
+	d := DiffRecords(a, b)
+	if d.Matched != 4 || d.OnlyA != 1 || d.OnlyB != 1 {
+		t.Fatalf("matched/onlyA/onlyB = %d/%d/%d, want 4/1/1", d.Matched, d.OnlyA, d.OnlyB)
+	}
+	if len(d.Groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(d.Groups))
+	}
+	g := d.Groups[0]
+	if g.Policy != "mobicore" || g.Seeds != 4 {
+		t.Fatalf("group %+v", g)
+	}
+	if g.EnergyJ.MeanDelta < 0.499 || g.EnergyJ.MeanDelta > 0.501 {
+		t.Errorf("energy delta %.4f, want 0.5", g.EnergyJ.MeanDelta)
+	}
+	// A constant shift has zero variance: the CI collapses onto the mean.
+	if g.EnergyJ.CI95Lo < 0.499 || g.EnergyJ.CI95Hi > 0.501 {
+		t.Errorf("energy CI [%.4f, %.4f], want degenerate at 0.5", g.EnergyJ.CI95Lo, g.EnergyJ.CI95Hi)
+	}
+	if !g.HasFrames {
+		t.Error("all-frames group not marked HasFrames")
+	}
+	if g.AvgFPS.MeanDelta != 0 {
+		t.Errorf("fps delta %.4f, want 0", g.AvgFPS.MeanDelta)
+	}
+
+	var buf bytes.Buffer
+	if err := d.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "4 matched, 1 only in A, 1 only in B") {
+		t.Errorf("diff header: %q", buf.String())
+	}
+}
+
+// TestDiffRegressions: the gate fires only on deltas that are both
+// statistically certain (CI excludes zero) and larger than the tolerance.
+func TestDiffRegressions(t *testing.T) {
+	var a, b []store.Record
+	for seed := int64(1); seed <= 4; seed++ {
+		base := 10 + float64(seed)
+		// mobicore: +5% certain shift — should gate at 1% tolerance.
+		a = append(a, diffRec("mobicore", seed, base, 0, 0))
+		b = append(b, diffRec("mobicore", seed, base*1.05, 0, 0))
+		// android-default: noise straddling zero — must not gate.
+		noise := 0.3 * float64(1-2*(seed%2))
+		a = append(a, diffRec("android-default", seed, base, 0, 0))
+		b = append(b, diffRec("android-default", seed, base+noise, 0, 0))
+	}
+	d := DiffRecords(a, b)
+	regs := d.Regressions(0.01)
+	if len(regs) != 1 || regs[0].Policy != "mobicore" {
+		t.Fatalf("regressions %+v, want exactly the mobicore group", regs)
+	}
+	// At a 10% tolerance the certain 5% shift is tolerated drift.
+	if regs := d.Regressions(0.10); len(regs) != 0 {
+		t.Errorf("10%% tolerance still gated: %+v", regs)
+	}
+}
+
+// TestLoadStoreDiffSelf: a store diffed against itself is all-zero and
+// gates nothing — the CI smoke's sanity check.
+func TestLoadStoreDiffSelf(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		st.Put(diffRec("mobicore", seed, 10+float64(seed), 0, 0))
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadStoreDiff(dir, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Matched != 3 || d.OnlyA != 0 || d.OnlyB != 0 {
+		t.Fatalf("self diff %+v", d)
+	}
+	if len(d.Groups) != 1 || d.Groups[0].EnergyJ.MeanDelta != 0 {
+		t.Fatalf("self diff groups %+v", d.Groups)
+	}
+	if regs := d.Regressions(0); len(regs) != 0 {
+		t.Errorf("self diff gated: %+v", regs)
+	}
+}

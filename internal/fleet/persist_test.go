@@ -30,6 +30,7 @@ func readStoreFiles(t *testing.T, dir string) (jsonl, csv []byte) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer st.Close()
 	var buf bytes.Buffer
 	if err := st.WriteCSV(&buf); err != nil {
 		t.Fatal(err)

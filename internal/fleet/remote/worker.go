@@ -1,0 +1,250 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mobicore/internal/fleet"
+	"mobicore/internal/fleet/shard"
+	"mobicore/internal/fleet/store"
+)
+
+// Client speaks the coordinator's HTTP/JSON protocol. The zero HTTP
+// client is replaced with http.DefaultClient.
+type Client struct {
+	// Base is the coordinator's base URL, e.g. "http://127.0.0.1:7077".
+	Base string
+	// HTTP overrides the transport when non-nil.
+	HTTP *http.Client
+}
+
+func (c *Client) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("remote: GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(body))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Job fetches the study description.
+func (c *Client) Job(ctx context.Context) (JobInfo, error) {
+	var info JobInfo
+	err := c.getJSON(ctx, "/v1/job", &info)
+	return info, err
+}
+
+// Status fetches the shard table.
+func (c *Client) Status(ctx context.Context) (Status, error) {
+	var st Status
+	err := c.getJSON(ctx, "/v1/status", &st)
+	return st, err
+}
+
+// Claim asks for a work assignment.
+func (c *Client) Claim(ctx context.Context, worker string) (ClaimResponse, error) {
+	body, err := json.Marshal(ClaimRequest{Worker: worker})
+	if err != nil {
+		return ClaimResponse{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/claim", bytes.NewReader(body))
+	if err != nil {
+		return ClaimResponse{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return ClaimResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return ClaimResponse{}, fmt.Errorf("remote: claim: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var cr ClaimResponse
+	err = json.NewDecoder(resp.Body).Decode(&cr)
+	return cr, err
+}
+
+// Complete submits one shard's JSONL store fragment. Transient failures —
+// connection errors and 5xx responses — retry with exponential backoff;
+// 4xx responses are protocol errors and fail immediately.
+func (c *Client) Complete(ctx context.Context, m *shard.Manifest, fragment []byte) error {
+	url := fmt.Sprintf("%s/v1/complete?shard=%d&spec_hash=%s", c.Base, m.Index, m.SpecHash)
+	backoff := 100 * time.Millisecond
+	const attempts = 5
+	for attempt := 1; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(fragment))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		resp, err := c.client().Do(req)
+		var transient error
+		if err != nil {
+			transient = err
+		} else {
+			status := resp.StatusCode
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			switch {
+			case status == http.StatusOK:
+				return nil
+			case status >= 500:
+				transient = fmt.Errorf("remote: complete shard %d: %s: %s", m.Index, resp.Status, bytes.TrimSpace(msg))
+			default:
+				return fmt.Errorf("remote: complete shard %d: %s: %s", m.Index, resp.Status, bytes.TrimSpace(msg))
+			}
+		}
+		if attempt == attempts {
+			return fmt.Errorf("remote: complete shard %d failed after %d attempts: %w", m.Index, attempts, transient)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
+// WorkerConfig configures one worker process (or goroutine).
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL.
+	Coordinator string
+	// Dir is scratch space for per-shard fragment stores.
+	Dir string
+	// Parallel is the in-process fan-out per shard (fleet.Spec.Parallel).
+	Parallel int
+	// Name labels this worker in coordinator status output.
+	Name string
+	// HTTP overrides the transport when non-nil (tests).
+	HTTP *http.Client
+}
+
+// WorkerStats summarizes one worker's share of a study.
+type WorkerStats struct {
+	// Shards completed by this worker.
+	Shards int
+	// Cells executed here and Cached answered from coordinator state.
+	Cells  int
+	Cached int
+}
+
+// RunWorker claims and executes shards until the coordinator reports the
+// study done (or ctx cancels). Each shard runs in its own fragment store
+// under cfg.Dir, seeded with the coordinator's cached records so partially
+// complete shards resume instead of re-executing; the fragment then
+// streams back with retry. The worker verifies every manifest against its
+// own expansion of the job spec before running a single cell.
+func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerStats, error) {
+	var stats WorkerStats
+	if cfg.Dir == "" {
+		return stats, fmt.Errorf("remote: worker needs a scratch dir")
+	}
+	cl := &Client{Base: cfg.Coordinator, HTTP: cfg.HTTP}
+	info, err := cl.Job(ctx)
+	if err != nil {
+		return stats, err
+	}
+	spec, err := info.Job.FleetSpec()
+	if err != nil {
+		return stats, err
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		claim, err := cl.Claim(ctx, cfg.Name)
+		if err != nil {
+			return stats, err
+		}
+		if claim.Done {
+			return stats, nil
+		}
+		if claim.Manifest == nil {
+			wait := time.Duration(claim.RetryMS) * time.Millisecond
+			if wait <= 0 {
+				wait = 200 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return stats, ctx.Err()
+			case <-time.After(wait):
+			}
+			continue
+		}
+		res, fragment, err := runShard(ctx, spec, cfg, claim)
+		if err != nil {
+			return stats, err
+		}
+		if err := cl.Complete(ctx, claim.Manifest, fragment); err != nil {
+			return stats, err
+		}
+		stats.Shards++
+		stats.Cells += len(res.Cells)
+		stats.Cached += res.Cached
+	}
+}
+
+// runShard executes one claimed shard in a fresh fragment store and
+// returns the store's JSONL bytes. Cached records from the coordinator
+// seed the store first, so fleet.Run's resume path skips them.
+func runShard(ctx context.Context, spec fleet.Spec, cfg WorkerConfig, claim ClaimResponse) (*fleet.Result, []byte, error) {
+	dir := filepath.Join(cfg.Dir, fmt.Sprintf("shard-%d", claim.Manifest.Index))
+	if len(claim.Cached) > 0 {
+		st, err := store.Open(dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, rec := range claim.Cached {
+			if _, err := st.PutChecked(rec); err != nil {
+				st.Close()
+				return nil, nil, err
+			}
+		}
+		if err := st.Flush(); err != nil {
+			st.Close()
+			return nil, nil, err
+		}
+		if err := st.Close(); err != nil {
+			return nil, nil, err
+		}
+	}
+	run := spec
+	run.Shard = claim.Manifest
+	run.StoreDir = dir
+	run.Resume = true
+	run.Parallel = cfg.Parallel
+	res, err := fleet.Run(ctx, run)
+	if err != nil {
+		return nil, nil, err
+	}
+	fragment, err := os.ReadFile(filepath.Join(dir, store.CellsFile))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, fragment, nil
+}

@@ -27,7 +27,11 @@ func (r *Result) WriteText(w io.Writer) error {
 	if r.Cached > 0 {
 		cached = fmt.Sprintf(" (%d cached)", r.Cached)
 	}
-	if _, err := fmt.Fprintf(w, "fleet: %d of %d cells%s\n", len(r.Cells), r.Total, cached); err != nil {
+	shardNote := ""
+	if r.Shard != nil {
+		shardNote = fmt.Sprintf(" [shard %d/%d]", r.Shard.Index, r.Shard.Count)
+	}
+	if _, err := fmt.Fprintf(w, "fleet: %d of %d cells%s%s\n", len(r.Cells), r.Total, cached, shardNote); err != nil {
 		return err
 	}
 	if len(r.Cells) == 0 {

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mobicore/internal/fleet/shard"
 	"mobicore/internal/fleet/store"
 	"mobicore/internal/sim"
 	"mobicore/internal/workload"
@@ -78,6 +79,9 @@ type Result struct {
 	Cached int `json:"cached,omitempty"`
 	// Incomplete marks a canceled run whose Cells are partial.
 	Incomplete bool `json:"incomplete,omitempty"`
+	// Shard is set when the run covered one key-range shard of a larger
+	// matrix; Total then counts the shard's cells, not the whole spec's.
+	Shard *shard.Manifest `json:"shard,omitempty"`
 }
 
 // frameSource is the workload-side statistics surface games expose.
@@ -124,12 +128,47 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		ids[i] = c.identity()
 		keys[i] = ids[i].Key()
 	}
+
+	// Restrict the matrix to one key-range shard, after verifying the
+	// manifest against the locally expanded cell set — a worker must prove
+	// it was handed the right work before executing any of it.
+	manifest := spec.Shard
+	if manifest == nil && spec.ShardCount > 0 {
+		plan, err := shard.Plan(keys, spec.ShardCount)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+		if spec.ShardIndex < 0 || spec.ShardIndex >= spec.ShardCount {
+			return nil, fmt.Errorf("fleet: shard index %d outside [0, %d)", spec.ShardIndex, spec.ShardCount)
+		}
+		manifest = &plan[spec.ShardIndex]
+	}
+	if manifest != nil {
+		if err := manifest.Verify(keys); err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+		var (
+			shardCells []Cell
+			shardIDs   []store.Identity
+			shardKeys  []string
+		)
+		for i := range cells {
+			if manifest.Contains(keys[i]) {
+				shardCells = append(shardCells, cells[i])
+				shardIDs = append(shardIDs, ids[i])
+				shardKeys = append(shardKeys, keys[i])
+			}
+		}
+		cells, ids, keys = shardCells, shardIDs, shardKeys
+	}
+
 	var st *store.Store
 	if spec.StoreDir != "" {
 		st, err = store.Open(spec.StoreDir)
 		if err != nil {
 			return nil, err
 		}
+		defer st.Close()
 	}
 	if spec.TraceDir != "" {
 		if err := os.MkdirAll(spec.TraceDir, 0o755); err != nil {
@@ -226,7 +265,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		}
 	}
 
-	out := &Result{Total: len(cells), Cached: cached}
+	out := &Result{Total: len(cells), Cached: cached, Shard: manifest}
 	for _, r := range results {
 		if r != nil {
 			out.Cells = append(out.Cells, *r)

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"mobicore/internal/fleet/shard"
 	"mobicore/internal/fleet/store"
 	"mobicore/internal/platform"
 	"mobicore/internal/policy"
@@ -104,6 +105,36 @@ type Spec struct {
 	// integration tick with the system watts and every cluster's share.
 	// Cached cells are not re-traced.
 	TraceDir string
+
+	// Shard restricts the run to the cells of one key-range shard of the
+	// matrix. Run verifies the manifest against the locally expanded cell
+	// set before executing anything — a spec-hash mismatch means this
+	// process was handed a shard cut from a different study. Nil runs the
+	// whole matrix.
+	Shard *shard.Manifest
+	// ShardIndex/ShardCount are the by-position spelling of Shard for
+	// callers without a manifest in hand (mobifleet -shard i/n): when
+	// ShardCount > 0 and Shard is nil, Run plans ShardCount shards over
+	// the matrix and takes shard ShardIndex. Disjoint-shard runs into
+	// disjoint store directories merge (store.Merge) into bytes identical
+	// to a single whole-matrix run.
+	ShardIndex int
+	ShardCount int
+}
+
+// ShardPlan expands the spec and partitions its cell keys into count
+// disjoint key-range shards. Every process that expands the same spec
+// computes the same plan — the coordinator/worker contract rests on it.
+func (s Spec) ShardPlan(count int) ([]shard.Manifest, error) {
+	cells, err := s.Cells()
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, len(cells))
+	for i, c := range cells {
+		keys[i] = c.identity().Key()
+	}
+	return shard.Plan(keys, count)
 }
 
 // Cell is one fully-resolved session of a fleet.

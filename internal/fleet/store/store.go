@@ -7,11 +7,13 @@
 // many invocations it took to fill the matrix.
 //
 // The store assumes one writer at a time: Flush is load-at-Open, merge in
-// memory, rewrite whole file (atomically, via rename). Two processes
-// flushing the same directory concurrently would each rewrite the file
-// from their own view and the last rename wins, silently dropping the
-// other's records. Sharding a sweep across processes needs disjoint store
-// directories merged afterwards (Open + Put + Flush), not a shared one.
+// memory, rewrite whole file (atomically, via rename). Open enforces that
+// with a lock file (created O_CREATE|O_EXCL, removed by Close): a second
+// process opening a held store fails with a clear error instead of
+// silently dropping the first one's records on the last rename. Sharding a
+// sweep across processes uses disjoint store directories — one per shard —
+// combined afterwards with Merge, which refuses conflicting records for
+// the same key.
 package store
 
 import (
@@ -27,12 +29,17 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 )
 
 // CellsFile is the name of the per-cell JSONL file inside a store
 // directory.
 const CellsFile = "cells.jsonl"
+
+// LockFile is the name of the single-writer lock file inside a store
+// directory. It exists exactly while some process holds the store open.
+const LockFile = "store.lock"
 
 // Identity is the canonical coordinate of one fleet cell — everything that
 // selects a deterministic session. Two cells with equal identities run the
@@ -110,18 +117,23 @@ type Record struct {
 
 // Store is a load-then-merge view of one store directory. Open loads the
 // existing records; Put adds or replaces records in memory; Flush rewrites
-// the JSONL file sorted by key (atomically, via a temp file rename). Not
-// safe for concurrent use — the fleet driver mutates it only from its
-// single assembly goroutine.
+// the JSONL file sorted by key (atomically, via a temp file rename); Close
+// releases the writer lock. Not safe for concurrent use — the fleet driver
+// mutates it only from its single assembly goroutine.
 type Store struct {
-	dir  string
-	recs map[string]Record
+	dir    string
+	recs   map[string]Record
+	locked bool
 }
 
-// Open creates the store directory if needed and loads any existing
-// records from its cells file. A missing cells file is an empty store; a
-// malformed line is an error (the store is a cache of expensive runs —
-// silently dropping records would silently re-run them).
+// Open creates the store directory if needed, takes the single-writer
+// lock, and loads any existing records from its cells file. A missing
+// cells file is an empty store; a malformed line is an error (the store is
+// a cache of expensive runs — silently dropping records would silently
+// re-run them). A held lock is an error too: before the lock existed, two
+// concurrent writers would each rewrite the file from their own view and
+// the last rename silently dropped the other's records. Callers must
+// Close the store to release the lock.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("store: empty directory")
@@ -129,14 +141,57 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
-	s := &Store{dir: dir, recs: map[string]Record{}}
-	path := filepath.Join(dir, CellsFile)
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return s, nil
+	if err := lock(dir); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, recs: map[string]Record{}, locked: true}
+	if err := s.load(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// lock creates the store's lock file exclusively; an existing lock means
+// another process holds the store.
+func lock(dir string) error {
+	path := filepath.Join(dir, LockFile)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if errors.Is(err, os.ErrExist) {
+		holder, _ := os.ReadFile(path)
+		return fmt.Errorf("store: %s is held by another writer (%s): concurrent writers would silently drop each other's records; remove %s if its holder is gone",
+			dir, strings.TrimSpace(string(holder)), path)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("store: opening %s: %w", path, err)
+		return fmt.Errorf("store: locking %s: %w", dir, err)
+	}
+	fmt.Fprintf(f, "pid %d\n", os.Getpid())
+	return f.Close()
+}
+
+// Close releases the store's writer lock. It does not flush — pairing an
+// explicit Flush with a deferred Close keeps error handling honest.
+// Closing twice is a no-op.
+func (s *Store) Close() error {
+	if !s.locked {
+		return nil
+	}
+	s.locked = false
+	if err := os.Remove(filepath.Join(s.dir, LockFile)); err != nil {
+		return fmt.Errorf("store: unlocking %s: %w", s.dir, err)
+	}
+	return nil
+}
+
+// load reads the cells file into memory.
+func (s *Store) load() error {
+	path := filepath.Join(s.dir, CellsFile)
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: opening %s: %w", path, err)
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
@@ -149,17 +204,17 @@ func Open(dir string) (*Store, error) {
 		}
 		var rec Record
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			return nil, fmt.Errorf("store: %s line %d: %w", path, line, err)
+			return fmt.Errorf("store: %s line %d: %w", path, line, err)
 		}
 		if rec.Key == "" {
-			return nil, fmt.Errorf("store: %s line %d: record without key", path, line)
+			return fmt.Errorf("store: %s line %d: record without key", path, line)
 		}
 		s.recs[rec.Key] = rec
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("store: reading %s: %w", path, err)
+		return fmt.Errorf("store: reading %s: %w", path, err)
 	}
-	return s, nil
+	return nil
 }
 
 // Dir returns the store directory.
@@ -178,6 +233,31 @@ func (s *Store) Get(key string) (Record, bool) {
 // deterministic session, so replacement is idempotent by construction.
 func (s *Store) Put(rec Record) {
 	s.recs[rec.Key] = rec
+}
+
+// PutChecked adds a record, verifying the idempotence Put assumes: a key
+// already held must carry an identical record — equal keys name the same
+// deterministic session, so any payload difference means one side ran
+// different physics (or a corrupted fragment) and must fail loudly rather
+// than silently overwrite. It reports whether the record was new.
+func (s *Store) PutChecked(rec Record) (added bool, err error) {
+	if have, ok := s.recs[rec.Key]; ok {
+		if have != rec {
+			return false, fmt.Errorf("store: conflicting records for key %s: the same cell produced different results (%+v vs %+v)", rec.Key, have, rec)
+		}
+		return false, nil
+	}
+	s.recs[rec.Key] = rec
+	return true, nil
+}
+
+// Records returns every record sorted by key — the file order of Flush.
+func (s *Store) Records() []Record {
+	out := make([]Record, 0, len(s.recs))
+	for _, key := range s.Keys() {
+		out = append(out, s.recs[key])
+	}
+	return out
 }
 
 // Keys returns every key in sorted order — the file order of Flush and
@@ -282,4 +362,58 @@ func (s *Store) WriteCSV(w io.Writer) error {
 		return fmt.Errorf("store: flushing csv: %w", err)
 	}
 	return nil
+}
+
+// Merge combines the records of the src store directories into dst — the
+// first-class form of the open-put-flush dance sharded sweeps previously
+// hand-rolled. Every key may appear in any number of stores as long as its
+// record is identical everywhere; a conflicting record for the same key
+// fails the merge loudly, because it means two runs produced different
+// results for what the identity hash says is the same deterministic
+// session. Because Flush sorts by key, merging N disjoint shard stores
+// yields a cells file byte-identical to a single run that filled the whole
+// matrix. Returns the number of records new to dst.
+func Merge(dst string, srcs ...string) (added int, err error) {
+	if len(srcs) == 0 {
+		return 0, errors.New("store: merge needs at least one source")
+	}
+	dstAbs, err := filepath.Abs(dst)
+	if err != nil {
+		return 0, fmt.Errorf("store: resolving %s: %w", dst, err)
+	}
+	d, err := Open(dst)
+	if err != nil {
+		return 0, err
+	}
+	defer d.Close()
+	for _, src := range srcs {
+		srcAbs, err := filepath.Abs(src)
+		if err != nil {
+			return 0, fmt.Errorf("store: resolving %s: %w", src, err)
+		}
+		if srcAbs == dstAbs {
+			return 0, fmt.Errorf("store: merge source %s is the destination", src)
+		}
+		s, err := Open(src)
+		if err != nil {
+			return 0, err
+		}
+		for _, rec := range s.Records() {
+			isNew, err := d.PutChecked(rec)
+			if err != nil {
+				s.Close()
+				return 0, fmt.Errorf("merging %s: %w", src, err)
+			}
+			if isNew {
+				added++
+			}
+		}
+		if err := s.Close(); err != nil {
+			return 0, err
+		}
+	}
+	if err := d.Flush(); err != nil {
+		return 0, err
+	}
+	return added, nil
 }

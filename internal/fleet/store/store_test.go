@@ -83,10 +83,14 @@ func TestStoreRoundTrip(t *testing.T) {
 	if err := s.Flush(); err != nil {
 		t.Fatal(err)
 	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
 	re, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer re.Close()
 	if re.Len() != 3 {
 		t.Fatalf("reloaded %d records, want 3", re.Len())
 	}
@@ -107,6 +111,7 @@ func TestFlushDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		defer s.Close()
 		for _, seed := range order {
 			s.Put(testRecord(seed))
 		}
@@ -137,6 +142,7 @@ func TestIncrementalMergeMatchesCold(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s.Close()
 	for seed := int64(1); seed <= 4; seed++ {
 		s.Put(testRecord(seed))
 	}
@@ -154,10 +160,14 @@ func TestIncrementalMergeMatchesCold(t *testing.T) {
 	if err := first.Flush(); err != nil {
 		t.Fatal(err)
 	}
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
 	second, err := Open(warm) // reload the partial store
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer second.Close()
 	second.Put(testRecord(1))
 	second.Put(testRecord(3))
 	if err := second.Flush(); err != nil {
@@ -199,6 +209,7 @@ func TestWriteCSV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s.Close()
 	s.Put(testRecord(2))
 	s.Put(testRecord(1))
 	var buf bytes.Buffer
@@ -219,5 +230,137 @@ func TestWriteCSV(t *testing.T) {
 	keys := s.Keys()
 	if !strings.HasPrefix(lines[1], keys[0]) || !strings.HasPrefix(lines[2], keys[1]) {
 		t.Errorf("csv rows not in key order:\n%s", buf.String())
+	}
+}
+
+// TestLockExcludesSecondWriter: a held store refuses a second Open with a
+// clear error (the silent-last-rename-wins hazard), and Close releases it.
+func TestLockExcludesSecondWriter(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "held by another writer") {
+		t.Errorf("second writer not refused clearly: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	re.Close()
+	// A failed Open (corrupt store) must not leave the lock behind.
+	if err := os.WriteFile(filepath.Join(dir, CellsFile), []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("corrupt store opened")
+	}
+	if _, err := os.Stat(filepath.Join(dir, LockFile)); !os.IsNotExist(err) {
+		t.Error("failed Open leaked the lock file")
+	}
+}
+
+func TestPutChecked(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rec := testRecord(1)
+	if added, err := s.PutChecked(rec); err != nil || !added {
+		t.Fatalf("first put: added=%v err=%v", added, err)
+	}
+	if added, err := s.PutChecked(rec); err != nil || added {
+		t.Fatalf("identical re-put: added=%v err=%v", added, err)
+	}
+	conflicting := rec
+	conflicting.EnergyJ += 1
+	if _, err := s.PutChecked(conflicting); err == nil {
+		t.Error("conflicting record for the same key accepted")
+	}
+}
+
+// TestMerge: disjoint shard stores merge into bytes identical to a single
+// store that held every record, overlap with identical records is
+// tolerated, and a conflicting record fails the whole merge.
+func TestMerge(t *testing.T) {
+	writeStore := func(dir string, seeds ...int64) {
+		t.Helper()
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		for _, seed := range seeds {
+			s.Put(testRecord(seed))
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	whole := t.TempDir()
+	writeStore(whole, 1, 2, 3, 4, 5)
+	shardA, shardB := t.TempDir(), t.TempDir()
+	writeStore(shardA, 2, 4)
+	writeStore(shardB, 1, 3, 5)
+
+	merged := t.TempDir()
+	added, err := Merge(merged, shardA, shardB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 5 {
+		t.Errorf("merge added %d records, want 5", added)
+	}
+	want, err := os.ReadFile(filepath.Join(whole, CellsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(merged, CellsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("merged shards differ from the single-store bytes")
+	}
+
+	// Overlapping identical records are idempotent.
+	if added, err := Merge(merged, shardA); err != nil || added != 0 {
+		t.Errorf("idempotent re-merge: added=%d err=%v", added, err)
+	}
+
+	// A conflicting record for a shared key fails loudly.
+	conflictDir := t.TempDir()
+	c, err := Open(conflictDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := testRecord(2)
+	bad.EnergyJ *= 2
+	c.Put(bad)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(merged, conflictDir); err == nil || !strings.Contains(err.Error(), "conflicting records") {
+		t.Errorf("conflicting merge not refused: %v", err)
+	}
+
+	// Merging a store into itself is refused.
+	if _, err := Merge(merged, merged); err == nil {
+		t.Error("self-merge accepted")
+	}
+	if _, err := Merge(merged); err == nil {
+		t.Error("merge with no sources accepted")
 	}
 }

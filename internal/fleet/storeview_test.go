@@ -1,0 +1,72 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestLoadStoreResultReproducesRun: a report rebuilt from the store alone
+// renders the same aggregates, comparisons, and CSV as the run that filled
+// it — zero cells executed. The cell rows match byte for byte because the
+// canonical store order equals spec order when the spec's dimension lists
+// are sorted (as matrixSpec's are).
+func TestLoadStoreResultReproducesRun(t *testing.T) {
+	dir := t.TempDir()
+	spec := matrixSpec(4)
+	spec.StoreDir = dir
+	runRes, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := LoadStoreResult(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached != 12 || res.Total != 12 {
+		t.Fatalf("store view: %d of %d cached, want 12 of 12", res.Cached, res.Total)
+	}
+	for _, c := range res.Cells {
+		if !c.Cached {
+			t.Fatalf("cell %d not marked cached in a store view", c.Index)
+		}
+	}
+
+	var runText, viewText bytes.Buffer
+	if err := runRes.WriteText(&runText); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteText(&viewText); err != nil {
+		t.Fatal(err)
+	}
+	runBody := strings.TrimPrefix(runText.String(), "fleet: 12 of 12 cells\n")
+	viewBody := strings.TrimPrefix(viewText.String(), "fleet: 12 of 12 cells (12 cached)\n")
+	if runBody == runText.String() || viewBody == viewText.String() {
+		t.Fatalf("unexpected banners:\nrun:  %q\nview: %q",
+			runText.String()[:40], viewText.String()[:40])
+	}
+	if runBody != viewBody {
+		t.Errorf("store-backed report differs from the run's:\n--- run ---\n%s\n--- view ---\n%s", runBody, viewBody)
+	}
+
+	var runCSV, viewCSV bytes.Buffer
+	if err := runRes.WriteCSV(&runCSV); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteCSV(&viewCSV); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(runCSV.Bytes(), viewCSV.Bytes()) {
+		t.Error("store-backed CSV differs from the run's CSV")
+	}
+}
+
+func TestLoadStoreResultEmpty(t *testing.T) {
+	if _, err := LoadStoreResult(t.TempDir()); err == nil {
+		t.Error("empty store accepted")
+	} else if !strings.Contains(err.Error(), "no records") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
