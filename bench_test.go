@@ -419,6 +419,14 @@ func perTick(b *testing.B, plat platform.Platform, mgr policy.Manager, threads i
 // perTickPlaced is perTick with an explicit scheduler placement rule.
 func perTickPlaced(b *testing.B, plat platform.Platform, mgr policy.Manager, threads int, placer string) {
 	b.Helper()
+	perTickFused(b, plat, mgr, threads, placer, false)
+}
+
+// perTickFused is the full-knob tick benchmark body: noFuse disables the
+// engine's quiescent-tick fast path so the fused and unfused costs of the
+// same session are directly comparable.
+func perTickFused(b *testing.B, plat platform.Platform, mgr policy.Manager, threads int, placer string, noFuse bool) {
+	b.Helper()
 	ref := plat.ClusterSpecs()[0].Table.Max().Freq
 	wl, err := workload.NewBusyLoop(workload.BusyLoopConfig{
 		TargetUtil: 0.5, Threads: threads, RefFreq: ref,
@@ -426,11 +434,16 @@ func perTickPlaced(b *testing.B, plat platform.Platform, mgr policy.Manager, thr
 	if err != nil {
 		b.Fatal(err)
 	}
-	s, err := sim.New(sim.Config{Platform: plat, Manager: mgr, Workloads: []workload.Workload{wl}, Seed: 1, Placer: placer})
+	s, err := sim.New(sim.Config{Platform: plat, Manager: mgr, Workloads: []workload.Workload{wl}, Seed: 1, Placer: placer, NoFuse: noFuse})
 	if err != nil {
 		b.Fatal(err)
 	}
-	// Warm past the boot transient so b.N ticks measure steady state.
+	// Reserve the sampled series for the whole measured run — the
+	// steady-state arrangement every fleet session gets from
+	// SessionSpec.NewIn — so series growth does not pollute the per-tick
+	// cost, then warm past the boot transient so b.N ticks measure steady
+	// state.
+	s.Reserve(100*time.Millisecond + time.Duration(b.N)*time.Millisecond)
 	if _, err := s.Run(100 * time.Millisecond); err != nil {
 		b.Fatal(err)
 	}
@@ -440,11 +453,13 @@ func perTickPlaced(b *testing.B, plat platform.Platform, mgr policy.Manager, thr
 	// hotalloc analyzer (cmd/mobilint) guards the annotated functions.
 	b.ReportAllocs()
 	b.ResetTimer()
+	fastStart := s.FastTicks()
 	for i := 0; i < b.N; i++ {
 		if err := s.Step(); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric(float64(s.FastTicks()-fastStart)/float64(b.N), "fast-tick-ratio")
 }
 
 // BenchmarkPerTickNexus5 is the homogeneous per-tick baseline (4 cores,
@@ -456,6 +471,19 @@ func BenchmarkPerTickNexus5(b *testing.B) {
 		b.Fatal(err)
 	}
 	perTick(b, plat, mgr, 4)
+}
+
+// BenchmarkPerTickNexus5NoFuse is BenchmarkPerTickNexus5 with the
+// quiescent-tick fast path disabled: every tick pays full scheduling and
+// power-model evaluation. The ratio against BenchmarkPerTickNexus5 is the
+// fast path's speedup on a steady duty-cycled workload.
+func BenchmarkPerTickNexus5NoFuse(b *testing.B) {
+	plat := platform.Nexus5()
+	mgr, err := core.NewWithModel(plat.Table, core.DefaultTunables(), nexus5Model(b, plat))
+	if err != nil {
+		b.Fatal(err)
+	}
+	perTickFused(b, plat, mgr, 4, "", true)
 }
 
 // BenchmarkPerTickNexus5Ondemand is the homogeneous per-tick baseline under

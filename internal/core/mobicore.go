@@ -135,6 +135,11 @@ type MobiCore struct {
 
 	havePrev bool
 	prevUtil float64
+
+	// loadScratch backs the model's candidate evaluations in chooseCores —
+	// one buffer per manager (managers are single-goroutine, one per cell),
+	// so the per-period ladder scan allocates nothing.
+	loadScratch []power.CoreLoad
 }
 
 var _ policy.Manager = (*MobiCore)(nil)
@@ -346,7 +351,10 @@ func (m *MobiCore) chooseCores(in policy.Input, fOndemand soc.Hz, kq, demand flo
 			continue // law escalated past this count; skip duplicates
 		}
 		opp := m.table.CeilFreq(freq)
-		watts, err := m.model.PredictWatts(c, opp, demand, nmax)
+		if cap(m.loadScratch) < nmax {
+			m.loadScratch = make([]power.CoreLoad, nmax)
+		}
+		watts, err := m.model.PredictWattsInto(m.loadScratch, c, opp, demand, nmax)
 		if err != nil {
 			continue // out-of-range candidate; the law will still serve
 		}

@@ -43,6 +43,11 @@ type Options struct {
 	// CI and paired matched-seed deltas on the headline comparisons. 0 or
 	// 1 keeps the single-seed output byte-identical to earlier releases.
 	Seeds int
+	// NoFuse disables the engine's quiescent-tick fast path in every
+	// session (see sim.Config.NoFuse). Output is byte-identical either
+	// way; the equivalence tests run each experiment both ways and
+	// compare rendered reports.
+	NoFuse bool
 }
 
 func (o Options) scale() float64 {
@@ -190,6 +195,7 @@ func (o Options) seedList() []int64 {
 // aggregates, paired comparisons).
 func runFleet(spec fleet.Spec, opt Options) (*fleet.Result, error) {
 	spec.Parallel = opt.Parallel
+	spec.NoFuse = opt.NoFuse
 	return fleet.Run(context.Background(), spec)
 }
 

@@ -41,7 +41,12 @@ func BenchmarkFleet(b *testing.B) {
 					b.Fatalf("cells = %d, want 4", len(res.Cells))
 				}
 			}
-			b.ReportMetric(float64(4*b.N)/b.Elapsed().Seconds(), "cells/s")
+			rate := float64(4*b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(rate, "cells/s")
+			// Per-worker throughput exposes the pool's scaling efficiency:
+			// flat cells/s/worker across the parallel cases means linear
+			// scaling; a drop quantifies contention.
+			b.ReportMetric(rate/float64(par), "cells/s/worker")
 		})
 	}
 }
@@ -90,7 +95,9 @@ func BenchmarkFleetMatrix(b *testing.B) {
 			var after runtime.MemStats
 			runtime.ReadMemStats(&after)
 			cells := float64(24 * b.N)
-			b.ReportMetric(cells/b.Elapsed().Seconds(), "cells/s")
+			rate := cells / b.Elapsed().Seconds()
+			b.ReportMetric(rate, "cells/s")
+			b.ReportMetric(rate/float64(par), "cells/s/worker")
 			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/cells, "allocs/cell")
 		})
 	}

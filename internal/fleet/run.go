@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -299,11 +301,30 @@ type cellScratch struct {
 	tw    *traceWriter
 }
 
-// runCell builds and runs one cell's session, exporting its power trace
-// when traceDir is set. scratch, when non-nil, supplies the worker's arena
-// and recycled trace writer; nil runs the cell with fresh allocations (the
-// two produce byte-identical results — the arena is purely a reuse pool).
-func runCell(ctx context.Context, idx int, c Cell, key, traceDir string, scratch *cellScratch) (*CellResult, error) {
+// runCell executes one cell under pprof labels naming its matrix
+// coordinates, so CPU and goroutine profiles of a fleet sweep attribute
+// samples to platform/policy/workload/placer/seed instead of one
+// undifferentiated worker-pool blob.
+func runCell(ctx context.Context, idx int, c Cell, key, traceDir string, scratch *cellScratch) (res *CellResult, err error) {
+	labels := pprof.Labels(
+		"platform", c.Platform.Name,
+		"policy", c.Policy.Name,
+		"workload", c.Workload.Name,
+		"placer", placerName(c.Placer),
+		"seed", strconv.FormatInt(c.Seed, 10),
+	)
+	pprof.Do(ctx, labels, func(ctx context.Context) {
+		res, err = runCellSession(ctx, idx, c, key, traceDir, scratch)
+	})
+	return res, err
+}
+
+// runCellSession builds and runs one cell's session, exporting its power
+// trace when traceDir is set. scratch, when non-nil, supplies the worker's
+// arena and recycled trace writer; nil runs the cell with fresh allocations
+// (the two produce byte-identical results — the arena is purely a reuse
+// pool).
+func runCellSession(ctx context.Context, idx int, c Cell, key, traceDir string, scratch *cellScratch) (*CellResult, error) {
 	spec, err := c.session()
 	if err != nil {
 		return nil, err

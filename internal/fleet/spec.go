@@ -79,6 +79,11 @@ type Spec struct {
 	// Tick and SamplePeriod override the engine defaults for every cell.
 	Tick         time.Duration
 	SamplePeriod time.Duration
+	// NoFuse disables the engine's quiescent-tick fast path in every cell
+	// (see sim.Config.NoFuse). Output is byte-identical either way, so the
+	// knob is excluded from cell identity — fused and unfused runs of the
+	// same matrix share store records.
+	NoFuse bool
 
 	// ExtraCells run after the cross-product, for matrices that are not
 	// rectangular (one-off calibration cells, asymmetric baselines).
@@ -149,6 +154,9 @@ type Cell struct {
 	UntilDone    bool
 	Tick         time.Duration
 	SamplePeriod time.Duration
+	// NoFuse disables the quiescent-tick fast path for this cell. Not part
+	// of the cell's identity: the fast path never changes output bytes.
+	NoFuse bool
 }
 
 func (c Cell) validate() error {
@@ -193,6 +201,7 @@ func (s Spec) Cells() ([]Cell, error) {
 							UntilDone:    s.UntilDone,
 							Tick:         s.Tick,
 							SamplePeriod: s.SamplePeriod,
+							NoFuse:       s.NoFuse,
 						})
 					}
 				}
@@ -262,5 +271,6 @@ func (c Cell) session() (sim.SessionSpec, error) {
 		Placer:       c.Placer,
 		Tick:         c.Tick,
 		SamplePeriod: c.SamplePeriod,
+		NoFuse:       c.NoFuse,
 	}, nil
 }

@@ -37,6 +37,7 @@ type Run struct {
 	iterations int
 	states     []threadState
 	threads    []*sched.Thread
+	steady     bool // last Tick deposited nothing (workload.SteadyHinter)
 
 	completedSections int
 	refRate           float64 // single-core f_max sections/sec, for scoring
@@ -99,10 +100,16 @@ func (r *Run) Done() bool {
 	return true
 }
 
+// SteadyHint implements workload.SteadyHinter: true when the last Tick
+// deposited no work — executing and stalling chunks leave demand exactly as
+// the scheduler left it, which is every tick between chunk starts.
+func (r *Run) SteadyHint() bool { return r.steady }
+
 // Tick implements workload.Workload: advance each worker's
 // deposit → execute → stall cycle.
 func (r *Run) Tick(now, dt time.Duration, rng *rand.Rand) {
 	_ = rng // the benchmark is deterministic
+	r.steady = true
 	for i := range r.states {
 		st := &r.states[i]
 		if st.iteration >= r.iterations {
@@ -116,6 +123,7 @@ func (r *Run) Tick(now, dt time.Duration, rng *rand.Rand) {
 		if !st.deposited {
 			st.thread.AddWork(sec.WorkCycles / chunksPerSection)
 			st.deposited = true
+			r.steady = false
 			continue
 		}
 		if st.thread.Pending() == 0 {

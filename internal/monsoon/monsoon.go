@@ -67,9 +67,10 @@ func (m *Monitor) Observe(now time.Duration, watts float64, dt time.Duration) er
 	if dt <= 0 {
 		return errors.New("monsoon: non-positive observation window")
 	}
-	m.joules += watts * dt.Seconds()
+	j := watts * dt.Seconds()
+	m.joules += j
 	m.elapsed += dt
-	m.accJoules += watts * dt.Seconds()
+	m.accJoules += j
 	m.accTime += dt
 	m.sinceSample += dt
 	if m.sinceSample >= m.cfg.SampleEvery {

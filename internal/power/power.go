@@ -224,6 +224,16 @@ func (m *Model) ClusterWatts(cores []CoreLoad) float64 {
 // demandCyclesPerSec. Demand is spread evenly (the balanced-scheduler
 // assumption of §3.2); per-core utilization clamps at 1.
 func (m *Model) PredictWatts(n int, opp soc.OPP, demandCyclesPerSec float64, totalCores int) (float64, error) {
+	return m.PredictWattsInto(nil, n, opp, demandCyclesPerSec, totalCores)
+}
+
+// PredictWattsInto is PredictWatts evaluating through the caller's CoreLoad
+// buffer when it has the capacity, so a governor scanning many candidate
+// operating points allocates nothing per evaluation. The buffer is scratch:
+// every entry is rewritten and nothing is retained past the call. A nil or
+// undersized buffer falls back to a fresh allocation, reproducing
+// PredictWatts.
+func (m *Model) PredictWattsInto(cores []CoreLoad, n int, opp soc.OPP, demandCyclesPerSec float64, totalCores int) (float64, error) {
 	if n < 1 || n > totalCores {
 		return 0, fmt.Errorf("power: core count %d outside [1,%d]", n, totalCores)
 	}
@@ -232,12 +242,15 @@ func (m *Model) PredictWatts(n int, opp soc.OPP, demandCyclesPerSec float64, tot
 	}
 	util := demandCyclesPerSec / (float64(n) * float64(opp.Freq))
 	util = clamp01(util)
-	cores := make([]CoreLoad, 0, totalCores)
+	if cap(cores) < totalCores {
+		cores = make([]CoreLoad, totalCores)
+	}
+	cores = cores[:totalCores]
 	for i := 0; i < n; i++ {
-		cores = append(cores, CoreLoad{State: soc.StateActive, OPP: opp, Util: util})
+		cores[i] = CoreLoad{State: soc.StateActive, OPP: opp, Util: util}
 	}
 	for i := n; i < totalCores; i++ {
-		cores = append(cores, CoreLoad{State: soc.StateOffline})
+		cores[i] = CoreLoad{State: soc.StateOffline}
 	}
 	return m.SystemWatts(cores), nil
 }

@@ -82,10 +82,12 @@ type Scheduler struct {
 // take &s.runnable without boxing a fresh slice header per window.
 type byDebt []*Thread
 
-func (r *byDebt) Len() int      { return len(*r) }
-func (r *byDebt) Swap(i, j int) { (*r)[i], (*r)[j] = (*r)[j], (*r)[i] }
-func (r *byDebt) Less(i, j int) bool {
-	a, b := (*r)[i], (*r)[j]
+func (r *byDebt) Len() int           { return len(*r) }
+func (r *byDebt) Swap(i, j int)      { (*r)[i], (*r)[j] = (*r)[j], (*r)[i] }
+func (r *byDebt) Less(i, j int) bool { return debtLess((*r)[i], (*r)[j]) }
+
+//mobicore:hotpath
+func debtLess(a, b *Thread) bool {
 	if a.pending != b.pending {
 		return a.pending > b.pending
 	}
@@ -118,6 +120,12 @@ type Pressure struct {
 	// (CapFreq/f_max, in (0,1] while capped, 1 while cool). Optional;
 	// placers fall back to the fixed thermalDerate when nil.
 	CapScale []float64
+	// Gen optionally fingerprints the view: callers that rebuild Capped
+	// and CapScale only when a monotonic cap generation moves can tag the
+	// view with that generation, letting the memo prove "pressure
+	// unchanged" with one integer compare. Zero means untagged, and
+	// consumers fall back to comparing the elements.
+	Gen uint64
 }
 
 // placer returns the installed Placer, defaulting to the greedy.
@@ -169,6 +177,37 @@ func (s *Scheduler) ScheduleThermal(cpu *soc.CPU, threads []*Thread, dt time.Dur
 //
 //mobicore:hotpath
 func (s *Scheduler) ScheduleThermalInto(busy []float64, cpu *soc.CPU, threads []*Thread, dt time.Duration, poolSec float64, pr Pressure) (Result, error) {
+	return s.scheduleInto(nil, 0, busy, nil, cpu, threads, dt, poolSec, pr)
+}
+
+// ScheduleRecordInto is ScheduleThermalInto that additionally fingerprints
+// the window into rec for the quiescent-tick fast path: the per-thread
+// placements and grants, the busy vector, the batched commit, and the
+// pressure view are retained, and rec arms (rec.Valid) when the window is
+// replayable — no pool clamping and no throttling. satRate is the capacity
+// ceiling for the saturation classing (see Memo.begin); callers pass the
+// platform's top ladder frequency. A nil rec reproduces ScheduleThermalInto
+// exactly.
+//
+// snap, when non-nil, is the caller's current view of the CPU — each core's
+// online state and programmed frequency, exactly as SnapshotInto would
+// report them — and the scheduler trusts it instead of taking its own
+// locked snapshot (the per-tick caller already maintains such a mirror).
+// Active/Idle distinctions in the view are ignored; only offline-ness and
+// frequency feed scheduling. A nil snap reproduces the self-snapshotting
+// behaviour.
+//
+//mobicore:hotpath
+func (s *Scheduler) ScheduleRecordInto(rec *Memo, satRate float64, busy []float64, snap []soc.CoreSnapshot, cpu *soc.CPU, threads []*Thread, dt time.Duration, poolSec float64, pr Pressure) (Result, error) {
+	return s.scheduleInto(rec, satRate, busy, snap, cpu, threads, dt, poolSec, pr)
+}
+
+// scheduleInto is the shared scheduling body; rec, when non-nil, records the
+// window into the memo (see ScheduleRecordInto); snap, when non-nil, is the
+// caller-maintained CPU view that replaces the locked snapshot.
+//
+//mobicore:hotpath
+func (s *Scheduler) scheduleInto(rec *Memo, satRate float64, busy []float64, snap []soc.CoreSnapshot, cpu *soc.CPU, threads []*Thread, dt time.Duration, poolSec float64, pr Pressure) (Result, error) {
 	if cpu == nil {
 		return Result{}, errors.New("sched: nil cpu")
 	}
@@ -176,8 +215,12 @@ func (s *Scheduler) ScheduleThermalInto(busy []float64, cpu *soc.CPU, threads []
 		return Result{}, errors.New("sched: non-positive window")
 	}
 
-	snap := cpu.SnapshotInto(s.snap)
-	s.snap = snap
+	mirror := snap != nil
+	if !mirror {
+		snap = cpu.SnapshotInto(s.snap)
+		s.snap = snap
+	}
+	dts := dt.Seconds()
 	if cap(busy) < len(snap) {
 		// Without a caller buffer the Result escapes with its own slice —
 		// the pre-arena API's ownership contract.
@@ -189,6 +232,10 @@ func (s *Scheduler) ScheduleThermalInto(busy []float64, cpu *soc.CPU, threads []
 		busy[i] = 0
 	}
 	res := Result{BusySeconds: busy}
+
+	if rec != nil {
+		rec.begin(dt, satRate)
+	}
 
 	pool := poolSec
 	limited := pool >= 0
@@ -203,7 +250,7 @@ func (s *Scheduler) ScheduleThermalInto(busy []float64, cpu *soc.CPU, threads []
 	for i, c := range snap {
 		if c.State != soc.StateOffline {
 			online[i] = true
-			budget[i] = dt.Seconds()
+			budget[i] = dts
 			freq[i] = float64(c.Freq)
 		} else {
 			online[i] = false
@@ -246,7 +293,7 @@ func (s *Scheduler) ScheduleThermalInto(busy []float64, cpu *soc.CPU, threads []
 		Capped:    pr.Capped,
 		CapScale:  pr.CapScale,
 		AnyCool:   anyCool,
-		WindowSec: dt.Seconds(),
+		WindowSec: dts,
 	}
 	placer := s.placer()
 
@@ -259,16 +306,30 @@ func (s *Scheduler) ScheduleThermalInto(busy []float64, cpu *soc.CPU, threads []
 	}
 	s.runnable = runnable
 	// Largest debt first; name breaks ties so runs are deterministic.
-	// sort.Stable on the pooled pointer sorter avoids the per-window
-	// closure and interface boxing sort.SliceStable would cost.
-	sort.Stable(&s.runnable)
+	// Small sets — the per-tick norm — use a direct insertion sort on the
+	// concrete slice, skipping interface dispatch; both branches are
+	// stable sorts under the same strict order, so they yield the one
+	// permutation the determinism contract pins.
+	if len(runnable) <= 16 {
+		for i := 1; i < len(runnable); i++ {
+			for j := i; j > 0 && debtLess(runnable[j], runnable[j-1]); j-- {
+				runnable[j], runnable[j-1] = runnable[j-1], runnable[j]
+			}
+		}
+	} else {
+		sort.Stable(&s.runnable)
+	}
 
 	for _, t := range runnable {
 		if limited && pool <= 0 {
 			break // bandwidth exhausted for this window
 		}
+		startLast, startPending := t.lastCore, t.pending
 		core := placer.Place(&s.env, t)
 		if core < 0 {
+			if rec != nil {
+				rec.record(t, startLast, core, 0, startPending)
+			}
 			continue // no core time anywhere
 		}
 		allowedSec := budget[core]
@@ -288,6 +349,9 @@ func (s *Scheduler) ScheduleThermalInto(busy []float64, cpu *soc.CPU, threads []
 		res.BusySeconds[core] += sec
 		res.ExecutedCycles += done
 		res.PoolUsedSec += sec
+		if rec != nil {
+			rec.record(t, startLast, core, done, startPending)
+		}
 	}
 
 	// Throttled time: capacity withheld by the bandwidth pool while
@@ -328,6 +392,25 @@ func (s *Scheduler) ScheduleThermalInto(busy []float64, cpu *soc.CPU, threads []
 	}
 	if err := cpu.RunBatch(nanos, windowNanos); err != nil {
 		return Result{}, fmt.Errorf("sched: committing window: %w", err)
+	}
+	if mirror {
+		// Keep the caller's CPU view current without another locked
+		// snapshot: RunBatch just set each online core Active or Idle by
+		// exactly this rule. (BusyCycles is not maintained — the mirror
+		// contract covers online state and operating point only.)
+		for i := range snap {
+			if !online[i] {
+				continue
+			}
+			if nanos[i] > 0 {
+				snap[i].State = soc.StateActive
+			} else {
+				snap[i].State = soc.StateIdle
+			}
+		}
+	}
+	if rec != nil {
+		rec.finish(res, nanos, pr, limited, pool)
 	}
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"mobicore/internal/policy"
 	"mobicore/internal/power"
 	"mobicore/internal/soc"
+	"mobicore/internal/workload"
 )
 
 // Arena is a cross-session reuse pool for the engine's buffers: the sampled
@@ -60,6 +61,9 @@ func (a *Arena) Reset() {
 	s.coreCluster = nil
 	s.clusterFmax = nil
 	s.threads = s.threads[:0]
+	s.hinters = s.hinters[:0]
+	s.memo = s.memo.Recycle()
+	s.invalidateFast()
 }
 
 // The buffer helpers below resize a pooled slice to length n, zeroing the
@@ -181,6 +185,19 @@ func viewsBuf(b []policy.ClusterView, n int) []policy.ClusterView {
 	b = b[:n]
 	for i := range b {
 		b[i] = policy.ClusterView{}
+	}
+	return b
+}
+
+//mobicore:hotpath
+func hinterBuf(b []workload.SteadyHinter, n int) []workload.SteadyHinter {
+	if cap(b) < n {
+		//mobilint:ignore one-time arena growth; steady-state reuse hits the resize path
+		return make([]workload.SteadyHinter, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = nil
 	}
 	return b
 }

@@ -49,6 +49,9 @@ type SessionSpec struct {
 	Tick time.Duration
 	// SamplePeriod is how often the manager runs (default 50 ms).
 	SamplePeriod time.Duration
+	// NoFuse disables the quiescent-tick fast path (see Config.NoFuse).
+	// Output is byte-identical either way; equivalence tests set it.
+	NoFuse bool
 }
 
 // Config lowers the spec to the engine's Config (defaults still unfilled;
@@ -63,6 +66,7 @@ func (sp SessionSpec) Config() Config {
 		Seed:         sp.Seed,
 		Placer:       sp.Placer,
 		PowerTrace:   sp.PowerTrace,
+		NoFuse:       sp.NoFuse,
 	}
 }
 

@@ -69,6 +69,16 @@ type Config struct {
 
 	// Monitor configures the power meter (default monsoon.DefaultConfig).
 	Monitor monsoon.Config
+
+	// NoFuse disables the quiescent-tick fast path, forcing every tick
+	// through the full scheduling and integration pipeline. Output is
+	// byte-identical either way — the fast path replays a retained window
+	// only when it can prove the slow path would reproduce it bit for bit
+	// — so the knob exists for equivalence tests and debugging, not
+	// correctness. Harnesses that drive Step directly and mutate the CPU
+	// between ticks must set it (the engine cannot observe out-of-band
+	// frequency or hotplug changes).
+	NoFuse bool
 }
 
 func (c *Config) fillDefaults() error {
@@ -159,6 +169,22 @@ type Sim struct {
 	quotaPool float64  // shared bandwidth pool (seconds) remaining this period
 	requested []soc.Hz // manager-requested per-core frequency, pre thermal clamp
 	applied   []soc.Hz // mirror of each core's programmed frequency, so the per-tick re-clamp skips locked CPU reads
+	capGen    uint64   // thermal cap generation at the last re-clamp; the per-tick re-clamp runs only when a cap moved
+	prGen     uint64   // thermal cap generation of the cached pressure view (capped/capScale)
+
+	// quiescent-tick fast path: the ring of retained scheduling windows
+	// and, slot for slot, the memoized integration-tail scalars each fuses
+	// with. The memo proves the thread-side inputs unchanged
+	// (sched.Memo.Match); fast[i].valid vouches for the CPU-side inputs of
+	// slot i — every slot is cleared whenever applyFrequencies reprograms
+	// a core and on every policy decision (hotplug, frequency, quota),
+	// trusting the applied-frequency mirror in between, and only the tick
+	// that records a slot re-validates it.
+	memo      sched.Memo
+	fast      [sched.MemoRing]fastState
+	satRate   float64                 // saturation ceiling (cycles/sec): the platform's top ladder frequency
+	hinters   []workload.SteadyHinter // cached SteadyHint views of cfg.Workloads (nil where unimplemented)
+	fastTicks uint64                  // ticks served by the fast path this session
 
 	// per-tick scratch, reused to keep the hot loop allocation-free
 	snap         []soc.CoreSnapshot // CPU snapshot buffer
@@ -212,6 +238,44 @@ type Sim struct {
 	clusterCoreSeries   []metrics.Series
 	clusterTempSeries   []metrics.Series
 	clusterEnergySeries []metrics.Series // cumulative per-cluster joules, sampled
+}
+
+// fastState is the memoized integration tail of one retained tick: every
+// scalar the slow path derives from the scheduling result before feeding the
+// power model, captured once on the recording tick and replayed while the
+// window stays quiescent. Replay adds the same float values in the same
+// order as the slow path, so accumulators stay bit-identical. The Sim keeps
+// one fastState per memo ring slot, captured on the same tick that recorded
+// the slot.
+type fastState struct {
+	valid   bool
+	watts   float64   // total system watts of the retained tick
+	base    float64   // platform floor share of watts
+	per     []float64 // per-cluster watts (copy — clusterWatts is scratch)
+	winInc  []float64 // per-core winBusySec increment (0 for offline cores)
+	online  int       // online core count
+	avgFreq float64   // online-average frequency added to freqSum
+	avgUtil float64   // online-average utilization added to utilSum
+}
+
+// fastRing resizes each fast-path slot's buffers to the session topology,
+// keeping accumulated capacity, with every slot invalid.
+func fastRing(old [sched.MemoRing]fastState, nc, n int) [sched.MemoRing]fastState {
+	var ring [sched.MemoRing]fastState
+	for i := range ring {
+		ring[i] = fastState{per: f64Buf(old[i].per, nc), winInc: f64Buf(old[i].winInc, n)}
+	}
+	return ring
+}
+
+// invalidateFast clears the CPU-side vouch of every fast-path slot: retained
+// windows stop replaying until a fresh recording revalidates its slot.
+//
+//mobicore:hotpath
+func (s *Sim) invalidateFast() {
+	for i := range s.fast {
+		s.fast[i].valid = false
+	}
 }
 
 // New builds a simulation from cfg with freshly allocated buffers.
@@ -286,23 +350,45 @@ func newSim(cfg Config, a *Arena) (*Sim, error) {
 		agg[i].Reset()
 	}
 
+	// Saturation ceiling for the scheduling memo: no core anywhere on the
+	// platform grants more than ladder-top × dt cycles per tick, so demand
+	// above that threshold drives every placement comparison identically
+	// regardless of its exact magnitude.
+	var satRate float64
+	for _, fmax := range comp.ClusterFmaxHz {
+		if fmax > satRate {
+			satRate = fmax
+		}
+	}
+	hinters := hinterBuf(s.hinters, len(cfg.Workloads))
+	for i, w := range cfg.Workloads {
+		h, _ := w.(workload.SteadyHinter)
+		hinters[i] = h
+	}
+
 	// Every field of the Sim is assigned here; buffers resize to the
 	// session's topology keeping whatever capacity the arena accumulated.
 	// A field added to Sim must be (re)initialized in this literal or it
 	// will leak state between arena cells.
 	*s = Sim{
-		cfg:                 cfg,
-		cpu:                 cpu,
-		model:               model,
-		net:                 net,
-		sch:                 sch,
-		rng:                 rand.New(rand.NewSource(cfg.Seed)),
-		mon:                 mon,
-		views:               views,
-		coreCluster:         comp.CoreCluster,
-		quota:               cfg.InitialQuota,
-		requested:           hzBuf(s.requested, n),
-		applied:             hzBuf(s.applied, n),
+		cfg:         cfg,
+		cpu:         cpu,
+		model:       model,
+		net:         net,
+		sch:         sch,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		mon:         mon,
+		views:       views,
+		coreCluster: comp.CoreCluster,
+		quota:       cfg.InitialQuota,
+		requested:   hzBuf(s.requested, n),
+		applied:     hzBuf(s.applied, n),
+		prGen:       ^uint64(0), // force the first tick to build the pressure view
+
+		memo:                s.memo.Recycle(),
+		fast:                fastRing(s.fast, nc, n),
+		satRate:             satRate,
+		hinters:             hinters,
 		snap:                snapBuf(s.snap, n),
 		util:                f64Buf(s.util, n),
 		busySec:             f64Buf(s.busySec, n),
@@ -393,6 +479,13 @@ func (s *Sim) reserve(d time.Duration) {
 	}
 }
 
+// Reserve preallocates the sampled series and the monitor trace for a run
+// of duration d, so steady-state stepping appends without growth. Sessions
+// built through SessionSpec.NewIn reserve automatically; direct users that
+// drive Step in a loop (benchmark harnesses, custom drivers) call this once
+// up front to keep series growth out of the measured path.
+func (s *Sim) Reserve(d time.Duration) { s.reserve(d) }
+
 // Now returns the current simulation time.
 func (s *Sim) Now() time.Duration { return s.now }
 
@@ -407,12 +500,20 @@ func (s *Sim) Quota() float64 { return s.quota }
 //mobicore:hotpath
 func (s *Sim) Step() error {
 	dt := s.cfg.Tick
+	dts := dt.Seconds()
 
 	// 1. Demand generation. The thread slice is per-tick scratch — the
-	// scheduler never retains it past the call.
+	// scheduler never retains it past the call. Workloads that implement
+	// SteadyHint vouch that this Tick changed no demand; when every
+	// workload does, the quiescence check can skip the per-thread
+	// set-membership scan.
 	threads := s.threads[:0]
-	for _, w := range s.cfg.Workloads {
+	steady := true
+	for wi, w := range s.cfg.Workloads {
 		w.Tick(s.now, dt, s.rng)
+		if h := s.hinters[wi]; h == nil || !h.SteadyHint() {
+			steady = false
+		}
 		//mobilint:ignore append into pooled scratch; capacity amortizes across ticks
 		threads = append(threads, w.Threads()...)
 	}
@@ -424,20 +525,38 @@ func (s *Sim) Step() error {
 	// capped — and how deep each cap sits relative to the ladder top —
 	// so placement steers backlog toward the cool ones with
 	// headroom-aware capacity.
-	for i, ci := range s.coreCluster {
-		throttling := s.net.Throttling(ci)
-		s.capped[i] = throttling
-		if throttling && s.clusterFmax[ci] > 0 {
-			s.capScale[i] = float64(s.net.CapFreq(ci)) / s.clusterFmax[ci]
-		} else {
-			s.capScale[i] = 1
+	if g := s.net.CapGen(); g != s.prGen {
+		s.prGen = g
+		for i, ci := range s.coreCluster {
+			throttling := s.net.Throttling(ci)
+			s.capped[i] = throttling
+			if throttling && s.clusterFmax[ci] > 0 {
+				s.capScale[i] = float64(s.net.CapFreq(ci)) / s.clusterFmax[ci]
+			} else {
+				s.capScale[i] = 1
+			}
 		}
 	}
 	pool := sched.Unlimited
 	if s.quota < 1 {
 		pool = s.quotaPool
 	}
-	res, err := s.sch.ScheduleThermalInto(s.busySec, s.cpu, threads, dt, pool, sched.Pressure{Capped: s.capped, CapScale: s.capScale})
+	// The +1 keeps the tag nonzero (zero means untagged): a fresh network's
+	// cap generation starts at 0, and equality is all the tag carries.
+	pr := sched.Pressure{Capped: s.capped, CapScale: s.capScale, Gen: s.prGen + 1}
+
+	// Quiescent fast path: when a retained window provably reproduces
+	// this tick's scheduling decision and its CPU-side inputs are vouched
+	// unchanged, replay it and fuse the memoized integration tail.
+	if idx := s.memo.Match(threads, steady, pool, pr); idx >= 0 && s.fast[idx].valid {
+		return s.stepFast(dt, idx)
+	}
+
+	rec := &s.memo
+	if s.cfg.NoFuse {
+		rec = nil
+	}
+	res, err := s.sch.ScheduleRecordInto(rec, s.satRate, s.busySec, s.snap, s.cpu, threads, dt, pool, pr)
 	if err != nil {
 		return fmt.Errorf("sim: scheduling at %v: %w", s.now, err)
 	}
@@ -450,9 +569,19 @@ func (s *Sim) Step() error {
 	}
 
 	// 3. Power and thermal integration. The load and snapshot slices are
-	// fixed-size scratch; every entry is rewritten below.
-	snap := s.cpu.SnapshotInto(s.snap)
-	s.snap = snap
+	// fixed-size scratch; every entry is rewritten below. When the
+	// scheduler armed the memo, capture the integration tail alongside so
+	// replay ticks skip the snapshot/load/model evaluation entirely.
+	recording := rec != nil && s.memo.Armed()
+	var f *fastState
+	if recording {
+		f = &s.fast[s.memo.ArmedSlot()]
+	}
+	// The snapshot mirror is current: the scheduler wrote each online
+	// core's post-run Active/Idle state into it, and frequencies/online
+	// masks only move through applyFrequencies and samplePolicy, which
+	// both refresh it — so no locked snapshot is needed here.
+	snap := s.snap
 	loads := s.loads
 	util := res.UtilizationInto(s.util, dt)
 	s.util = util
@@ -465,17 +594,31 @@ func (s *Sim) Step() error {
 			OPP:   soc.OPP{Freq: c.Freq, Volt: c.Volt},
 			Util:  util[i],
 		}
+		if recording {
+			f.winInc[i] = 0
+		}
 		if c.State != soc.StateOffline {
 			onlineCount++
 			freqAcc += float64(c.Freq)
 			overall += util[i]
-			s.winBusySec[i] += util[i] * dt.Seconds()
+			inc := util[i] * dts
+			s.winBusySec[i] += inc
+			if recording {
+				f.winInc[i] = inc
+			}
 		}
 	}
 	base, per := s.model.SystemWattsByCluster(loads, s.clusterWatts)
 	watts := base
 	for _, w := range per {
 		watts += w
+	}
+	if recording {
+		f.watts, f.base = watts, base
+		copy(f.per, per)
+		f.online = onlineCount
+		f.avgFreq, f.avgUtil = 0, 0
+		f.valid = true
 	}
 	if err := s.mon.Observe(s.now, watts, dt); err != nil {
 		return fmt.Errorf("sim: power observation: %w", err)
@@ -490,27 +633,37 @@ func (s *Sim) Step() error {
 	floorShare := base / float64(len(per))
 	for ci := range per {
 		s.zoneWatts[ci] = per[ci] + floorShare
-		s.clusterEnergyJ[ci] += per[ci] * dt.Seconds()
+		s.clusterEnergyJ[ci] += per[ci] * dts
 	}
 	if err := s.net.Step(s.zoneWatts, dt); err != nil {
 		return fmt.Errorf("sim: thermal integration: %w", err)
 	}
 	for ci := range per {
 		if s.net.Throttling(ci) {
-			s.clusterThermalSec[ci] += dt.Seconds()
-			s.thermalSec += dt.Seconds()
+			s.clusterThermalSec[ci] += dts
+			s.thermalSec += dts
 		}
 		s.clusterTempSum[ci].Add(s.net.TempC(ci))
 	}
-	// Thermal driver acts between governor samples: re-clamp requests.
-	if err := s.applyFrequencies(); err != nil {
-		return err
+	// Thermal driver acts between governor samples: re-clamp requests,
+	// needed only on the rare tick where a zone's cap actually moved.
+	if s.net.CapGen() != s.capGen {
+		if err := s.applyFrequencies(); err != nil {
+			return err
+		}
 	}
 
-	// Run-wide accounting (tick-weighted).
+	// Run-wide accounting (tick-weighted). The online averages are
+	// computed once and shared with the memo so replay ticks add the
+	// bit-identical values.
 	if onlineCount > 0 {
-		s.freqSum.Add(freqAcc / float64(onlineCount))
-		s.utilSum.Add(overall / float64(onlineCount))
+		avgF := freqAcc / float64(onlineCount)
+		avgU := overall / float64(onlineCount)
+		s.freqSum.Add(avgF)
+		s.utilSum.Add(avgU)
+		if recording {
+			f.avgFreq, f.avgUtil = avgF, avgU
+		}
 	}
 	s.coreSum.Add(float64(onlineCount))
 	s.quotaSum.Add(s.quota)
@@ -528,6 +681,85 @@ func (s *Sim) Step() error {
 	return nil
 }
 
+// stepFast commits one quiescent tick: the retained scheduling window in
+// ring slot idx replays onto the threads and CPU (exact cycle accounting
+// included), and its memoized integration tail feeds the same power,
+// thermal, residency, and accounting updates the slow path would compute —
+// the same float values added in the same order, so every accumulator,
+// series, trace, and downstream report byte stays identical.
+//
+//mobicore:hotpath
+func (s *Sim) stepFast(dt time.Duration, idx int) error {
+	res, err := s.memo.ReplayInto(idx, s.busySec, s.cpu, dt)
+	if err != nil {
+		return fmt.Errorf("sim: scheduling at %v: %w", s.now, err)
+	}
+	s.busySec = res.BusySeconds
+	s.executed += res.ExecutedCycles
+	s.throttledSec += res.ThrottledSeconds
+	s.quotaPool -= res.PoolUsedSec
+	if s.quotaPool < 0 {
+		s.quotaPool = 0
+	}
+
+	f := &s.fast[idx]
+	watts, base, per := f.watts, f.base, f.per
+	if err := s.mon.Observe(s.now, watts, dt); err != nil {
+		return fmt.Errorf("sim: power observation: %w", err)
+	}
+	if s.cfg.PowerTrace != nil {
+		s.cfg.PowerTrace(s.now, dt, watts, per)
+	}
+	floorShare := base / float64(len(per))
+	dts := dt.Seconds()
+	for ci := range per {
+		s.zoneWatts[ci] = per[ci] + floorShare
+		s.clusterEnergyJ[ci] += per[ci] * dts
+	}
+	if err := s.net.Step(s.zoneWatts, dt); err != nil {
+		return fmt.Errorf("sim: thermal integration: %w", err)
+	}
+	for ci := range per {
+		if s.net.Throttling(ci) {
+			s.clusterThermalSec[ci] += dts
+			s.thermalSec += dts
+		}
+		s.clusterTempSum[ci].Add(s.net.TempC(ci))
+	}
+	if s.net.CapGen() != s.capGen {
+		if err := s.applyFrequencies(); err != nil {
+			return err
+		}
+	}
+
+	for i, inc := range f.winInc {
+		s.winBusySec[i] += inc
+	}
+	if f.online > 0 {
+		s.freqSum.Add(f.avgFreq)
+		s.utilSum.Add(f.avgUtil)
+	}
+	s.coreSum.Add(float64(f.online))
+	s.quotaSum.Add(s.quota)
+	s.tempSum.Add(s.net.MaxTempC())
+
+	s.now += dt
+	s.winElapsed += dt
+	s.fastTicks++
+
+	if s.now-s.lastSample >= s.cfg.SamplePeriod {
+		if err := s.samplePolicy(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FastTicks reports how many ticks the quiescent fast path has served this
+// session — an observability hook for tests and benchmarks asserting the
+// path engages (it never changes simulation output).
+func (s *Sim) FastTicks() uint64 { return s.fastTicks }
+
 // samplePolicy runs the manager against the accumulated window and applies
 // its decision. The Input slices are the sim's pooled per-sample scratch:
 // managers receive them for the duration of Decide only and must not retain
@@ -537,8 +769,11 @@ func (s *Sim) samplePolicy() error {
 	period := s.now - s.lastSample
 	s.lastSample = s.now
 
-	snap := s.cpu.SnapshotInto(s.snap)
-	s.snap = snap
+	// The snapshot mirror is current on every field the policy input reads
+	// (online state and programmed frequency — refreshed on every
+	// reprogram, hotplug, and slow tick), so no locked snapshot is needed
+	// before the decision.
+	snap := s.snap
 	in := policy.Input{
 		Now:      s.now,
 		Period:   period,
@@ -612,6 +847,20 @@ func (s *Sim) samplePolicy() error {
 	// Record the sampled series, aggregate and per-cluster.
 	snap = s.cpu.SnapshotInto(s.snap)
 	s.snap = snap
+	// A decision that actually moved a core's online state changes the
+	// scheduling capacity and power inputs outside what the memo
+	// fingerprints: drop every retained window. Frequency moves already
+	// invalidated the CPU-side vouch inside applyFrequencies, and the
+	// quota/pool refill is a per-tick Match input — so a no-op decision
+	// (the steady-state common case) keeps the ring armed straight across
+	// the sample boundary.
+	for i, c := range snap {
+		if (c.State != soc.StateOffline) != in.Online[i] {
+			s.invalidateFast()
+			s.memo.Invalidate()
+			break
+		}
+	}
 	var freqAcc float64
 	online := 0
 	clFreq := f64Buf(s.clFreq, len(s.views))
@@ -669,6 +918,8 @@ func (s *Sim) refillQuota() {
 //
 //mobicore:hotpath
 func (s *Sim) applyFrequencies() error {
+	s.capGen = s.net.CapGen()
+	dirty := false
 	for i, want := range s.requested {
 		f := s.net.Clamp(s.coreCluster[i], want)
 		if s.applied[i] == f {
@@ -678,6 +929,15 @@ func (s *Sim) applyFrequencies() error {
 			return fmt.Errorf("sim: programming core %d to %v: %w", i, f, err)
 		}
 		s.applied[i] = f
+		dirty = true
+	}
+	if dirty {
+		// A reprogrammed core (thermal clamp engaging or releasing between
+		// samples) changes scheduling and power inputs the memo does not
+		// fingerprint: drop every retained window's CPU-side vouch, and
+		// refresh the snapshot mirror the scheduler trusts.
+		s.invalidateFast()
+		s.snap = s.cpu.SnapshotInto(s.snap)
 	}
 	return nil
 }

@@ -119,6 +119,19 @@ func (n *Network) HeadroomC(i int) float64 { return n.zones[i].HeadroomC() }
 // cluster ladder.
 func (n *Network) Clamp(i int, req soc.Hz) soc.Hz { return n.zones[i].Clamp(req) }
 
+// CapGen sums every zone's cap generation: the result changes whenever any
+// zone's throttle cap moves, so per-tick callers can skip re-clamping while
+// it holds still.
+//
+//mobicore:hotpath
+func (n *Network) CapGen() uint64 {
+	var g uint64
+	for _, z := range n.zones {
+		g += z.capGen
+	}
+	return g
+}
+
 // Reset returns every zone to ambient with no cap.
 func (n *Network) Reset() {
 	for _, z := range n.zones {

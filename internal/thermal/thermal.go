@@ -59,6 +59,19 @@ type Zone struct {
 	capIndex   int // index into the OPP table; len-1 means uncapped
 	sinceStep  time.Duration
 	throttling bool
+
+	// alpha caches the exact-integration coefficient 1−e^(−dt/τ) for the
+	// last step size seen. Simulation loops step with a fixed tick, so the
+	// exp evaluation happens once per session instead of once per tick; a
+	// recomputed coefficient for the same dt is the identical float, so
+	// caching never changes a trajectory.
+	alphaDt time.Duration
+	alpha   float64
+
+	// capGen counts cap movements. The simulation compares generations to
+	// skip re-clamping frequencies on the (vast majority of) steps where
+	// the throttle did not move.
+	capGen uint64
 }
 
 // NewZone builds a thermal zone starting at ambient with no cap.
@@ -109,8 +122,11 @@ func (z *Zone) Step(watts float64, dt time.Duration) {
 		return
 	}
 	tss := z.SteadyStateC(watts)
-	alpha := 1 - math.Exp(-dt.Seconds()/z.params.TimeConstant.Seconds())
-	z.tempC += (tss - z.tempC) * alpha
+	if dt != z.alphaDt {
+		z.alphaDt = dt
+		z.alpha = 1 - math.Exp(-dt.Seconds()/z.params.TimeConstant.Seconds())
+	}
+	z.tempC += (tss - z.tempC) * z.alpha
 
 	if z.params.TripC == 0 {
 		return // throttling disabled
@@ -125,16 +141,23 @@ func (z *Zone) Step(watts float64, dt time.Duration) {
 		z.throttling = true
 		if z.capIndex > 0 {
 			z.capIndex--
+			z.capGen++
 		}
 	case z.tempC <= z.params.ReleaseC:
 		z.throttling = false
 		if z.capIndex < z.table.Len()-1 {
 			z.capIndex++
+			z.capGen++
 		}
 	case z.throttling:
 		// Between release and trip while hot: hold the cap.
 	}
 }
+
+// CapGen returns a counter that advances every time the throttle cap moves
+// (in either direction). Callers that cache clamped frequencies can compare
+// generations instead of re-clamping on every step.
+func (z *Zone) CapGen() uint64 { return z.capGen }
 
 // Clamp applies the current cap to a requested frequency, returning the
 // highest allowed operating point at or below the request.
@@ -153,10 +176,12 @@ func (z *Zone) ClampOn(table *soc.OPPTable, req soc.Hz) soc.Hz {
 	return table.FloorFreq(cap).Freq
 }
 
-// Reset returns the zone to ambient with no cap.
+// Reset returns the zone to ambient with no cap. The cap generation
+// advances (the cap may have moved), so generation-caching callers re-clamp.
 func (z *Zone) Reset() {
 	z.tempC = z.params.AmbientC
 	z.capIndex = z.table.Len() - 1
 	z.sinceStep = 0
 	z.throttling = false
+	z.capGen++
 }

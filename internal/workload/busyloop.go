@@ -73,11 +73,15 @@ type BusyLoop struct {
 	cfg        BusyLoopConfig
 	continuous bool    // TargetUtil ≈ 1: spin without idle periods
 	spinCycles float64 // cycles per spin batch when not continuous
+	steady     bool    // last Tick deposited nothing (SteadyHint)
 	loops      []loopState
 	threads    []*sched.Thread
 }
 
-var _ Workload = (*BusyLoop)(nil)
+var (
+	_ Workload     = (*BusyLoop)(nil)
+	_ SteadyHinter = (*BusyLoop)(nil)
+)
 
 // continuousUtil is the utilization at or above which the loop degenerates
 // to continuous spinning: the thread keeps a standing backlog instead of
@@ -131,9 +135,15 @@ func (b *BusyLoop) SpinCycles() float64 { return b.spinCycles }
 // Continuous reports whether the loop spins without idle periods.
 func (b *BusyLoop) Continuous() bool { return b.continuous }
 
+// SteadyHint implements SteadyHinter: true when the last Tick deposited no
+// work — mid-batch spinning and idle-timer countdowns leave demand exactly
+// as the scheduler left it, which is most ticks of a duty-cycled loop.
+func (b *BusyLoop) SteadyHint() bool { return b.steady }
+
 // Tick implements Workload: advance each thread's spin/idle state machine.
 func (b *BusyLoop) Tick(now, dt time.Duration, rng *rand.Rand) {
 	_ = rng // the kernel app is deterministic
+	b.steady = true
 	for i := range b.loops {
 		l := &b.loops[i]
 		if b.continuous {
@@ -141,6 +151,7 @@ func (b *BusyLoop) Tick(now, dt time.Duration, rng *rand.Rand) {
 			top := float64(b.cfg.RefFreq)
 			if l.thread.Pending() < top/2 {
 				l.thread.AddWork(top - l.thread.Pending())
+				b.steady = false
 			}
 			continue
 		}
@@ -158,6 +169,7 @@ func (b *BusyLoop) Tick(now, dt time.Duration, rng *rand.Rand) {
 				if b.cfg.TargetUtil > 0 {
 					l.thread.AddWork(b.spinCycles)
 					l.phase = phaseSpinning
+					b.steady = false
 				} else {
 					l.timer = b.cfg.IdlePeriod // 0% target: idle forever
 				}

@@ -29,6 +29,21 @@ type Workload interface {
 	Done() bool
 }
 
+// SteadyHinter is an optional Workload refinement for the engine's
+// quiescent-tick fast path. After each Tick the workload reports whether
+// that Tick left demand untouched: no thread gained or shed pending cycles
+// and the thread set did not change (scheduler execution draining threads
+// does not count — only the workload's own deposits). When every workload in
+// a session hints steady, the engine skips the per-thread runnable-set
+// compare; workloads whose demand depends on randomness or frame pacing
+// simply do not implement the interface and fall back to the full compare.
+// A workload must only return true when the contract genuinely holds — the
+// engine trusts the hint.
+type SteadyHinter interface {
+	// SteadyHint reports whether the most recent Tick changed no demand.
+	SteadyHint() bool
+}
+
 // ExecutedCycles sums executed cycles across a workload's threads.
 func ExecutedCycles(w Workload) float64 {
 	var total float64
