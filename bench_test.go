@@ -19,6 +19,7 @@ import (
 	"mobicore/internal/platform"
 	"mobicore/internal/policy"
 	"mobicore/internal/power"
+	"mobicore/internal/scenario"
 	"mobicore/internal/sim"
 	"mobicore/internal/workload"
 )
@@ -506,6 +507,40 @@ func BenchmarkPerTickNexus6P(b *testing.B) {
 		b.Fatal(err)
 	}
 	perTick(b, plat, mgr, 4)
+}
+
+// BenchmarkScenarioTick measures the per-tick cost of the phase-switching
+// day-in-the-life scenario under the full MobiCore manager: segment
+// bookkeeping, lazy thread fan-out, and the steady-hint handshake with the
+// quiescent-tick fast path. The fast-tick-ratio metric shows how much of a
+// synthetic user's day fuses (screen-off idle should; bursts must not).
+func BenchmarkScenarioTick(b *testing.B) {
+	plat := platform.Nexus5()
+	mgr, err := core.NewWithModel(plat.Table, core.DefaultTunables(), nexus5Model(b, plat))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := scenario.FromProfile(scenario.DayInTheLife())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sim.New(sim.Config{Platform: plat, Manager: mgr, Workloads: []workload.Workload{w}, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Reserve(100*time.Millisecond + time.Duration(b.N)*time.Millisecond)
+	if _, err := s.Run(100 * time.Millisecond); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	fastStart := s.FastTicks()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(s.FastTicks()-fastStart)/float64(b.N), "fast-tick-ratio")
 }
 
 // BenchmarkPlaceEAS measures the per-tick cost of the EAS placement hot

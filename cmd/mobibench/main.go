@@ -27,7 +27,7 @@ func main() {
 func run() int {
 	scale := flag.Float64("scale", 1.0, "session duration multiplier (1.0 = paper timings)")
 	seed := flag.Int64("seed", 42, "workload randomness seed")
-	seeds := flag.Int("seeds", 1, "consecutive seeds for the fleet-driven experiments (biglittle, easplace, sustained); >1 appends cross-seed 95% CIs and paired deltas")
+	seeds := flag.Int("seeds", 1, "consecutive seeds for the fleet-driven experiments (biglittle, easplace, sustained, dayinlife); >1 appends cross-seed 95% CIs and paired deltas")
 	parallel := flag.Int("parallel", 0, "fleet worker pool for multi-cell experiments (0 = GOMAXPROCS)")
 	asJSON := flag.Bool("json", false, "emit results as JSON documents instead of text")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")

@@ -7,6 +7,18 @@
 //	mobifleet -platforms nexus6p,sd855 -policies schedutil+load -scheds greedy,eas -dur 30s
 //	mobifleet -seeds 8 -parallel 4 -json -dur 10s
 //
+// Scenario workloads (see cmd/mobitrace for the trace generator):
+//
+//	mobifleet -workload scenario -scenario dayinlife -seeds 20 -dur 1m
+//	mobifleet -policies pin-max+mpdecision,ondemand+offline -trace traces/dayinlife-s17.jsonl -dur 1m
+//	mobifleet -trace-dir traces/ -store out/ -dur 1m
+//
+// -workload scenario walks the profile live off each cell's session rng, so
+// the seed axis fans out into distinct synthetic users; -trace / -trace-dir
+// replay recorded JSONL traces instead (one workload column per trace),
+// which is how a fleet sweep of thousands of users stays exactly
+// reproducible cell by cell.
+//
 // -seeds N runs every cell at N consecutive seeds starting from -seed;
 // the report aggregates mean/stddev/min/max/p50/p95 — plus the mean's 95%
 // confidence interval — of energy, FPS, drop rate, and throttle residency
@@ -54,6 +66,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -77,11 +90,14 @@ func run() int {
 		seed      = flag.Int64("seed", 1, "first workload randomness seed")
 		parallel  = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 		dur       = flag.Duration("dur", 30*time.Second, "session duration (simulated) per cell")
-		wlName    = flag.String("workload", "busyloop", "workload: busyloop, game, geekbench")
+		wlName    = flag.String("workload", "busyloop", "workload: busyloop, game, geekbench, scenario")
 		util      = flag.Float64("util", 0.5, "busyloop target utilization [0,1]")
 		threads   = flag.Int("threads", 4, "busyloop/geekbench thread count")
 		gameName  = flag.String("game", "Subway Surf", "game title for -workload game")
 		iters     = flag.Int("iterations", 3, "geekbench iterations per thread")
+		scenName  = flag.String("scenario", "dayinlife", "scenario profile for -workload scenario (generator mode: each seed is a distinct synthetic user)")
+		traceFile = flag.String("trace", "", "replay one recorded scenario trace (JSONL) as the workload")
+		traceDir  = flag.String("trace-dir", "", "replay every *.jsonl scenario trace in this directory, one workload column per trace")
 		asJSON    = flag.Bool("json", false, "emit the fleet result as a JSON document")
 		list      = flag.Bool("list", false, "list platforms, policies, scheds, and games")
 		storeDir  = flag.String("store", "", "persistent result store directory (JSONL per cell, merged across runs)")
@@ -113,8 +129,10 @@ func run() int {
 	if *list {
 		fmt.Println("platforms: ", mobicore.Platforms())
 		fmt.Println("policies:  ", mobicore.Policies(), `plus "<governor>+<hotplug>"; "all" =`, allPolicies())
+		fmt.Println("hotplugs:  ", mobicore.Hotplugs())
 		fmt.Println("scheds:    ", mobicore.Scheds())
 		fmt.Println("games:     ", mobicore.GameNames())
+		fmt.Println("scenarios: ", mobicore.ScenarioProfiles())
 		return 0
 	}
 
@@ -196,7 +214,7 @@ func run() int {
 		return 1
 	}
 
-	wl, err := workloadFactory(*wlName, *util, *threads, *gameName, *iters)
+	wls, err := workloadFactories(*wlName, *scenName, *util, *threads, *gameName, *iters, *traceFile, *traceDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mobifleet:", err)
 		return 1
@@ -227,7 +245,7 @@ func run() int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	res, err := mobicore.RunFleet(ctx, cfg, wl)
+	res, err := mobicore.RunFleet(ctx, cfg, wls...)
 	canceled := errors.Is(err, context.Canceled)
 	if err != nil && !canceled {
 		fmt.Fprintln(os.Stderr, "mobifleet:", err)
@@ -276,16 +294,85 @@ func writeCSV(res *mobicore.FleetResult, path string) error {
 	return f.Close()
 }
 
-// allPolicies is what "-policies all" expands to: the named stacks plus
-// the stock per-cluster governor stacks the paper's comparisons run
-// against (ondemand+load is android-default, so it is not repeated).
+// allPolicies is what "-policies all" expands to: the named stacks, the
+// stock per-cluster governor stacks the paper's comparisons run against
+// (ondemand+load is android-default, so it is not repeated), and the two
+// blunt baselines the scenario experiments rank — max pinning with hotplug
+// disabled and ondemand with the load-packing offliner.
 func allPolicies() []string {
 	return append(mobicore.Policies(),
-		"conservative+load", "interactive+load", "schedutil+load")
+		"conservative+load", "interactive+load", "schedutil+load",
+		"pin-max+mpdecision", "ondemand+offline")
+}
+
+// workloadFactories resolves the workload flags into the fleet's workload
+// dimension: recorded-trace replays (one column per trace) when -trace or
+// -trace-dir is set, otherwise the single recipe -workload names.
+func workloadFactories(name, scen string, util float64, threads int, game string, iters int, traceFile, traceDir string) ([]mobicore.FleetWorkload, error) {
+	if traceDir != "" {
+		entries, err := os.ReadDir(traceDir)
+		if err != nil {
+			return nil, err
+		}
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".jsonl") {
+				names = append(names, e.Name())
+			}
+		}
+		natsort.Strings(names)
+		out := make([]mobicore.FleetWorkload, 0, len(names))
+		for _, n := range names {
+			wl, err := traceFactory(filepath.Join(traceDir, n))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, wl)
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("no *.jsonl scenario traces in %s", traceDir)
+		}
+		return out, nil
+	}
+	if traceFile != "" {
+		wl, err := traceFactory(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		return []mobicore.FleetWorkload{wl}, nil
+	}
+	wl, err := workloadFactory(name, scen, util, threads, game, iters)
+	if err != nil {
+		return nil, err
+	}
+	return []mobicore.FleetWorkload{wl}, nil
+}
+
+// traceFactory builds a replay workload column from one recorded scenario
+// trace. The file's base name labels the column, so a directory of
+// per-seed exports ("dayinlife-s17.jsonl") keeps every cell distinct.
+func traceFactory(path string) (mobicore.FleetWorkload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return mobicore.FleetWorkload{}, err
+	}
+	tr, err := mobicore.ReadScenarioTrace(f)
+	f.Close()
+	if err != nil {
+		return mobicore.FleetWorkload{}, fmt.Errorf("%s: %w", path, err)
+	}
+	name := strings.TrimSuffix(filepath.Base(path), ".jsonl")
+	return mobicore.NewFleetWorkload(name, func() ([]mobicore.Workload, error) {
+		w, err := mobicore.NewScenarioReplay(tr)
+		if err != nil {
+			return nil, err
+		}
+		return []mobicore.Workload{w}, nil
+	}), nil
 }
 
 // workloadFactory builds the per-cell workload recipe from the flags.
-func workloadFactory(name string, util float64, threads int, game string, iters int) (mobicore.FleetWorkload, error) {
+func workloadFactory(name, scen string, util float64, threads int, game string, iters int) (mobicore.FleetWorkload, error) {
 	switch name {
 	case "busyloop":
 		// Validate once, up front, instead of once per cell.
@@ -323,8 +410,20 @@ func workloadFactory(name string, util float64, threads int, game string, iters 
 				}
 				return []mobicore.Workload{gb}, nil
 			}), nil
+	case "scenario":
+		if _, err := mobicore.NewScenario(scen); err != nil {
+			return mobicore.FleetWorkload{}, err
+		}
+		return mobicore.NewFleetWorkload("scenario-"+scen,
+			func() ([]mobicore.Workload, error) {
+				w, err := mobicore.NewScenario(scen)
+				if err != nil {
+					return nil, err
+				}
+				return []mobicore.Workload{w}, nil
+			}), nil
 	}
-	return mobicore.FleetWorkload{}, fmt.Errorf("unknown workload %q (want busyloop, game, geekbench)", name)
+	return mobicore.FleetWorkload{}, fmt.Errorf("unknown workload %q (want busyloop, game, geekbench, scenario)", name)
 }
 
 // parseShard parses "-shard i/n" into a 0-based index and a shard count.

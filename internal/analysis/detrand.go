@@ -13,7 +13,7 @@ import (
 // fixtures match too).
 var DeterministicPkgs = []string{
 	"sim", "fleet", "fleet/shard", "fleet/store", "metrics", "experiment",
-	"sched", "soc",
+	"sched", "scenario", "soc",
 }
 
 // wallClockFuncs are the time-package functions that read the wall clock

@@ -128,6 +128,8 @@ func New(name string, table *soc.OPPTable) (Governor, error) {
 		return NewUserspace(table)
 	case "schedutil":
 		return NewSchedutil(table, DefaultSchedutilTunables())
+	case "pin-min", "pin-mid", "pin-max":
+		return NewPin(table, PinLevel(name[len("pin-"):]))
 	}
 	regMu.RLock()
 	f, ok := registry[name]
@@ -149,9 +151,9 @@ func StockNames() []string {
 func Names() []string {
 	regMu.RLock()
 	defer regMu.RUnlock()
-	names := make([]string, 0, len(registry)+7)
+	names := make([]string, 0, len(registry)+10)
 	names = append(names, StockNames()...)
-	names = append(names, "schedutil")
+	names = append(names, "schedutil", "pin-min", "pin-mid", "pin-max")
 	for n := range registry {
 		names = append(names, n)
 	}

@@ -1,0 +1,67 @@
+package cpufreq
+
+import (
+	"fmt"
+
+	"mobicore/internal/soc"
+)
+
+// PinLevel selects which operating point a Pin governor holds.
+type PinLevel string
+
+// Pin levels: the table's lowest point, the median point, and the highest.
+const (
+	PinMin PinLevel = "min"
+	PinMid PinLevel = "mid"
+	PinMax PinLevel = "max"
+)
+
+// Pin is the userspace min=max pinning idiom as a governor: it programs one
+// fixed operating point and never moves, the scripted
+// `scaling_min_freq == scaling_max_freq` baseline phone-energy debuggers
+// sweep against. Unlike Userspace it carries the level in its name, so
+// "pin-max+mpdecision" is a self-describing policy stack and distinct fleet
+// cells don't alias under one "userspace" label.
+type Pin struct {
+	level PinLevel
+	freq  soc.Hz
+}
+
+var _ Governor = (*Pin)(nil)
+
+// NewPin builds a pinning governor holding the level's operating point; mid
+// is the table's median row.
+func NewPin(table *soc.OPPTable, level PinLevel) (*Pin, error) {
+	if table == nil || table.Len() == 0 {
+		return nil, soc.ErrEmptyTable
+	}
+	var f soc.Hz
+	switch level {
+	case PinMin:
+		f = table.Min().Freq
+	case PinMid:
+		f = table.At(table.Len() / 2).Freq
+	case PinMax:
+		f = table.Max().Freq
+	default:
+		return nil, fmt.Errorf("cpufreq: unknown pin level %q (want min, mid, or max)", level)
+	}
+	return &Pin{level: level, freq: f}, nil
+}
+
+// Name implements Governor.
+func (g *Pin) Name() string { return "pin-" + string(g.level) }
+
+// Freq returns the pinned operating point.
+func (g *Pin) Freq() soc.Hz { return g.freq }
+
+// Target implements Governor.
+func (g *Pin) Target(in Input) ([]soc.Hz, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return uniformTargets(len(in.Util), g.freq), nil
+}
+
+// Reset implements Governor.
+func (g *Pin) Reset() {}

@@ -1,0 +1,74 @@
+package cpufreq
+
+import (
+	"testing"
+
+	"mobicore/internal/soc"
+)
+
+// TestPinLevels: each level resolves to the right operating point and holds
+// it regardless of utilization.
+func TestPinLevels(t *testing.T) {
+	tbl := table(t)
+	cases := map[PinLevel]soc.Hz{
+		PinMin: tbl.Min().Freq,
+		PinMid: tbl.At(tbl.Len() / 2).Freq,
+		PinMax: tbl.Max().Freq,
+	}
+	for level, want := range cases {
+		g, err := NewPin(tbl, level)
+		if err != nil {
+			t.Fatalf("NewPin(%s): %v", level, err)
+		}
+		if g.Name() != "pin-"+string(level) {
+			t.Errorf("name = %q, want pin-%s", g.Name(), level)
+		}
+		if g.Freq() != want {
+			t.Errorf("pin-%s freq = %v, want %v", level, g.Freq(), want)
+		}
+		for _, utils := range [][]float64{{0, 0, 0, 0}, {1, 1, 1, 1}} {
+			in := input(t, utils, []soc.Hz{want, want, want, want})
+			targets, err := g.Target(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, f := range targets {
+				if f != want {
+					t.Errorf("pin-%s core %d target = %v under util %v, want %v", level, i, f, utils[i], want)
+				}
+			}
+		}
+		g.Reset() // must be a no-op; the pin survives
+		if g.Freq() != want {
+			t.Errorf("pin-%s freq after Reset = %v, want %v", level, g.Freq(), want)
+		}
+	}
+}
+
+// TestPinByName: the pin governors resolve through New and appear in Names.
+func TestPinByName(t *testing.T) {
+	for _, name := range []string{"pin-min", "pin-mid", "pin-max"} {
+		g, err := New(name, table(t))
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if g.Name() != name {
+			t.Errorf("governor %q reports name %q", name, g.Name())
+		}
+		found := false
+		for _, n := range Names() {
+			if n == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%q missing from Names()", name)
+		}
+	}
+	if _, err := NewPin(table(t), "low"); err == nil {
+		t.Error("unknown pin level accepted")
+	}
+	if _, err := NewPin(nil, PinMax); err == nil {
+		t.Error("nil table accepted")
+	}
+}

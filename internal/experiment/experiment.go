@@ -85,6 +85,7 @@ type Runner func(Options) (Result, error)
 func runners() map[string]Runner {
 	return map[string]Runner{
 		"biglittle": RunBigLittle,
+		"dayinlife": RunDayInLife,
 		"easplace":  RunEASPlace,
 		"sustained": RunSustained,
 		"table1":    RunTable1,

@@ -20,8 +20,8 @@ func TestIDsStableAndComplete(t *testing.T) {
 	ids := IDs()
 	// Natural order: figures follow the paper's numbering (fig2 before
 	// fig10), named experiments sort lexically around them.
-	want := []string{"biglittle", "easplace", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
-		"fig7", "fig9a", "fig9b", "fig10", "fig11", "fig12", "fig13", "static", "sustained",
+	want := []string{"biglittle", "dayinlife", "easplace", "fig1", "fig2", "fig3", "fig4", "fig5",
+		"fig6", "fig7", "fig9a", "fig9b", "fig10", "fig11", "fig12", "fig13", "static", "sustained",
 		"table1", "table2"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v, want %v", ids, want)

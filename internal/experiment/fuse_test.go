@@ -17,6 +17,7 @@ func TestFusedMatchesNoFuseOnGoldens(t *testing.T) {
 		scale float64
 	}{
 		{"biglittle", 0.05},
+		{"dayinlife", 0.05},
 		{"easplace", 0.05},
 		{"sustained", 0.2},
 	}

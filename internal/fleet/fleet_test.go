@@ -12,6 +12,7 @@ import (
 	"mobicore/internal/games"
 	"mobicore/internal/platform"
 	"mobicore/internal/policy"
+	"mobicore/internal/scenario"
 	"mobicore/internal/sim"
 	"mobicore/internal/workload"
 )
@@ -41,6 +42,26 @@ func busyFactory(util float64, threads int) WorkloadFactory {
 				Threads:    threads,
 				RefFreq:    2265600000,
 			})
+			if err != nil {
+				return nil, err
+			}
+			return []workload.Workload{w}, nil
+		},
+	}
+}
+
+// scenarioFactory builds a fresh generator-mode day-in-the-life workload
+// per cell; the phase walk draws from each cell's session rng, so the seed
+// axis of the matrix fans out into distinct synthetic users.
+func scenarioFactory(profile string) WorkloadFactory {
+	return WorkloadFactory{
+		Name: "scenario-" + profile,
+		New: func() ([]workload.Workload, error) {
+			prof, err := scenario.ProfileByName(profile)
+			if err != nil {
+				return nil, err
+			}
+			w, err := scenario.FromProfile(prof)
 			if err != nil {
 				return nil, err
 			}

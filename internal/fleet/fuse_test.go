@@ -23,7 +23,7 @@ import (
 func fuseSpec(t *testing.T, par int, noFuse bool, storeDir, traceDir string) Spec {
 	t.Helper()
 	rng := rand.New(rand.NewSource(0xf05e))
-	workloads := []WorkloadFactory{gameFactory(t)}
+	workloads := []WorkloadFactory{gameFactory(t), scenarioFactory("dayinlife")}
 	for i := 0; i < 3; i++ {
 		util := 0.15 + 0.7*rng.Float64()
 		threads := 1 + rng.Intn(6)

@@ -180,6 +180,172 @@ func TestLoadHoldTimeDampsOscillation(t *testing.T) {
 	}
 }
 
+func TestOfflinerTunablesValidate(t *testing.T) {
+	if err := DefaultOfflinerTunables().Validate(); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	bad := []OfflinerTunables{
+		{TargetUtil: 0, MinOnline: 1, HoldTime: 0},
+		{TargetUtil: 1.2, MinOnline: 1, HoldTime: 0},
+		{TargetUtil: 0.6, MinOnline: 0, HoldTime: 0},
+		{TargetUtil: 0.6, MinOnline: 1, HoldTime: -time.Second},
+	}
+	for i, tun := range bad {
+		if err := tun.Validate(); err == nil {
+			t.Errorf("bad tunables %d accepted", i)
+		}
+	}
+	if _, err := NewOffliner(OfflinerTunables{}); err == nil {
+		t.Error("NewOffliner with zero tunables accepted")
+	}
+}
+
+// TestOfflinerJumpsDirect: unlike the ±1 load policy, the offliner sizes
+// the online set from aggregate demand in one decision — screen-off on four
+// cores goes straight to the floor.
+func TestOfflinerJumpsDirect(t *testing.T) {
+	p, err := NewOffliner(DefaultOfflinerTunables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.TargetCores(input([]float64{0.05, 0.05, 0.05, 0.05}, allOnline(4), time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("near-idle 4-core target = %d, want direct jump to 1", got)
+	}
+	p.Reset()
+	// Aggregate load 2.0 at 60% per-core target needs ceil(2/0.6) = 4.
+	got, err = p.TargetCores(input([]float64{1, 1, 0, 0}, []bool{true, true, false, false}, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Errorf("saturated 2-core target = %d, want 4", got)
+	}
+}
+
+// TestOfflinerSingleCoreFloor: with one core online and zero demand the
+// policy must hold the single-online-core floor, never 0.
+func TestOfflinerSingleCoreFloor(t *testing.T) {
+	p, err := NewOffliner(DefaultOfflinerTunables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := input([]float64{0, 0, 0, 0}, []bool{true, false, false, false}, time.Second)
+	got, err := p.TargetCores(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("idle single-core target = %d, want 1 (cannot offline the last core)", got)
+	}
+	// A raised floor is honored even when demand would pack tighter.
+	tun := DefaultOfflinerTunables()
+	tun.MinOnline = 2
+	p2, err := NewOffliner(tun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = p2.TargetCores(input([]float64{0, 0, 0, 0}, allOnline(4), time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("idle target with MinOnline=2 = %d, want 2", got)
+	}
+}
+
+// TestOfflinerClampsToPhysicalCores: demand beyond the chip caps at the
+// core count.
+func TestOfflinerClampsToPhysicalCores(t *testing.T) {
+	tun := DefaultOfflinerTunables()
+	tun.TargetUtil = 0.10
+	p, err := NewOffliner(tun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.TargetCores(input([]float64{1, 1}, allOnline(2), time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("overloaded target = %d, want clamp to 2", got)
+	}
+}
+
+// TestOfflinerHoldTimeDampsOscillation mirrors the load policy's hold
+// semantics.
+func TestOfflinerHoldTimeDampsOscillation(t *testing.T) {
+	p, err := NewOffliner(DefaultOfflinerTunables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.TargetCores(input([]float64{0, 0, 0, 0}, allOnline(4), 50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("first decision = %d, want 1", got)
+	}
+	// Inside the hold window a burst is ignored.
+	burst := input([]float64{1, 0, 0, 0}, []bool{true, false, false, false}, 100*time.Millisecond)
+	got, err = p.TargetCores(burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("inside hold window target = %d, want hold at 1", got)
+	}
+	// Past the hold window the burst onlines cores again.
+	burst.Now = 200 * time.Millisecond
+	got, err = p.TargetCores(burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("post-hold target = %d, want 2 (ceil(1.0/0.6) = 2)", got)
+	}
+	p.Reset()
+	// After reset the hold timer must not block an immediate action.
+	got, err = p.TargetCores(input([]float64{0, 0, 0, 0}, allOnline(4), 210*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("post-reset target = %d, want 1", got)
+	}
+}
+
+// TestMPDecisionDisabledHandoff: while mpdecision runs, idle cores stay
+// protected; once it is disabled (the thesis does this over adb) a DCS
+// policy taking over the same observations may offline them at its first
+// decision.
+func TestMPDecisionDisabledHandoff(t *testing.T) {
+	idle := input([]float64{0.02, 0.02, 0.02, 0.02}, allOnline(4), time.Second)
+	var mp MPDecision
+	got, err := mp.TargetCores(idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Fatalf("mpdecision idle target = %d, want 4", got)
+	}
+	successor, err := NewOffliner(DefaultOfflinerTunables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	successor.Reset() // fresh takeover: no inherited hold timer
+	got, err = successor.TargetCores(idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("handoff first decision = %d, want 1", got)
+	}
+}
+
 func TestLoadReset(t *testing.T) {
 	p, err := NewLoad(DefaultLoadTunables())
 	if err != nil {

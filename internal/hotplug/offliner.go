@@ -1,0 +1,97 @@
+package hotplug
+
+import (
+	"errors"
+	"math"
+	"time"
+)
+
+// OfflinerTunables configure the load-packing offliner.
+type OfflinerTunables struct {
+	// TargetUtil is the per-core utilization the policy packs toward: the
+	// online count is the smallest that keeps average load at or below it.
+	TargetUtil float64
+	// MinOnline is the floor on online cores, >= 1.
+	MinOnline int
+	// HoldTime is the minimum interval between consecutive hotplug
+	// actions.
+	HoldTime time.Duration
+}
+
+// DefaultOfflinerTunables pack toward 60% per-core load with a one-core
+// floor and the usual 100 ms hold.
+func DefaultOfflinerTunables() OfflinerTunables {
+	return OfflinerTunables{TargetUtil: 0.60, MinOnline: 1, HoldTime: 100 * time.Millisecond}
+}
+
+// Validate rejects nonsensical tunables.
+func (t OfflinerTunables) Validate() error {
+	if t.TargetUtil <= 0 || t.TargetUtil > 1 {
+		return errors.New("hotplug: TargetUtil must be in (0,1]")
+	}
+	if t.MinOnline < 1 {
+		return errors.New("hotplug: MinOnline must be >= 1")
+	}
+	if t.HoldTime < 0 {
+		return errors.New("hotplug: HoldTime must be non-negative")
+	}
+	return nil
+}
+
+// Offliner is a load-packing DCS policy: it sizes the online set directly
+// from total demand instead of stepping one core at a time. Each sample it
+// computes the aggregate load (overall utilization × online cores) and
+// targets the fewest cores that keep average load at or below TargetUtil —
+// jumping straight from 4 cores to 1 when the screen goes dark, the way
+// energy-debugger core controllers offline whole banks at once rather than
+// walking down through the ±1 thresholds.
+type Offliner struct {
+	tun        OfflinerTunables
+	lastChange time.Duration
+	armed      bool
+}
+
+var _ Policy = (*Offliner)(nil)
+
+// NewOffliner builds the load-packing offliner.
+func NewOffliner(tun OfflinerTunables) (*Offliner, error) {
+	if err := tun.Validate(); err != nil {
+		return nil, err
+	}
+	return &Offliner{tun: tun}, nil
+}
+
+// Name implements Policy.
+func (g *Offliner) Name() string { return "offline" }
+
+// TargetCores implements Policy.
+func (g *Offliner) TargetCores(in Input) (int, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	cur := in.OnlineCount()
+	if g.armed && in.Now-g.lastChange < g.tun.HoldTime {
+		return cur, nil
+	}
+	// Aggregate demand in core-equivalents, then the fewest cores that
+	// carry it at TargetUtil each.
+	load := in.OverallUtil() * float64(cur)
+	target := int(math.Ceil(load / g.tun.TargetUtil))
+	if floor := g.tun.MinOnline; target < floor {
+		target = floor
+	}
+	if n := len(in.Online); target > n {
+		target = n
+	}
+	if target != cur {
+		g.lastChange = in.Now
+		g.armed = true
+	}
+	return target, nil
+}
+
+// Reset implements Policy.
+func (g *Offliner) Reset() {
+	g.lastChange = 0
+	g.armed = false
+}

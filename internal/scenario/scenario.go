@@ -1,0 +1,214 @@
+// Package scenario models a phone user's day as a phase-switching demand
+// process: interactive bursts, app switches, steady foreground use,
+// screen-off idle, and ephemeral background wakeups — the bursty
+// many-short-task regime MobiCore's dynamic core scaling story (§2.2.2)
+// targets, rather than the steady game/benchmark loops the rest of the
+// workload package provides. A seeded Generator walks a Profile's phase
+// graph into a replayable Trace (JSONL on disk, see trace.go), and
+// Workload drives either a stored trace or a live generator walk through
+// the engine's workload interface.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Phase is one of the five user-behavior states.
+type Phase uint8
+
+const (
+	// PhaseInteractive is a touch-driven burst: high demand fanned over
+	// several threads for a short spell (scrolling, typing, launching).
+	PhaseInteractive Phase = iota
+	// PhaseAppSwitch is the cold/warm app-switch transient: near-peak
+	// demand for well under a second.
+	PhaseAppSwitch
+	// PhaseForeground is steady foreground use: moderate demand, the
+	// reading/watching plateau between interactions.
+	PhaseForeground
+	// PhaseIdle is screen-off idle: zero demand, the only phase a
+	// scenario workload may hint steady in.
+	PhaseIdle
+	// PhaseWakeup is an ephemeral background wakeup inside an idle
+	// stretch: a sync or push notification on one or two threads.
+	PhaseWakeup
+
+	numPhases = 5
+)
+
+var phaseNames = [numPhases]string{
+	PhaseInteractive: "interactive",
+	PhaseAppSwitch:   "appswitch",
+	PhaseForeground:  "foreground",
+	PhaseIdle:        "idle",
+	PhaseWakeup:      "wakeup",
+}
+
+// String returns the phase's trace-format name.
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// ParsePhase resolves a trace-format phase name.
+func ParsePhase(s string) (Phase, error) {
+	for i, n := range phaseNames {
+		if n == s {
+			return Phase(i), nil
+		}
+	}
+	return 0, fmt.Errorf("scenario: unknown phase %q", s)
+}
+
+// PhaseSpec shapes one phase: its demand level, duration distribution, and
+// thread fan-out.
+type PhaseSpec struct {
+	// Rate is the total demand across the phase's threads, cycles/sec.
+	Rate float64
+	// MinDur and MaxDur bound the uniformly drawn phase duration.
+	MinDur, MaxDur time.Duration
+	// Threads is the fan-out: how many threads share the phase's demand.
+	// Zero is allowed only for zero-rate phases.
+	Threads int
+}
+
+func (s PhaseSpec) validate(p Phase) error {
+	if s.Rate < 0 {
+		return fmt.Errorf("scenario: phase %s: negative rate", p)
+	}
+	if s.MinDur <= 0 || s.MaxDur < s.MinDur {
+		return fmt.Errorf("scenario: phase %s: want 0 < MinDur <= MaxDur, got [%v, %v]", p, s.MinDur, s.MaxDur)
+	}
+	if s.Threads < 0 || (s.Rate > 0 && s.Threads < 1) {
+		return fmt.Errorf("scenario: phase %s: %d threads cannot carry rate %g", p, s.Threads, s.Rate)
+	}
+	return nil
+}
+
+// Profile is a complete user model: every phase's spec plus the Markov
+// transition weights between phases. Weights are integers so the walk's
+// draws stay in integer space and reproduce bit-for-bit everywhere.
+type Profile struct {
+	// Name labels the profile in traces and reports.
+	Name string
+	// Phases holds one spec per phase, indexed by Phase.
+	Phases [numPhases]PhaseSpec
+	// Next[p][q] is the relative weight of transitioning p → q once
+	// phase p's drawn duration elapses. Each row must have positive sum.
+	Next [numPhases][numPhases]int
+	// Start is the walk's initial phase.
+	Start Phase
+}
+
+// Validate rejects malformed profiles.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return errors.New("scenario: profile needs a name")
+	}
+	if int(p.Start) >= numPhases {
+		return fmt.Errorf("scenario: start phase %d out of range", p.Start)
+	}
+	for ph := Phase(0); ph < numPhases; ph++ {
+		if err := p.Phases[ph].validate(ph); err != nil {
+			return err
+		}
+		sum := 0
+		for q, w := range p.Next[ph] {
+			if w < 0 {
+				return fmt.Errorf("scenario: negative transition weight %s → %s", ph, Phase(q))
+			}
+			sum += w
+		}
+		if sum <= 0 {
+			return fmt.Errorf("scenario: phase %s has no outgoing transitions", ph)
+		}
+	}
+	return nil
+}
+
+// pick draws the next phase from cur's weighted row.
+func (p Profile) pick(cur Phase, rng *rand.Rand) Phase {
+	sum := 0
+	for _, w := range p.Next[cur] {
+		sum += w
+	}
+	n := int(rng.Int63n(int64(sum)))
+	for q, w := range p.Next[cur] {
+		if n < w {
+			return Phase(q)
+		}
+		n -= w
+	}
+	return cur // unreachable: weights sum to sum
+}
+
+// DayInTheLife is the canonical profile: wake, interact, switch apps,
+// settle into foreground use, let the screen go dark, and surface for
+// background syncs — cycles per second sized for a Nexus 5-class device
+// (2.27 GHz × 4 cores peak).
+func DayInTheLife() Profile {
+	p := Profile{Name: "dayinlife", Start: PhaseInteractive}
+	p.Phases[PhaseInteractive] = PhaseSpec{Rate: 3.2e9, MinDur: 400 * time.Millisecond, MaxDur: 2 * time.Second, Threads: 4}
+	p.Phases[PhaseAppSwitch] = PhaseSpec{Rate: 4.5e9, MinDur: 250 * time.Millisecond, MaxDur: 700 * time.Millisecond, Threads: 6}
+	p.Phases[PhaseForeground] = PhaseSpec{Rate: 9e8, MinDur: 2 * time.Second, MaxDur: 8 * time.Second, Threads: 2}
+	p.Phases[PhaseIdle] = PhaseSpec{Rate: 0, MinDur: 2 * time.Second, MaxDur: 12 * time.Second, Threads: 0}
+	p.Phases[PhaseWakeup] = PhaseSpec{Rate: 4e8, MinDur: 200 * time.Millisecond, MaxDur: 600 * time.Millisecond, Threads: 1}
+	p.Next = [numPhases][numPhases]int{
+		PhaseInteractive: {0, 3, 5, 2, 0},
+		PhaseAppSwitch:   {4, 0, 6, 0, 0},
+		PhaseForeground:  {4, 2, 0, 4, 0},
+		PhaseIdle:        {2, 0, 0, 0, 5},
+		PhaseWakeup:      {1, 0, 0, 9, 0},
+	}
+	return p
+}
+
+// Standby is the mostly-dark variant: long idle stretches punctuated by
+// background wakeups and the occasional glance — the regime where core
+// offlining policies should shine.
+func Standby() Profile {
+	p := Profile{Name: "standby", Start: PhaseIdle}
+	p.Phases[PhaseInteractive] = PhaseSpec{Rate: 2.4e9, MinDur: 300 * time.Millisecond, MaxDur: 1200 * time.Millisecond, Threads: 3}
+	p.Phases[PhaseAppSwitch] = PhaseSpec{Rate: 4e9, MinDur: 250 * time.Millisecond, MaxDur: 600 * time.Millisecond, Threads: 5}
+	p.Phases[PhaseForeground] = PhaseSpec{Rate: 7e8, MinDur: 1 * time.Second, MaxDur: 4 * time.Second, Threads: 2}
+	p.Phases[PhaseIdle] = PhaseSpec{Rate: 0, MinDur: 5 * time.Second, MaxDur: 25 * time.Second, Threads: 0}
+	p.Phases[PhaseWakeup] = PhaseSpec{Rate: 3e8, MinDur: 200 * time.Millisecond, MaxDur: 500 * time.Millisecond, Threads: 2}
+	p.Next = [numPhases][numPhases]int{
+		PhaseInteractive: {0, 2, 3, 5, 0},
+		PhaseAppSwitch:   {2, 0, 5, 3, 0},
+		PhaseForeground:  {2, 1, 0, 7, 0},
+		PhaseIdle:        {1, 0, 0, 0, 9},
+		PhaseWakeup:      {1, 0, 0, 19, 0},
+	}
+	return p
+}
+
+// Profiles lists the built-in profiles in stable order.
+func Profiles() []Profile {
+	return []Profile{DayInTheLife(), Standby()}
+}
+
+// ProfileNames lists the built-in profile names in stable order.
+func ProfileNames() []string {
+	ps := Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ProfileByName resolves a built-in profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("scenario: unknown profile %q (have %v)", name, ProfileNames())
+}

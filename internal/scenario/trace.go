@@ -1,0 +1,189 @@
+package scenario
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// TraceFormat is the JSONL header's format tag; bump on incompatible
+// schema changes.
+const TraceFormat = "mobicore-scenario/1"
+
+// Segment is one resolved phase visit: the phase, how long it lasted, and
+// the demand it carried.
+type Segment struct {
+	// Phase is the visited phase.
+	Phase Phase
+	// Duration is the drawn (or truncated) visit length.
+	Duration time.Duration
+	// Rate is the total demand across the segment's threads, cycles/sec.
+	Rate float64
+	// Threads is the fan-out carrying Rate.
+	Threads int
+}
+
+func (s Segment) validate(row int) error {
+	if int(s.Phase) >= numPhases {
+		return fmt.Errorf("scenario: trace row %d: phase %d out of range", row, s.Phase)
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("scenario: trace row %d: non-positive duration %v", row, s.Duration)
+	}
+	if s.Rate < 0 {
+		return fmt.Errorf("scenario: trace row %d: negative rate", row)
+	}
+	if s.Threads < 0 || (s.Rate > 0 && s.Threads < 1) {
+		return fmt.Errorf("scenario: trace row %d: %d threads cannot carry rate %g", row, s.Threads, s.Rate)
+	}
+	return nil
+}
+
+// Trace is a replayable scenario: the generating profile's name and seed
+// plus the resolved segment sequence. Traces round-trip through the JSONL
+// format byte-identically — export, parse, export again, same bytes.
+type Trace struct {
+	// Name is the generating profile's name (or any label for
+	// hand-written traces).
+	Name string
+	// Seed is the generator seed the trace was drawn with; purely
+	// informational on replay.
+	Seed int64
+	// Segments is the phase visit sequence.
+	Segments []Segment
+}
+
+// Validate rejects malformed traces.
+func (tr Trace) Validate() error {
+	if tr.Name == "" {
+		return fmt.Errorf("scenario: trace needs a name")
+	}
+	if len(tr.Segments) == 0 {
+		return fmt.Errorf("scenario: trace has no segments")
+	}
+	for i, s := range tr.Segments {
+		// Rows are 1-based physical JSONL lines; the header is line 1.
+		if err := s.validate(i + 2); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalDuration sums the segment durations.
+func (tr Trace) TotalDuration() time.Duration {
+	var d time.Duration
+	for _, s := range tr.Segments {
+		d += s.Duration
+	}
+	return d
+}
+
+// TotalCycles integrates the demand: Σ rate × duration over the segments.
+func (tr Trace) TotalCycles() float64 {
+	var c float64
+	for _, s := range tr.Segments {
+		c += s.Rate * s.Duration.Seconds()
+	}
+	return c
+}
+
+// MaxThreads is the widest fan-out any segment uses.
+func (tr Trace) MaxThreads() int {
+	max := 0
+	for _, s := range tr.Segments {
+		if s.Threads > max {
+			max = s.Threads
+		}
+	}
+	return max
+}
+
+// traceHeader is JSONL line 1.
+type traceHeader struct {
+	Format string `json:"format"`
+	Name   string `json:"name"`
+	Seed   int64  `json:"seed"`
+}
+
+// traceRow is one segment line. Durations are integer nanoseconds and
+// rates shortest-round-trip floats, so marshal(unmarshal(line)) == line.
+type traceRow struct {
+	Phase   string  `json:"phase"`
+	DurNS   int64   `json:"dur_ns"`
+	Rate    float64 `json:"rate"`
+	Threads int     `json:"threads"`
+}
+
+// WriteJSONL exports the trace: a header line, then one line per segment.
+func (tr Trace) WriteJSONL(w io.Writer) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	writeLine := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("scenario: encoding trace: %w", err)
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+		return bw.WriteByte('\n')
+	}
+	if err := writeLine(traceHeader{Format: TraceFormat, Name: tr.Name, Seed: tr.Seed}); err != nil {
+		return err
+	}
+	for _, s := range tr.Segments {
+		row := traceRow{Phase: s.Phase.String(), DurNS: int64(s.Duration), Rate: s.Rate, Threads: s.Threads}
+		if err := writeLine(row); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL imports a trace written by WriteJSONL, validating the header
+// and every segment with 1-based line numbers in errors.
+func ReadJSONL(r io.Reader) (Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return Trace{}, fmt.Errorf("scenario: reading trace: %w", err)
+		}
+		return Trace{}, fmt.Errorf("scenario: empty trace")
+	}
+	var hdr traceHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return Trace{}, fmt.Errorf("scenario: trace line 1: %w", err)
+	}
+	if hdr.Format != TraceFormat {
+		return Trace{}, fmt.Errorf("scenario: trace line 1: format %q, want %q", hdr.Format, TraceFormat)
+	}
+	tr := Trace{Name: hdr.Name, Seed: hdr.Seed}
+	for line := 2; sc.Scan(); line++ {
+		var row traceRow
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			return Trace{}, fmt.Errorf("scenario: trace line %d: %w", line, err)
+		}
+		ph, err := ParsePhase(row.Phase)
+		if err != nil {
+			return Trace{}, fmt.Errorf("scenario: trace line %d: %w", line, err)
+		}
+		seg := Segment{Phase: ph, Duration: time.Duration(row.DurNS), Rate: row.Rate, Threads: row.Threads}
+		if err := seg.validate(line); err != nil {
+			return Trace{}, err
+		}
+		tr.Segments = append(tr.Segments, seg)
+	}
+	if err := sc.Err(); err != nil {
+		return Trace{}, fmt.Errorf("scenario: reading trace: %w", err)
+	}
+	if err := tr.Validate(); err != nil {
+		return Trace{}, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,170 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mobicore/internal/sched"
+	"mobicore/internal/workload"
+)
+
+// Workload drives a scenario through the engine: either replaying a stored
+// Trace or walking a Profile live off the session's seeded rng (so a fleet
+// seed sweep yields thousands of distinct synthetic users from one
+// factory). Threads spawn lazily at the first phase boundary that needs
+// them and retire when their phase ends — a retired thread stops receiving
+// demand and leaves the runnable set once the scheduler drains it, but
+// stays in Threads() so executed-cycle accounting survives the churn.
+//
+// The workload implements SteadyHinter and hints steady only on ticks that
+// provably changed no demand: no deposit landed (screen-off idle, or a
+// replay that ran out of segments) and no thread spawned. Every
+// demand-carrying phase breaks the hint every tick, so the engine's memo
+// fast path re-proves the runnable set across bursts, app switches, and
+// wakeups — quiescence only fuses where the scenario is genuinely dark.
+type Workload struct {
+	name   string
+	prefix string
+
+	// Exactly one segment source: segs for replay, live for generation.
+	segs     []Segment
+	live     *walk
+	recorded []Segment
+
+	segIdx  int
+	cur     Segment
+	segLeft time.Duration
+	haveSeg bool
+
+	threads []*sched.Thread // grow-only: spawned threads are never removed
+	active  int             // current fan-out: threads[:active] receive demand
+
+	deposited float64
+	steady    bool
+	exhausted bool // replay consumed every segment
+}
+
+var (
+	_ workload.Workload     = (*Workload)(nil)
+	_ workload.SteadyHinter = (*Workload)(nil)
+)
+
+// New builds a replay workload over a stored trace.
+func New(tr Trace) (*Workload, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return &Workload{
+		name:   "scenario-" + tr.Name,
+		prefix: "scenario-" + tr.Name,
+		segs:   tr.Segments,
+	}, nil
+}
+
+// FromProfile builds a generator-mode workload: segments are drawn live
+// from the rng the engine passes to Tick, with exactly the draw sequence
+// NewGenerator(prof, seed).Generate uses — a session seeded s replays
+// byte-identically to the trace generated at seed s.
+func FromProfile(prof Profile) (*Workload, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	w := newWalk(prof)
+	return &Workload{
+		name:   "scenario-" + prof.Name,
+		prefix: "scenario-" + prof.Name,
+		live:   &w,
+	}, nil
+}
+
+// Name implements Workload.
+func (s *Workload) Name() string { return s.name }
+
+// Threads implements Workload. The slice grows as phases spawn new
+// threads; existing entries are stable.
+func (s *Workload) Threads() []*sched.Thread { return s.threads }
+
+// Done implements Workload: a replay is done when its trace is exhausted
+// and every thread drained; generator-mode scenarios never finish.
+func (s *Workload) Done() bool {
+	if s.live != nil || !s.exhausted {
+		return false
+	}
+	for _, th := range s.threads {
+		if th.Pending() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SteadyHint implements SteadyHinter; see the type comment for when the
+// hint is allowed to hold.
+func (s *Workload) SteadyHint() bool { return s.steady }
+
+// DepositedCycles reports the total demand deposited so far — the live
+// integral the trace-replay property tests compare against TotalCycles.
+func (s *Workload) DepositedCycles() float64 { return s.deposited }
+
+// Recorded assembles the segments a generator-mode workload has drawn so
+// far into an exportable Trace; seed labels the header (pass the session
+// seed the workload ran under). The final segment carries its full drawn
+// duration even if the session ended inside it.
+func (s *Workload) Recorded(seed int64) Trace {
+	name := s.name[len("scenario-"):]
+	return Trace{Name: name, Seed: seed, Segments: append([]Segment(nil), s.recorded...)}
+}
+
+// Tick implements Workload: split dt across segment boundaries, deposit
+// each slice's demand over the active fan-out, and advance the walk (or
+// the stored segment cursor) whenever a segment ends inside the tick.
+func (s *Workload) Tick(now, dt time.Duration, rng *rand.Rand) {
+	s.steady = true
+	for dt > 0 {
+		if !s.haveSeg && !s.advance(rng) {
+			return
+		}
+		slice := dt
+		if slice > s.segLeft {
+			slice = s.segLeft
+		}
+		if s.cur.Rate > 0 && s.active > 0 {
+			per := s.cur.Rate * slice.Seconds() / float64(s.active)
+			for _, th := range s.threads[:s.active] {
+				th.AddWork(per)
+			}
+			s.deposited += per * float64(s.active)
+			s.steady = false
+		}
+		s.segLeft -= slice
+		dt -= slice
+		if s.segLeft == 0 {
+			s.haveSeg = false
+		}
+	}
+}
+
+// advance moves to the next segment, spawning threads the new fan-out
+// needs. Returns false when a replay has no segments left.
+func (s *Workload) advance(rng *rand.Rand) bool {
+	var seg Segment
+	switch {
+	case s.live != nil:
+		seg = s.live.next(rng)
+		s.recorded = append(s.recorded, seg)
+	case s.segIdx < len(s.segs):
+		seg = s.segs[s.segIdx]
+		s.segIdx++
+	default:
+		s.exhausted = true
+		return false
+	}
+	s.cur, s.segLeft, s.haveSeg = seg, seg.Duration, true
+	for len(s.threads) < seg.Threads {
+		s.threads = append(s.threads, sched.NewThread(fmt.Sprintf("%s-%d", s.prefix, len(s.threads))))
+		s.steady = false // the thread set changed this tick
+	}
+	s.active = seg.Threads
+	return true
+}

@@ -388,6 +388,67 @@ func TestFusedMatchesNoFuseUnderQuota(t *testing.T) {
 	}
 }
 
+// TestFusedMatchesNoFuseUnderHotplugChurn repeats the lockstep comparison
+// across repeated hotplug events: a scripted manager cycles the online set
+// 4 → 2 → 4 → 1 → 4 under a saturated load, so retained windows recorded on
+// one topology are candidates for replay on another. Every online-state
+// change must invalidate the fused slots — a stale window replayed across a
+// core-count change would misattribute executed cycles — and the run must
+// still find fast ticks in the steady stretches between events.
+func TestFusedMatchesNoFuseUnderHotplugChurn(t *testing.T) {
+	max := platform.Nexus5().Table.Max().Freq
+	steps := []mgrStep{
+		{freq: max, cores: 4, quota: 1}, {freq: max, cores: 4, quota: 1},
+		{freq: max, cores: 2, quota: 1}, {freq: max, cores: 2, quota: 1},
+		{freq: max, cores: 4, quota: 1}, {freq: max, cores: 4, quota: 1},
+		{freq: max, cores: 1, quota: 1}, {freq: max, cores: 1, quota: 1},
+		{freq: max, cores: 4, quota: 1},
+	}
+	run := func(noFuse bool) (*sim.Report, uint64, []byte) {
+		t.Helper()
+		var trace bytes.Buffer
+		p := newPulseLoad(4, map[time.Duration]float64{0: 1e12})
+		s, err := sim.New(sim.Config{
+			Platform:  platform.Nexus5(),
+			Manager:   &scriptMgr{steps: steps},
+			Workloads: []workload.Workload{p},
+			Seed:      7,
+			NoFuse:    noFuse,
+			PowerTrace: func(now, dt time.Duration, systemW float64, clusterW []float64) {
+				traceBits(&trace, now, dt, systemW, clusterW)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Run(time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, s.FastTicks(), trace.Bytes()
+	}
+	fusedRep, fastTicks, fusedTrace := run(false)
+	slowRep, _, slowTrace := run(true)
+	if fastTicks == 0 {
+		t.Fatal("fused run never took the fast path; the comparison is vacuous")
+	}
+	if fusedRep.AvgOnlineCores >= 4 {
+		t.Fatal("hotplug never occurred; the comparison does not cover invalidation")
+	}
+	if !bytes.Equal(fusedTrace, slowTrace) {
+		for i := range fusedTrace {
+			if fusedTrace[i] != slowTrace[i] {
+				t.Fatalf("power traces diverge at byte %d of %d under hotplug churn", i, len(fusedTrace))
+			}
+		}
+		t.Fatalf("power trace lengths differ: %d vs %d", len(fusedTrace), len(slowTrace))
+	}
+	if fusedRep.EnergyJ != slowRep.EnergyJ || fusedRep.ExecutedCycles != slowRep.ExecutedCycles ||
+		fusedRep.AvgOnlineCores != slowRep.AvgOnlineCores {
+		t.Errorf("reports diverge:\nfused: %+v\nnofuse: %+v", fusedRep, slowRep)
+	}
+}
+
 // TestFusedMatchesNoFuseUnderThermalTrips repeats the lockstep comparison
 // in a regime where the thermal driver is active: everything pinned to
 // f_max with a saturated workload heats the Nexus 5 past its 36 °C trip,

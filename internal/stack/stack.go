@@ -124,16 +124,24 @@ func composed(name string, plat platform.Platform) (policy.Manager, error) {
 	return policy.Compose(gov, plug)
 }
 
+// Hotplugs lists the hotplug policy names composable on the right of
+// "<governor>+<hotplug>" ("fixed-N" stands for any N >= 1).
+func Hotplugs() []string {
+	return []string{"load", "mpdecision", "offline", "fixed-N"}
+}
+
 func buildHotplug(name string) (hotplug.Policy, error) {
 	switch name {
 	case "load":
 		return hotplug.NewLoad(hotplug.DefaultLoadTunables())
 	case "mpdecision":
 		return hotplug.MPDecision{}, nil
+	case "offline":
+		return hotplug.NewOffliner(hotplug.DefaultOfflinerTunables())
 	}
 	var n int
 	if _, err := fmt.Sscanf(name, "fixed-%d", &n); err == nil {
 		return hotplug.NewFixed(n)
 	}
-	return nil, fmt.Errorf("unknown hotplug policy %q (want load, mpdecision, or fixed-N)", name)
+	return nil, fmt.Errorf("unknown hotplug policy %q (want load, mpdecision, offline, or fixed-N)", name)
 }

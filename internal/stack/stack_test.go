@@ -11,7 +11,8 @@ import (
 // instance (managers are stateful; the fleet driver builds one per cell).
 func TestBuildNamedStacks(t *testing.T) {
 	for _, plat := range []platform.Platform{platform.Nexus5(), platform.Nexus6P()} {
-		for _, name := range append(Names(), "", "interactive+load", "userspace+fixed-2") {
+		for _, name := range append(Names(), "", "interactive+load", "userspace+fixed-2",
+			"pin-max+mpdecision", "pin-min+offline", "pin-mid+load", "ondemand+offline") {
 			a, err := Build(name, plat)
 			if err != nil {
 				t.Fatalf("Build(%q, %s): %v", name, plat.Name, err)
@@ -28,7 +29,7 @@ func TestBuildNamedStacks(t *testing.T) {
 }
 
 func TestBuildRejectsUnknown(t *testing.T) {
-	for _, name := range []string{"nope", "ondemand", "ondemand+", "+load", "ondemand+nope"} {
+	for _, name := range []string{"nope", "ondemand", "ondemand+", "+load", "ondemand+nope", "pin-low+load"} {
 		if _, err := Build(name, platform.Nexus5()); err == nil {
 			t.Errorf("Build(%q) accepted", name)
 		}

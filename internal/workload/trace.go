@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"time"
 )
@@ -16,6 +17,12 @@ import (
 // This is the import half of a measure-on-device / replay-in-simulation
 // workflow: record per-second served cycles from a real phone, replay them
 // against any policy here.
+//
+// The first row counts as a header only when at least one of its fields is
+// non-numeric; a numeric-looking first row is data. Timestamps must be
+// finite, non-negative, and strictly increasing — a violation is rejected
+// with the 1-based physical row number (header included), never silently
+// reordered or dropped.
 func ParseTraceCSV(r io.Reader) ([]Step, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = 2
@@ -23,42 +30,56 @@ func ParseTraceCSV(r io.Reader) ([]Step, error) {
 	if err != nil {
 		return nil, fmt.Errorf("workload: reading trace csv: %w", err)
 	}
+	// rowNum tracks physical 1-based file rows so error positions survive
+	// the header skip.
+	rowNum := 0
 	if len(rows) > 0 {
-		if _, err := strconv.ParseFloat(rows[0][0], 64); err != nil {
+		_, errAt := strconv.ParseFloat(rows[0][0], 64)
+		_, errRate := strconv.ParseFloat(rows[0][1], 64)
+		if errAt != nil || errRate != nil {
 			rows = rows[1:] // header row
+			rowNum = 1
 		}
 	}
 	if len(rows) < 2 {
 		return nil, errors.New("workload: trace needs at least two rows (start and end)")
 	}
 	steps := make([]Step, 0, len(rows)-1)
-	prevAt := -1.0
+	prevAt := 0.0
 	prevRate := 0.0
-	for i, row := range rows {
+	havePrev := false
+	for _, row := range rows {
+		rowNum++
 		at, err := strconv.ParseFloat(row[0], 64)
 		if err != nil {
-			return nil, fmt.Errorf("workload: trace row %d: bad timestamp %q", i, row[0])
+			return nil, fmt.Errorf("workload: trace row %d: bad timestamp %q", rowNum, row[0])
 		}
 		rate, err := strconv.ParseFloat(row[1], 64)
 		if err != nil {
-			return nil, fmt.Errorf("workload: trace row %d: bad rate %q", i, row[1])
+			return nil, fmt.Errorf("workload: trace row %d: bad rate %q", rowNum, row[1])
 		}
-		if rate < 0 {
-			return nil, fmt.Errorf("workload: trace row %d: negative rate", i)
+		if math.IsNaN(at) || at < 0 || at > maxTraceSeconds {
+			return nil, fmt.Errorf("workload: trace row %d: timestamp %v outside [0,%g]", rowNum, at, float64(maxTraceSeconds))
 		}
-		if prevAt >= 0 {
-			if at <= prevAt {
-				return nil, fmt.Errorf("workload: trace row %d: timestamps not increasing", i)
+		if math.IsNaN(rate) || math.IsInf(rate, 0) || rate < 0 {
+			return nil, fmt.Errorf("workload: trace row %d: rate %v outside [0,inf)", rowNum, rate)
+		}
+		if havePrev {
+			d := time.Duration((at - prevAt) * float64(time.Second))
+			if at <= prevAt || d <= 0 {
+				return nil, fmt.Errorf("workload: trace row %d: timestamp %v not after %v (at ns resolution)", rowNum, at, prevAt)
 			}
-			steps = append(steps, Step{
-				Duration:     time.Duration((at - prevAt) * float64(time.Second)),
-				CyclesPerSec: prevRate,
-			})
+			steps = append(steps, Step{Duration: d, CyclesPerSec: prevRate})
 		}
-		prevAt, prevRate = at, rate
+		prevAt, prevRate, havePrev = at, rate, true
 	}
 	return steps, nil
 }
+
+// maxTraceSeconds bounds trace timestamps (~31 simulated years): large
+// enough for any recorded session, small enough that the seconds→Duration
+// conversion can never overflow int64 nanoseconds.
+const maxTraceSeconds = 1e9
 
 // WriteTraceCSV writes steps in the format ParseTraceCSV reads, including
 // the closing end-of-trace row.

@@ -2,6 +2,8 @@ package workload
 
 import (
 	"bytes"
+	"math"
+	"math/rand"
 	"strings"
 	"testing"
 	"time"
@@ -38,19 +40,128 @@ func TestParseTraceCSVNoHeader(t *testing.T) {
 }
 
 func TestParseTraceCSVErrors(t *testing.T) {
-	cases := map[string]string{
-		"too short":      "0,1e9\n",
-		"bad timestamp":  "zero,1e9\nx,0\n",
-		"bad rate":       "0,fast\n1,0\n",
-		"negative rate":  "0,-5\n1,0\n",
-		"non-increasing": "0,1e9\n0,2e9\n1,0\n",
-		"wrong fields":   "0,1,2\n",
+	// wantErr is a substring of the expected error; row-numbered cases pin
+	// the 1-based physical file row, counting the header when present.
+	cases := map[string]struct {
+		in      string
+		wantErr string
+	}{
+		"too short":           {"0,1e9\n", "at least two rows"},
+		"bad timestamp":       {"zero,1e9\nx,0\n", "at least two rows"}, // first row reads as header
+		"bad timestamp row":   {"0,1e9\nx,0\n2,0\n", "row 2: bad timestamp"},
+		"bad rate":            {"0,fast\n1,0\n", "at least two rows"}, // ditto: header
+		"bad rate row":        {"t,r\n0,1e9\n1,fast\n2,0\n", "row 3: bad rate"},
+		"negative rate":       {"0,-5\n1,0\n", "row 1: rate"},
+		"nan rate":            {"0,NaN\n1,0\n", "row 1: rate"},
+		"non-increasing":      {"0,1e9\n0,2e9\n1,0\n", "row 2: timestamp"},
+		"decreasing w/header": {"seconds,cycles_per_sec\n0,1e9\n2,2e9\n1,0\n", "row 4: timestamp"},
+		"negative timestamps": {"-3,1e9\n-2,2e9\n-1,0\n", "row 1: timestamp"},
+		"sub-ns spacing":      {"0,1e9\n1e-12,0\n", "row 2: timestamp"},
+		"timestamp overflow":  {"0,1e9\n1e300,0\n", "row 2: timestamp"},
+		"wrong fields":        {"0,1,2\n", "wrong number of fields"},
 	}
-	for name, in := range cases {
-		if _, err := ParseTraceCSV(strings.NewReader(in)); err == nil {
-			t.Errorf("%s: accepted %q", name, in)
+	for name, c := range cases {
+		_, err := ParseTraceCSV(strings.NewReader(c.in))
+		if err == nil {
+			t.Errorf("%s: accepted %q", name, c.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", name, err, c.wantErr)
 		}
 	}
+}
+
+// TestParseTraceCSVNumericHeader: a first row that parses as numbers is
+// data, not a header — so a non-monotonic sequence hiding behind it must be
+// rejected, never silently accepted (the old header heuristic let negative
+// timestamps bypass the monotonicity check entirely).
+func TestParseTraceCSVNumericHeader(t *testing.T) {
+	steps, err := ParseTraceCSV(strings.NewReader("0,0\n1,1e9\n2,0\n"))
+	if err != nil {
+		t.Fatalf("numeric first row rejected: %v", err)
+	}
+	if len(steps) != 2 || steps[0].CyclesPerSec != 0 || steps[1].CyclesPerSec != 1e9 {
+		t.Errorf("steps = %+v, want the numeric first row kept as data", steps)
+	}
+	if _, err := ParseTraceCSV(strings.NewReader("5,0\n1,1e9\n2,0\n")); err == nil {
+		t.Error("non-monotonic rows behind a numeric-looking header were silently accepted")
+	}
+}
+
+// TestTraceExportParseExportByteIdentical is the round-trip property at
+// byte strength: exporting randomized (seeded) millisecond-grained steps,
+// parsing them back, and exporting again reproduces the first file exactly.
+func TestTraceExportParseExportByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x7ace))
+	for trial := 0; trial < 50; trial++ {
+		steps := make([]Step, 1+rng.Intn(40))
+		for i := range steps {
+			steps[i] = Step{
+				Duration: time.Duration(1+rng.Intn(5000)) * time.Millisecond,
+				// kHz-grained rates render exactly at the format's
+				// three decimals.
+				CyclesPerSec: float64(rng.Intn(4_000_000)) * 1e3,
+			}
+		}
+		var first bytes.Buffer
+		if err := WriteTraceCSV(&first, steps); err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := ParseTraceCSV(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: parsing exported trace: %v", trial, err)
+		}
+		var second bytes.Buffer
+		if err := WriteTraceCSV(&second, parsed); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("trial %d: export→parse→export not byte-identical:\n--- first ---\n%s\n--- second ---\n%s",
+				trial, first.Bytes(), second.Bytes())
+		}
+	}
+}
+
+// FuzzParseTraceCSV: whatever bytes arrive, the parser either rejects them
+// or returns a well-formed trace that survives an export/re-parse cycle.
+// Run with `go test -fuzz=FuzzParseTraceCSV ./internal/workload/`.
+func FuzzParseTraceCSV(f *testing.F) {
+	f.Add("seconds,cycles_per_sec\n0,1e9\n0.5,2e9\n1.0,0\n")
+	f.Add("0,5e8\n2,0\n")
+	f.Add("-3,1e9\n-2,2e9\n-1,0\n")
+	f.Add("0,1e9\n0,2e9\n1,0\n")
+	f.Add("0,1e9\n1e-12,0\n")
+	f.Add("0,NaN\n1,0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		steps, err := ParseTraceCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		minDur := time.Duration(math.MaxInt64)
+		for i, s := range steps {
+			if s.Duration <= 0 {
+				t.Fatalf("step %d: accepted non-positive duration %v from %q", i, s.Duration, in)
+			}
+			if s.CyclesPerSec < 0 || math.IsNaN(s.CyclesPerSec) || math.IsInf(s.CyclesPerSec, 0) {
+				t.Fatalf("step %d: accepted bad rate %v from %q", i, s.CyclesPerSec, in)
+			}
+			if s.Duration < minDur {
+				minDur = s.Duration
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteTraceCSV(&buf, steps); err != nil {
+			t.Fatalf("exporting accepted trace: %v", err)
+		}
+		// The CSV format carries microsecond timestamps; only traces
+		// above that resolution are guaranteed to re-import.
+		if minDur >= time.Microsecond {
+			if _, err := ParseTraceCSV(&buf); err != nil {
+				t.Fatalf("re-parsing exported trace: %v (input %q)", err, in)
+			}
+		}
+	})
 }
 
 // TestTraceRoundTrip: Write → Parse reproduces the steps.

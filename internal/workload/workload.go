@@ -22,7 +22,9 @@ type Workload interface {
 	// source; implementations must use it for all randomness.
 	Tick(now, dt time.Duration, rng *rand.Rand)
 	// Threads returns the workload's schedulable threads. The slice is
-	// stable across the run.
+	// append-only: existing entries are stable for the whole run, and
+	// implementations that spawn threads mid-run (phase fan-out) may
+	// grow it between Ticks — the engine re-reads it every tick.
 	Threads() []*sched.Thread
 	// Done reports whether a finite workload has produced all its work
 	// and seen it executed. Open-ended workloads always return false.

@@ -222,6 +222,12 @@ func lookupPlatform(name string) (platform.Platform, error) {
 // "<governor>+<hotplug>" forms are additional).
 func Policies() []string { return stack.Names() }
 
+// Hotplugs lists the hotplug policy names composable on the right of
+// "<governor>+<hotplug>": load, mpdecision, offline, fixed-N. Governors on
+// the left include the stock set plus schedutil and the pin-min/mid/max
+// frequency-pinning governors.
+func Hotplugs() []string { return stack.Hotplugs() }
+
 // buildPolicy resolves a policy name against a platform; the shared
 // resolution lives in internal/stack so the facade, the fleet driver, and
 // the CLIs accept exactly the same names.

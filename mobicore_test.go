@@ -168,8 +168,8 @@ func TestRunExperimentThroughFacade(t *testing.T) {
 	if _, err := RunExperiment("fig99", ExperimentOptions{}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if len(ExperimentIDs()) != 19 {
-		t.Errorf("experiment ids = %v, want 19 (16 paper items + biglittle + sustained + easplace)", ExperimentIDs())
+	if len(ExperimentIDs()) != 20 {
+		t.Errorf("experiment ids = %v, want 20 (16 paper items + biglittle + sustained + easplace + dayinlife)", ExperimentIDs())
 	}
 }
 

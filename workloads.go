@@ -9,6 +9,7 @@ import (
 	"mobicore/internal/geekbench"
 	"mobicore/internal/metrics"
 	"mobicore/internal/platform"
+	"mobicore/internal/scenario"
 	"mobicore/internal/workload"
 )
 
@@ -101,6 +102,54 @@ type GeekBenchRun = geekbench.Run
 func NewGeekBenchRun(nThreads, iterations int) (*GeekBenchRun, error) {
 	return geekbench.NewRun(geekbench.StandardSuite(), platform.Nexus5().Table, nThreads, iterations)
 }
+
+// ScenarioTrace is a replayable day-in-the-life scenario: a phase-visit
+// sequence with per-segment demand and thread fan-out, serialized as JSONL
+// (see scenario.TraceFormat). Traces round-trip byte-identically through
+// WriteScenarioTrace / ReadScenarioTrace.
+type ScenarioTrace = scenario.Trace
+
+// ScenarioProfiles lists the built-in scenario profile names ("dayinlife",
+// "standby").
+func ScenarioProfiles() []string { return scenario.ProfileNames() }
+
+// NewScenario builds a generator-mode scenario workload: the phase walk
+// draws from the session's seeded rng, so every seed is a distinct
+// deterministic synthetic user. The workload it returns also satisfies
+// Workload; recover the walked trace for replay with RecordedScenario.
+func NewScenario(profile string) (*scenario.Workload, error) {
+	prof, err := scenario.ProfileByName(profile)
+	if err != nil {
+		return nil, err
+	}
+	return scenario.FromProfile(prof)
+}
+
+// NewScenarioReplay builds a workload replaying a stored scenario trace.
+func NewScenarioReplay(tr ScenarioTrace) (*scenario.Workload, error) {
+	return scenario.New(tr)
+}
+
+// GenerateScenarioTrace materializes a profile's seeded deterministic trace
+// covering total simulated time — the export half of record/replay, used to
+// pre-generate fleet sweeps of synthetic users.
+func GenerateScenarioTrace(profile string, seed int64, total time.Duration) (ScenarioTrace, error) {
+	prof, err := scenario.ProfileByName(profile)
+	if err != nil {
+		return ScenarioTrace{}, err
+	}
+	g, err := scenario.NewGenerator(prof, seed)
+	if err != nil {
+		return ScenarioTrace{}, err
+	}
+	return g.Generate(total), nil
+}
+
+// ReadScenarioTrace imports a JSONL scenario trace.
+func ReadScenarioTrace(r io.Reader) (ScenarioTrace, error) { return scenario.ReadJSONL(r) }
+
+// WriteScenarioTrace exports a scenario trace as JSONL.
+func WriteScenarioTrace(w io.Writer, tr ScenarioTrace) error { return tr.WriteJSONL(w) }
 
 // Summary re-exports the statistics accumulator used in reports.
 type Summary = metrics.Summary
